@@ -1,0 +1,104 @@
+//! Ablation study of the design choices DESIGN.md calls out:
+//!
+//! 1. ULL-Flash half-page channel striping on/off (the §II-C datapath
+//!    optimisation),
+//! 2. the SSD-internal DRAM present/absent under baseline HAMS (the energy
+//!    and copy overhead advanced HAMS removes),
+//! 3. persist vs extend mode at the same attach point (the cost of
+//!    write-through persistence).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hams_bench::bench_scale;
+use hams_core::{AttachMode, HamsConfig, PersistMode};
+use hams_flash::{SsdConfig, SsdDevice};
+use hams_nvdimm::{NvdimmConfig, PinnedRegionLayout};
+use hams_nvme::{NvmeCommand, PrpList};
+use hams_platforms::{run_workload, HamsPlatform};
+use hams_sim::Nanos;
+use hams_workloads::WorkloadSpec;
+
+/// Latency of 256 preconditioned 4 KB random reads with/without striping.
+fn striping_ablation() -> (f64, f64) {
+    let measure = |stripe: bool| {
+        let mut cfg = SsdConfig::ull_flash();
+        cfg.stripe_halves = stripe;
+        let mut ssd = SsdDevice::new(cfg);
+        for p in 0..256u64 {
+            let cmd = NvmeCommand::write(1, p, 4096, PrpList::single(0)).with_fua(true);
+            let _ = ssd.service(&cmd, Nanos::ZERO);
+        }
+        let mut total = Nanos::ZERO;
+        let t0 = Nanos::from_millis(10);
+        for p in 0..256u64 {
+            let cmd = NvmeCommand::read(1, (p * 37) % 256, 4096, PrpList::single(0));
+            let done = ssd.service(&cmd, t0).unwrap();
+            total += done.finished_at - t0;
+        }
+        total.as_micros_f64() / 256.0
+    };
+    (measure(true), measure(false))
+}
+
+/// hams-LE throughput with and without the SSD-internal DRAM, plus the
+/// persist-mode variant, on a write-heavy workload.
+fn hams_ablation() -> Vec<(String, f64)> {
+    let scale = bench_scale();
+    let spec = WorkloadSpec::by_name("rndWr").unwrap();
+    let nvdimm_bytes = scale.cache_bytes();
+    let build = |label: &str, dram: u64, persist: PersistMode| {
+        let base = HamsConfig::loose(persist);
+        let mut ssd = base.ssd;
+        ssd.dram_capacity_bytes = dram;
+        let config = HamsConfig {
+            nvdimm: NvdimmConfig {
+                capacity_bytes: nvdimm_bytes,
+                ..NvdimmConfig::hpe_8gb()
+            },
+            pinned: PinnedRegionLayout::tiny_for_tests(),
+            ssd,
+            ..base
+        }
+        .with_mos_page_size(4096);
+        let mut platform = HamsPlatform::from_config(config);
+        let m = run_workload(&mut platform, spec, &scale);
+        (label.to_owned(), m.pages_per_sec)
+    };
+    vec![
+        build("loose + SSD DRAM + extend", scale.ssd_dram_bytes(), PersistMode::Extend),
+        build("loose + no SSD DRAM + extend", 0, PersistMode::Extend),
+        build("loose + SSD DRAM + persist", scale.ssd_dram_bytes(), PersistMode::Persist),
+    ]
+}
+
+fn bench(c: &mut Criterion) {
+    let (striped, unstriped) = striping_ablation();
+    println!("=== Ablation: ULL-Flash half-page channel striping ===");
+    println!("striped 4KB read   : {striped:.2} us");
+    println!("unstriped 4KB read : {unstriped:.2} us");
+    println!();
+
+    println!("=== Ablation: SSD-internal DRAM and persist mode (hams-L, rndWr) ===");
+    for (label, pages) in hams_ablation() {
+        println!("{label:<32} {pages:>12.0} pages/s");
+    }
+    println!();
+
+    // Also show the attach-mode ablation through the standard platforms.
+    let scale = bench_scale();
+    let spec = WorkloadSpec::by_name("rndWr").unwrap();
+    println!("=== Ablation: attach mode (extend, rndWr) ===");
+    for (label, attach) in [("loose (PCIe)", AttachMode::Loose), ("tight (DDR4)", AttachMode::Tight)] {
+        let mut platform = HamsPlatform::scaled(attach, PersistMode::Extend, scale.cache_bytes());
+        let m = run_workload(&mut platform, spec, &scale);
+        println!("{label:<16} {:>12.0} pages/s", m.pages_per_sec);
+    }
+    println!();
+
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    group.bench_function("striping", |b| b.iter(striping_ablation));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Fig. 5 — ULL-Flash vs NVMe SSD: 4 KB latency, latency and bandwidth
+//! versus I/O queue depth.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hams_bench::{fig05_device_characterization, fig05a_4kb_access, print_rows};
+
+fn bench(c: &mut Criterion) {
+    let (ddr_r, ddr_w, ull_r, ull_w) = fig05a_4kb_access();
+    println!("=== Figure 5a: 4KB access latency (us) ===");
+    println!("DDR4 read={ddr_r:.2} write={ddr_w:.2}  ULL read={ull_r:.2} write={ull_w:.2}");
+    println!();
+    let rows = fig05_device_characterization(&[1, 2, 4, 8, 16, 32], 400);
+    print_rows("Figure 5b/5c: latency and bandwidth vs I/O depth", &rows);
+
+    let mut group = c.benchmark_group("fig05");
+    group.sample_size(10);
+    group.bench_function("device_characterization_qd8", |b| {
+        b.iter(|| fig05_device_characterization(&[8], 100))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

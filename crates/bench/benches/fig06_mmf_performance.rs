@@ -1,0 +1,20 @@
+//! Fig. 6 — MMF-based system performance with SATA, NVMe and ULL-Flash SSDs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hams_bench::{bench_scale, fig06_mmf_performance, print_rows};
+
+fn bench(c: &mut Criterion) {
+    let scale = bench_scale();
+    let rows = fig06_mmf_performance(&scale, &["seqRd", "rndRd", "seqWr", "rndWr", "rndSel", "update"]);
+    print_rows("Figure 6: MMF system performance per SSD", &rows);
+
+    let mut group = c.benchmark_group("fig06");
+    group.sample_size(10);
+    group.bench_function("mmf_rndRd", |b| {
+        b.iter(|| fig06_mmf_performance(&scale, &["rndRd"]))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Fig. 10a — the DMA-interface share of baseline-HAMS memory access time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hams_bench::{bench_scale, fig10_dma_overhead, print_rows};
+
+const WORKLOADS: &[&str] = &["rndRd", "rndWr", "seqRd", "seqWr", "rndIns", "seqIns", "update", "rndSel", "seqSel"];
+
+fn bench(c: &mut Criterion) {
+    let scale = bench_scale();
+    let rows = fig10_dma_overhead(&scale, WORKLOADS);
+    print_rows("Figure 10a: DMA share of hams-L memory delay", &rows);
+
+    let mut group = c.benchmark_group("fig10");
+    group.sample_size(10);
+    group.bench_function("dma_overhead_rndWr", |b| {
+        b.iter(|| fig10_dma_overhead(&scale, &["rndWr"]))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

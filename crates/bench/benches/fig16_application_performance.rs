@@ -1,0 +1,31 @@
+//! Fig. 16 — application performance of all eleven platforms.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hams_bench::{bench_scale, fig16_application_performance, print_rows};
+use hams_platforms::PlatformKind;
+
+fn bench(c: &mut Criterion) {
+    let scale = bench_scale();
+    let rows = fig16_application_performance(
+        &scale,
+        &PlatformKind::all(),
+        &["seqRd", "rndRd", "seqWr", "rndWr", "BFS", "KMN", "NN", "seqSel", "rndSel", "seqIns", "rndIns", "update"],
+    );
+    print_rows("Figure 16: application performance", &rows);
+
+    let mut group = c.benchmark_group("fig16");
+    group.sample_size(10);
+    group.bench_function("hams_te_vs_mmap_rndWr", |b| {
+        b.iter(|| {
+            fig16_application_performance(
+                &scale,
+                &[PlatformKind::Mmap, PlatformKind::HamsTE],
+                &["rndWr"],
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

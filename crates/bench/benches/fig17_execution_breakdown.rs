@@ -1,0 +1,24 @@
+//! Fig. 17 — system-level execution-time breakdown (mmap vs HAMS modes).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hams_bench::{bench_scale, fig17_execution_breakdown, print_rows};
+
+const WORKLOADS: &[&str] = &["seqRd", "rndRd", "seqWr", "rndWr", "BFS", "KMN", "NN", "seqSel", "rndSel", "seqIns", "rndIns", "update"];
+
+fn bench(c: &mut Criterion) {
+    let scale = bench_scale();
+    for w in WORKLOADS {
+        let rows = fig17_execution_breakdown(&scale, w);
+        print_rows(&format!("Figure 17: execution breakdown ({w})"), &rows);
+    }
+
+    let mut group = c.benchmark_group("fig17");
+    group.sample_size(10);
+    group.bench_function("execution_breakdown_rndWr", |b| {
+        b.iter(|| fig17_execution_breakdown(&scale, "rndWr"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Fig. 18 — memory access delay breakdown across the HAMS modes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hams_bench::{bench_scale, fig18_memory_delay, print_rows};
+
+const WORKLOADS: &[&str] = &["seqRd", "rndRd", "seqWr", "rndWr", "BFS", "KMN", "NN", "seqSel", "rndSel", "seqIns", "rndIns", "update"];
+
+fn bench(c: &mut Criterion) {
+    let scale = bench_scale();
+    for w in WORKLOADS {
+        let rows = fig18_memory_delay(&scale, w);
+        print_rows(&format!("Figure 18: memory delay breakdown ({w})"), &rows);
+    }
+
+    let mut group = c.benchmark_group("fig18");
+    group.sample_size(10);
+    group.bench_function("memory_delay_rndWr", |b| {
+        b.iter(|| fig18_memory_delay(&scale, "rndWr"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

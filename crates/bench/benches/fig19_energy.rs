@@ -1,0 +1,24 @@
+//! Fig. 19 — whole-system energy breakdown normalised to mmap.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hams_bench::{bench_scale, fig19_energy, print_rows};
+
+const WORKLOADS: &[&str] = &["seqRd", "rndRd", "seqWr", "rndWr", "BFS", "KMN", "NN", "seqSel", "rndSel", "seqIns", "rndIns", "update"];
+
+fn bench(c: &mut Criterion) {
+    let scale = bench_scale();
+    for w in WORKLOADS {
+        let rows = fig19_energy(&scale, w);
+        print_rows(&format!("Figure 19: energy breakdown ({w})"), &rows);
+    }
+
+    let mut group = c.benchmark_group("fig19");
+    group.sample_size(10);
+    group.bench_function("energy_rndWr", |b| {
+        b.iter(|| fig19_energy(&scale, "rndWr"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

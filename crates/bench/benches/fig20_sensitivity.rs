@@ -1,0 +1,27 @@
+//! Fig. 20 — sensitivity to MoS page size and to larger memory footprints.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hams_bench::{bench_scale, fig20a_page_sizes, fig20b_large_footprint, print_rows};
+
+const PAGE_SIZES: &[u64] = &[4096, 16 * 1024, 64 * 1024, 128 * 1024, 256 * 1024, 1024 * 1024];
+const WORKLOADS: &[&str] = &["seqSel", "rndSel", "seqIns", "rndIns", "update"];
+
+fn bench(c: &mut Criterion) {
+    let scale = bench_scale();
+    for w in WORKLOADS {
+        let rows = fig20a_page_sizes(&scale, w, PAGE_SIZES);
+        print_rows(&format!("Figure 20a: page-size sensitivity ({w})"), &rows);
+        let rows = fig20b_large_footprint(&scale, w);
+        print_rows(&format!("Figure 20b: 4x footprint ({w})"), &rows);
+    }
+
+    let mut group = c.benchmark_group("fig20");
+    group.sample_size(10);
+    group.bench_function("page_size_sweep_rndSel", |b| {
+        b.iter(|| fig20a_page_sizes(&scale, "rndSel", &[4096, 128 * 1024]))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,131 @@
+//! `figures` — regenerates every table and figure of the paper from the
+//! command line.
+//!
+//! Usage: `cargo run -p hams-bench --release --bin figures [-- <id> ...]`
+//! where `<id>` is one of `table1 table2 table3 fig5 fig6 fig7 fig10 fig16
+//! fig17 fig18 fig19 fig20`; with no arguments every artefact is produced.
+
+use hams_bench::*;
+use hams_platforms::{feature_table, paper_config, PlatformKind};
+use hams_workloads::WorkloadSpec;
+
+const ALL: &[&str] = &[
+    "table1", "table2", "table3", "fig5", "fig6", "fig7", "fig10", "fig16", "fig17", "fig18",
+    "fig19", "fig20",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let selected: Vec<&str> = if args.is_empty() {
+        ALL.to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    let scale = figures_scale();
+    let micro_rodinia = ["seqRd", "rndRd", "seqWr", "rndWr", "BFS", "KMN", "NN"];
+    let sqlite = ["seqSel", "rndSel", "seqIns", "rndIns", "update"];
+    let nine = ["rndRd", "rndWr", "seqRd", "seqWr", "rndIns", "seqIns", "update", "rndSel", "seqSel"];
+
+    for id in selected {
+        match id {
+            "table1" => {
+                println!("=== Table I: feature comparison ===");
+                for row in feature_table() {
+                    println!(
+                        "{:<9} capacity={:<6} OS-intervention={:<5} perf={:<10} byte-addressable={}",
+                        row.name, row.capacity, row.os_intervention, row.performance, row.byte_addressable
+                    );
+                }
+                println!();
+            }
+            "table2" => {
+                let c = paper_config();
+                println!("=== Table II: simulated system configuration ===");
+                println!("OS      : {}", c.os);
+                println!("CPU     : {}", c.cpu);
+                println!("Cache   : {}", c.cache);
+                println!("Memory  : {}", c.memory);
+                println!("Storage : {}", c.storage);
+                println!("Flash   : {}", c.flash);
+                println!();
+            }
+            "table3" => {
+                println!("=== Table III: workload characteristics ===");
+                for w in WorkloadSpec::table3() {
+                    println!(
+                        "{:<8} inst={:>13} load={:.2} store={:.2} dataset={:>6.1}GB",
+                        w.name,
+                        w.total_instructions,
+                        w.load_ratio,
+                        w.store_ratio,
+                        w.dataset_bytes as f64 / 1e9
+                    );
+                }
+                println!();
+            }
+            "fig5" => {
+                let (ddr_r, ddr_w, ull_r, ull_w) = fig05a_4kb_access();
+                println!("=== Figure 5a: 4KB access latency (us) ===");
+                println!("DDR4 read={ddr_r:.2} write={ddr_w:.2}  ULL read={ull_r:.2} write={ull_w:.2}\n");
+                let rows = fig05_device_characterization(&[1, 2, 4, 8, 16, 32], 600);
+                print_rows("Figure 5b/5c: latency and bandwidth vs I/O depth", &rows);
+            }
+            "fig6" => {
+                let rows = fig06_mmf_performance(
+                    &scale,
+                    &["seqRd", "rndRd", "seqWr", "rndWr", "seqSel", "rndSel", "seqIns", "rndIns", "update"],
+                );
+                print_rows("Figure 6: MMF system performance per SSD", &rows);
+            }
+            "fig7" => {
+                print_rows(
+                    "Figure 7a: MMF execution breakdown",
+                    &fig07a_software_overheads(&scale, &nine),
+                );
+                print_rows("Figure 7b: bypass IPC", &fig07b_bypass_ipc(&scale, &nine));
+            }
+            "fig10" => {
+                print_rows("Figure 10a: DMA overhead", &fig10_dma_overhead(&scale, &nine));
+            }
+            "fig16" => {
+                let rows = fig16_application_performance(
+                    &scale,
+                    &PlatformKind::all(),
+                    &micro_rodinia.iter().chain(sqlite.iter()).copied().collect::<Vec<_>>(),
+                );
+                print_rows("Figure 16: application performance", &rows);
+            }
+            "fig17" => {
+                for w in micro_rodinia.iter().chain(sqlite.iter()) {
+                    print_rows(
+                        &format!("Figure 17: execution breakdown ({w})"),
+                        &fig17_execution_breakdown(&scale, w),
+                    );
+                }
+            }
+            "fig18" => {
+                for w in micro_rodinia.iter().chain(sqlite.iter()) {
+                    print_rows(
+                        &format!("Figure 18: memory delay breakdown ({w})"),
+                        &fig18_memory_delay(&scale, w),
+                    );
+                }
+            }
+            "fig19" => {
+                for w in micro_rodinia.iter().chain(sqlite.iter()) {
+                    print_rows(&format!("Figure 19: energy breakdown ({w})"), &fig19_energy(&scale, w));
+                }
+            }
+            "fig20" => {
+                for w in &sqlite {
+                    print_rows(
+                        &format!("Figure 20a: page-size sensitivity ({w})"),
+                        &fig20a_page_sizes(&scale, w, &[4096, 16 * 1024, 64 * 1024, 128 * 1024, 256 * 1024, 1024 * 1024]),
+                    );
+                    print_rows(&format!("Figure 20b: 4x footprint ({w})"), &fig20b_large_footprint(&scale, w));
+                }
+            }
+            other => eprintln!("unknown figure id: {other}"),
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! HAMS controller configuration: attach mode, persistence mode, MoS page
+//! size and the component configurations the controller composes.
+
+use hams_flash::SsdConfig;
+use hams_nvdimm::{NvdimmConfig, PinnedRegionLayout};
+use hams_sim::Nanos;
+use serde::{Deserialize, Serialize};
+
+/// How ULL-Flash is attached to the HAMS controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AttachMode {
+    /// Baseline HAMS (`hams-L`): ULL-Flash sits behind the PCIe root complex;
+    /// every cache miss crosses PCIe 3.0 x4 and the SSD keeps its internal
+    /// DRAM.
+    Loose,
+    /// Advanced HAMS (`hams-T`): the ULL-Flash NVMe controller is attached to
+    /// the DDR4 bus through the register interface and lock register; the
+    /// SSD-internal DRAM is removed.
+    Tight,
+}
+
+/// How the MoS address space treats persistency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PersistMode {
+    /// Persist mode (`-P`): force-unit-access on every flash write and at most
+    /// one outstanding NVMe command, trading throughput for the strongest
+    /// write-through persistence.
+    Persist,
+    /// Extend mode (`-E`): full NVMe queue parallelism; persistency is
+    /// guaranteed by NVDIMM non-volatility, SSD super-capacitors and the
+    /// journal-tag recovery of §V-C.
+    Extend,
+}
+
+/// Complete configuration of a HAMS controller instance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HamsConfig {
+    /// Flash attach mode (loose = baseline, tight = advanced).
+    pub attach: AttachMode,
+    /// Persistence mode.
+    pub persist: PersistMode,
+    /// MoS page size: the granularity of the NVDIMM cache and of data
+    /// movement between NVDIMM and ULL-Flash. Table II uses 128 KB.
+    pub mos_page_size: u64,
+    /// NVDIMM module used as the inclusive cache.
+    pub nvdimm: NvdimmConfig,
+    /// ULL-Flash archive configuration.
+    pub ssd: SsdConfig,
+    /// Layout of the pinned, MMU-invisible metadata region.
+    pub pinned: PinnedRegionLayout,
+    /// Depth of the single I/O queue pair managed by the NVMe engine.
+    pub queue_depth: usize,
+    /// Fixed latency of the HAMS cache-logic pipeline per request (tag
+    /// compare, command composition).
+    pub controller_overhead: Nanos,
+    /// Latency of submitting one command over the loose path (doorbell write
+    /// and BAR access across PCIe).
+    pub pcie_command_overhead: Nanos,
+}
+
+impl HamsConfig {
+    /// The paper's loosely-coupled configuration (`hams-L*`): 8 GB NVDIMM
+    /// cache, 800 GB ULL-Flash with super-capacitors over PCIe 3.0 x4,
+    /// 128 KB MoS pages.
+    #[must_use]
+    pub fn loose(persist: PersistMode) -> Self {
+        HamsConfig {
+            attach: AttachMode::Loose,
+            persist,
+            mos_page_size: 128 * 1024,
+            nvdimm: NvdimmConfig::hpe_8gb(),
+            ssd: SsdConfig::ull_flash_supercap(),
+            pinned: PinnedRegionLayout::paper_default(),
+            queue_depth: 1024,
+            controller_overhead: Nanos::from_nanos(20),
+            pcie_command_overhead: Nanos::from_nanos(600),
+        }
+    }
+
+    /// The paper's tightly-integrated configuration (`hams-T*`): the DRAM-less
+    /// ULL-Flash on the DDR4 bus behind the register interface.
+    #[must_use]
+    pub fn tight(persist: PersistMode) -> Self {
+        HamsConfig {
+            attach: AttachMode::Tight,
+            ssd: SsdConfig::ull_flash_without_dram(),
+            ..Self::loose(persist)
+        }
+    }
+
+    /// A scaled-down configuration for unit tests: an 8 MB NVDIMM cache in
+    /// front of a ~2 GB flash archive with 4 KB MoS pages, so misses and
+    /// evictions happen quickly.
+    #[must_use]
+    pub fn tiny_for_tests(attach: AttachMode, persist: PersistMode) -> Self {
+        // A small-but-not-toy flash geometry: much larger than the NVDIMM so
+        // set conflicts (and therefore evictions) actually occur.
+        let geometry = hams_flash::FlashGeometry {
+            channels: 4,
+            packages_per_channel: 2,
+            dies_per_package: 2,
+            planes_per_die: 2,
+            blocks_per_plane: 128,
+            pages_per_block: 128,
+            page_size: 4096,
+        };
+        let mut ssd = hams_flash::SsdConfig {
+            geometry,
+            ..hams_flash::SsdConfig::tiny_for_tests()
+        };
+        ssd.supercap_backed = true;
+        if attach == AttachMode::Tight {
+            ssd.dram_capacity_bytes = 0;
+        }
+        HamsConfig {
+            attach,
+            persist,
+            mos_page_size: 4096,
+            nvdimm: NvdimmConfig {
+                capacity_bytes: 8 * 1024 * 1024,
+                ..NvdimmConfig::tiny_for_tests()
+            },
+            ssd,
+            pinned: PinnedRegionLayout::tiny_for_tests(),
+            queue_depth: 64,
+            controller_overhead: Nanos::from_nanos(20),
+            pcie_command_overhead: Nanos::from_nanos(600),
+        }
+    }
+
+    /// Changes the MoS page size (builder style), as swept by Fig. 20a.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero or not a multiple of 4 KB.
+    #[must_use]
+    pub fn with_mos_page_size(mut self, size: u64) -> Self {
+        assert!(size > 0 && size % 4096 == 0, "MoS page size must be a positive multiple of 4 KB");
+        self.mos_page_size = size;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_their_modes() {
+        let lp = HamsConfig::loose(PersistMode::Persist);
+        assert_eq!(lp.attach, AttachMode::Loose);
+        assert_eq!(lp.persist, PersistMode::Persist);
+        assert!(lp.ssd.dram_capacity_bytes > 0);
+        assert!(lp.ssd.supercap_backed);
+
+        let te = HamsConfig::tight(PersistMode::Extend);
+        assert_eq!(te.attach, AttachMode::Tight);
+        assert_eq!(te.ssd.dram_capacity_bytes, 0, "advanced HAMS removes the SSD DRAM");
+    }
+
+    #[test]
+    fn default_page_size_matches_table_2() {
+        assert_eq!(HamsConfig::loose(PersistMode::Extend).mos_page_size, 128 * 1024);
+    }
+
+    #[test]
+    fn page_size_builder_validates() {
+        let c = HamsConfig::loose(PersistMode::Extend).with_mos_page_size(4096);
+        assert_eq!(c.mos_page_size, 4096);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 4 KB")]
+    fn odd_page_size_panics() {
+        let _ = HamsConfig::loose(PersistMode::Extend).with_mos_page_size(1000);
+    }
+
+    #[test]
+    fn tiny_config_is_small_but_flash_dwarfs_nvdimm() {
+        let c = HamsConfig::tiny_for_tests(AttachMode::Loose, PersistMode::Extend);
+        assert!(c.nvdimm.capacity_bytes < 1 << 30);
+        assert_eq!(c.mos_page_size, 4096);
+        assert!(c.ssd.geometry.capacity_bytes() > c.nvdimm.capacity_bytes * 10);
+    }
+}

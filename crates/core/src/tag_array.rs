@@ -1,0 +1,370 @@
+//! The MoS tag-array: a direct-mapped cache directory kept alongside ECC in
+//! each NVDIMM cache line (Fig. 11).
+//!
+//! Each entry carries the tag plus three state bits the paper calls out:
+//! *valid*, *dirty*, and the *busy* bit used for hazard avoidance (§IV-B,
+//! §V-B). The busy bit in this model additionally records *when* the
+//! in-flight operation completes, which is how the transaction-level
+//! simulation realises the wait queue.
+
+use hams_sim::Nanos;
+use serde::{Deserialize, Serialize};
+
+/// One directory entry of the MoS NVDIMM cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TagEntry {
+    /// Tag of the MoS page cached in this set (valid only if `valid`).
+    pub tag: u64,
+    /// Whether the entry holds a page.
+    pub valid: bool,
+    /// Whether the cached page has been modified since it was filled.
+    pub dirty: bool,
+    /// Whether an NVMe command (fill or eviction) involving this entry is in
+    /// flight; cleared when the HAMS NVMe engine sees the completion.
+    pub busy: bool,
+    /// Simulated time at which the in-flight operation completes (only
+    /// meaningful while `busy`).
+    pub busy_until: Nanos,
+}
+
+impl TagEntry {
+    const EMPTY: TagEntry = TagEntry {
+        tag: 0,
+        valid: false,
+        dirty: false,
+        busy: false,
+        busy_until: Nanos::ZERO,
+    };
+}
+
+/// Result of probing the tag array for a MoS page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TagProbe {
+    /// The page is cached in NVDIMM.
+    Hit,
+    /// The set is empty: fill without eviction.
+    MissEmpty,
+    /// The set holds a clean page that can be silently replaced.
+    MissClean {
+        /// MoS page number of the page being replaced.
+        victim_page: u64,
+    },
+    /// The set holds a dirty page that must be evicted to ULL-Flash first.
+    MissDirty {
+        /// MoS page number of the dirty page to evict.
+        victim_page: u64,
+    },
+}
+
+/// Counters maintained by the tag array.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TagArrayStats {
+    /// Probe hits.
+    pub hits: u64,
+    /// Probe misses.
+    pub misses: u64,
+    /// Probes that found the target entry busy and had to wait.
+    pub busy_waits: u64,
+}
+
+impl TagArrayStats {
+    /// Hit rate in `[0, 1]`.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Direct-mapped MoS tag array.
+///
+/// # Example
+///
+/// ```
+/// use hams_core::{MosTagArray, TagProbe};
+///
+/// let mut tags = MosTagArray::new(4);
+/// assert_eq!(tags.probe(7), TagProbe::MissEmpty);
+/// tags.fill(7);
+/// assert_eq!(tags.probe(7), TagProbe::Hit);
+/// // Page 11 maps to the same set (11 % 4 == 7 % 4) and evicts page 7.
+/// assert_eq!(tags.probe(11), TagProbe::MissClean { victim_page: 7 });
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MosTagArray {
+    sets: Vec<TagEntry>,
+    stats: TagArrayStats,
+}
+
+impl MosTagArray {
+    /// Creates a tag array with `num_sets` direct-mapped sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_sets` is zero.
+    #[must_use]
+    pub fn new(num_sets: usize) -> Self {
+        assert!(num_sets > 0, "tag array needs at least one set");
+        MosTagArray {
+            sets: vec![TagEntry::EMPTY; num_sets],
+            stats: TagArrayStats::default(),
+        }
+    }
+
+    /// Number of sets (NVDIMM cache lines).
+    #[must_use]
+    pub fn num_sets(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Probe/miss counters.
+    #[must_use]
+    pub fn stats(&self) -> &TagArrayStats {
+        &self.stats
+    }
+
+    /// Set index of a MoS page number.
+    #[must_use]
+    pub fn index_of(&self, page: u64) -> usize {
+        (page % self.sets.len() as u64) as usize
+    }
+
+    /// Tag of a MoS page number.
+    #[must_use]
+    pub fn tag_of(&self, page: u64) -> u64 {
+        page / self.sets.len() as u64
+    }
+
+    /// MoS page number stored in a set, if valid.
+    #[must_use]
+    pub fn resident_page(&self, index: usize) -> Option<u64> {
+        let e = self.sets[index];
+        e.valid.then(|| e.tag * self.sets.len() as u64 + index as u64)
+    }
+
+    /// Read access to a set's entry.
+    #[must_use]
+    pub fn entry(&self, index: usize) -> &TagEntry {
+        &self.sets[index]
+    }
+
+    /// Probes for `page`, updating hit/miss statistics.
+    pub fn probe(&mut self, page: u64) -> TagProbe {
+        let idx = self.index_of(page);
+        let tag = self.tag_of(page);
+        let e = self.sets[idx];
+        if e.valid && e.tag == tag {
+            self.stats.hits += 1;
+            TagProbe::Hit
+        } else {
+            self.stats.misses += 1;
+            if !e.valid {
+                TagProbe::MissEmpty
+            } else {
+                let victim_page = e.tag * self.sets.len() as u64 + idx as u64;
+                if e.dirty {
+                    TagProbe::MissDirty { victim_page }
+                } else {
+                    TagProbe::MissClean { victim_page }
+                }
+            }
+        }
+    }
+
+    /// Checks whether the set that `page` maps to is busy at `now`; if so,
+    /// returns when it becomes free and records a wait.
+    pub fn busy_until(&mut self, page: u64, now: Nanos) -> Option<Nanos> {
+        let idx = self.index_of(page);
+        let e = &mut self.sets[idx];
+        if e.busy && e.busy_until > now {
+            self.stats.busy_waits += 1;
+            Some(e.busy_until)
+        } else {
+            if e.busy {
+                // The in-flight operation has completed by `now`.
+                e.busy = false;
+            }
+            None
+        }
+    }
+
+    /// Installs `page` in its set (clean, not busy). Returns the set index.
+    pub fn fill(&mut self, page: u64) -> usize {
+        let idx = self.index_of(page);
+        self.sets[idx] = TagEntry {
+            tag: self.tag_of(page),
+            valid: true,
+            dirty: false,
+            busy: false,
+            busy_until: Nanos::ZERO,
+        };
+        idx
+    }
+
+    /// Marks the cached copy of `page` dirty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is not currently cached — marking a non-resident page
+    /// dirty indicates a controller sequencing bug.
+    pub fn mark_dirty(&mut self, page: u64) {
+        let idx = self.index_of(page);
+        let tag = self.tag_of(page);
+        let e = &mut self.sets[idx];
+        assert!(
+            e.valid && e.tag == tag,
+            "mark_dirty on a page that is not cached"
+        );
+        e.dirty = true;
+    }
+
+    /// Marks the cached copy of `page` clean (its eviction write-back has
+    /// durably completed).
+    pub fn mark_clean(&mut self, page: u64) {
+        let idx = self.index_of(page);
+        let tag = self.tag_of(page);
+        let e = &mut self.sets[idx];
+        if e.valid && e.tag == tag {
+            e.dirty = false;
+        }
+    }
+
+    /// Sets the busy bit on the set `page` maps to, recording the completion
+    /// time of the in-flight operation.
+    pub fn set_busy(&mut self, page: u64, until: Nanos) {
+        let idx = self.index_of(page);
+        let e = &mut self.sets[idx];
+        e.busy = true;
+        e.busy_until = e.busy_until.max(until);
+    }
+
+    /// Clears the busy bit on the set `page` maps to.
+    pub fn clear_busy(&mut self, page: u64) {
+        let idx = self.index_of(page);
+        self.sets[idx].busy = false;
+    }
+
+    /// Invalidates the set `page` maps to (regardless of which page it held).
+    pub fn invalidate(&mut self, page: u64) {
+        let idx = self.index_of(page);
+        self.sets[idx] = TagEntry::EMPTY;
+    }
+
+    /// Iterates over all valid (resident) MoS page numbers.
+    pub fn resident_pages(&self) -> impl Iterator<Item = u64> + '_ {
+        self.sets
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.valid)
+            .map(move |(i, e)| e.tag * self.sets.len() as u64 + i as u64)
+    }
+
+    /// Iterates over all valid *dirty* MoS page numbers.
+    pub fn dirty_pages(&self) -> impl Iterator<Item = u64> + '_ {
+        self.sets
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.valid && e.dirty)
+            .map(move |(i, e)| e.tag * self.sets.len() as u64 + i as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_classifies_all_cases() {
+        let mut t = MosTagArray::new(4);
+        assert_eq!(t.probe(2), TagProbe::MissEmpty);
+        t.fill(2);
+        assert_eq!(t.probe(2), TagProbe::Hit);
+        // 6 maps to set 2 as well; resident page 2 is clean.
+        assert_eq!(t.probe(6), TagProbe::MissClean { victim_page: 2 });
+        t.mark_dirty(2);
+        assert_eq!(t.probe(6), TagProbe::MissDirty { victim_page: 2 });
+    }
+
+    #[test]
+    fn fill_replaces_and_resets_state() {
+        let mut t = MosTagArray::new(4);
+        t.fill(2);
+        t.mark_dirty(2);
+        t.fill(6);
+        assert_eq!(t.probe(6), TagProbe::Hit);
+        assert!(!t.entry(2).dirty, "fill must reset the dirty bit");
+        assert_eq!(t.resident_page(2), Some(6));
+    }
+
+    #[test]
+    fn hit_rate_accumulates() {
+        let mut t = MosTagArray::new(8);
+        t.fill(1);
+        for _ in 0..9 {
+            t.probe(1);
+        }
+        t.probe(100);
+        assert!((t.stats().hit_rate() - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn busy_bit_reports_wait_until_completion() {
+        let mut t = MosTagArray::new(4);
+        t.fill(3);
+        t.set_busy(3, Nanos::from_micros(10));
+        assert_eq!(t.busy_until(3, Nanos::from_micros(1)), Some(Nanos::from_micros(10)));
+        assert_eq!(t.stats().busy_waits, 1);
+        // After the completion time the busy bit self-clears.
+        assert_eq!(t.busy_until(3, Nanos::from_micros(11)), None);
+        assert!(!t.entry(3).busy);
+    }
+
+    #[test]
+    fn set_busy_keeps_the_latest_completion() {
+        let mut t = MosTagArray::new(4);
+        t.set_busy(0, Nanos::from_micros(5));
+        t.set_busy(0, Nanos::from_micros(2));
+        assert_eq!(t.busy_until(0, Nanos::ZERO), Some(Nanos::from_micros(5)));
+        t.clear_busy(0);
+        assert_eq!(t.busy_until(0, Nanos::ZERO), None);
+    }
+
+    #[test]
+    fn dirty_and_resident_iterators() {
+        let mut t = MosTagArray::new(8);
+        t.fill(1);
+        t.fill(2);
+        t.mark_dirty(2);
+        let resident: Vec<u64> = t.resident_pages().collect();
+        let dirty: Vec<u64> = t.dirty_pages().collect();
+        assert_eq!(resident, vec![1, 2]);
+        assert_eq!(dirty, vec![2]);
+        t.mark_clean(2);
+        assert_eq!(t.dirty_pages().count(), 0);
+    }
+
+    #[test]
+    fn invalidate_empties_the_set() {
+        let mut t = MosTagArray::new(4);
+        t.fill(5);
+        t.invalidate(5);
+        assert_eq!(t.probe(5), TagProbe::MissEmpty);
+    }
+
+    #[test]
+    #[should_panic(expected = "not cached")]
+    fn marking_uncached_page_dirty_panics() {
+        let mut t = MosTagArray::new(4);
+        t.mark_dirty(9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one set")]
+    fn zero_sets_panics() {
+        let _ = MosTagArray::new(0);
+    }
+}

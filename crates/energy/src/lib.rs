@@ -1,0 +1,230 @@
+//! Energy accounting for the HAMS reproduction (Fig. 19).
+//!
+//! The paper reports whole-system energy split into CPU, system memory
+//! (NVDIMM), SSD-internal DRAM and Z-NAND, normalised to the `mmap` baseline.
+//! This crate provides the per-component power/energy parameters
+//! ([`PowerParams`]) and an accumulator ([`EnergyAccount`]) the platform
+//! runner feeds as it executes a workload.
+//!
+//! # Example
+//!
+//! ```
+//! use hams_energy::{EnergyAccount, PowerParams};
+//! use hams_sim::Nanos;
+//!
+//! let p = PowerParams::paper_default();
+//! let mut acct = EnergyAccount::new();
+//! acct.add_power("cpu", p.cpu_active_watts, Nanos::from_millis(10));
+//! acct.add("znand", p.znand_read_page_nj * 3.0 / 1e9);
+//! assert!(acct.total_joules() > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use hams_sim::Nanos;
+use serde::{Deserialize, Serialize};
+
+/// Per-component power and per-event energy parameters.
+///
+/// Values are derived from the sources the paper cites (MICRON DDR4 power
+/// calculator, NAND datasheets, McPAT) at the granularity the reproduction
+/// needs: active/idle power for time-proportional components and per-event
+/// energy for access-proportional ones.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerParams {
+    /// CPU package power while executing.
+    pub cpu_active_watts: f64,
+    /// CPU package power while stalled/idle.
+    pub cpu_idle_watts: f64,
+    /// NVDIMM (or DRAM) background power per module.
+    pub nvdimm_background_watts: f64,
+    /// Energy per byte moved to/from the NVDIMM array (nanojoules).
+    pub nvdimm_access_nj_per_byte: f64,
+    /// SSD-internal DRAM background power (the paper notes it needs 17 % more
+    /// power than a 32-chip flash complex).
+    pub ssd_dram_background_watts: f64,
+    /// Energy per byte moved through the SSD-internal DRAM (nanojoules).
+    pub ssd_dram_access_nj_per_byte: f64,
+    /// Energy of one Z-NAND page read (nanojoules).
+    pub znand_read_page_nj: f64,
+    /// Energy of one Z-NAND page program (nanojoules).
+    pub znand_program_page_nj: f64,
+    /// Energy per byte moved over PCIe (nanojoules).
+    pub pcie_nj_per_byte: f64,
+    /// Energy per byte moved over a DDR4 channel (nanojoules).
+    pub ddr4_nj_per_byte: f64,
+}
+
+impl PowerParams {
+    /// Parameters used for every experiment in the reproduction.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        PowerParams {
+            cpu_active_watts: 12.0,
+            cpu_idle_watts: 4.0,
+            nvdimm_background_watts: 1.5,
+            nvdimm_access_nj_per_byte: 0.12,
+            ssd_dram_background_watts: 1.4,
+            ssd_dram_access_nj_per_byte: 0.15,
+            znand_read_page_nj: 2_500.0,
+            znand_program_page_nj: 18_000.0,
+            pcie_nj_per_byte: 0.06,
+            ddr4_nj_per_byte: 0.02,
+        }
+    }
+}
+
+/// Per-component energy accumulator (joules).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyAccount {
+    components: BTreeMap<String, f64>,
+}
+
+impl EnergyAccount {
+    /// Creates an empty account.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `joules` to component `name`.
+    pub fn add(&mut self, name: impl Into<String>, joules: f64) {
+        if joules <= 0.0 || !joules.is_finite() {
+            return;
+        }
+        *self.components.entry(name.into()).or_insert(0.0) += joules;
+    }
+
+    /// Adds the energy of running `name` at `watts` for `duration`.
+    pub fn add_power(&mut self, name: impl Into<String>, watts: f64, duration: Nanos) {
+        self.add(name, watts * duration.as_secs_f64());
+    }
+
+    /// Energy of component `name`, or zero if absent.
+    #[must_use]
+    pub fn component_joules(&self, name: &str) -> f64 {
+        self.components.get(name).copied().unwrap_or(0.0)
+    }
+
+    /// Total energy across all components.
+    #[must_use]
+    pub fn total_joules(&self) -> f64 {
+        self.components.values().sum()
+    }
+
+    /// Component `name` as a fraction of the total (0 when the total is 0).
+    #[must_use]
+    pub fn fraction(&self, name: &str) -> f64 {
+        let total = self.total_joules();
+        if total <= 0.0 {
+            0.0
+        } else {
+            self.component_joules(name) / total
+        }
+    }
+
+    /// Iterates over `(component, joules)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.components.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Merges another account into this one.
+    pub fn merge(&mut self, other: &EnergyAccount) {
+        for (name, j) in other.iter() {
+            self.add(name, j);
+        }
+    }
+
+    /// This account's total normalised to another account's total
+    /// (the y-axis of Fig. 19). Returns 0 when the reference total is 0.
+    #[must_use]
+    pub fn normalized_to(&self, reference: &EnergyAccount) -> f64 {
+        let r = reference.total_joules();
+        if r <= 0.0 {
+            0.0
+        } else {
+            self.total_joules() / r
+        }
+    }
+}
+
+impl fmt::Display for EnergyAccount {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "total={:.3e}J", self.total_joules())?;
+        for (name, j) in self.iter() {
+            write!(f, " {name}={j:.3e}J")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_integration_over_time() {
+        let mut a = EnergyAccount::new();
+        a.add_power("cpu", 10.0, Nanos::from_secs(2));
+        assert!((a.component_joules("cpu") - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_and_nan_energy_is_ignored() {
+        let mut a = EnergyAccount::new();
+        a.add("x", -5.0);
+        a.add("x", f64::NAN);
+        assert_eq!(a.total_joules(), 0.0);
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let mut a = EnergyAccount::new();
+        a.add("cpu", 3.0);
+        a.add("nvdimm", 1.0);
+        let sum: f64 = ["cpu", "nvdimm"].iter().map(|n| a.fraction(n)).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert_eq!(a.fraction("missing"), 0.0);
+    }
+
+    #[test]
+    fn normalization_against_reference() {
+        let mut mmap = EnergyAccount::new();
+        mmap.add("cpu", 10.0);
+        let mut hams = EnergyAccount::new();
+        hams.add("cpu", 6.0);
+        assert!((hams.normalized_to(&mmap) - 0.6).abs() < 1e-12);
+        assert_eq!(hams.normalized_to(&EnergyAccount::new()), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates_components() {
+        let mut a = EnergyAccount::new();
+        a.add("cpu", 1.0);
+        let mut b = EnergyAccount::new();
+        b.add("cpu", 2.0);
+        b.add("znand", 4.0);
+        a.merge(&b);
+        assert!((a.component_joules("cpu") - 3.0).abs() < 1e-12);
+        assert!((a.total_joules() - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_params_are_positive_and_ordered() {
+        let p = PowerParams::paper_default();
+        assert!(p.cpu_active_watts > p.cpu_idle_watts);
+        assert!(p.znand_program_page_nj > p.znand_read_page_nj);
+        assert!(p.pcie_nj_per_byte > p.ddr4_nj_per_byte);
+    }
+
+    #[test]
+    fn display_lists_components() {
+        let mut a = EnergyAccount::new();
+        a.add("cpu", 1.0);
+        assert!(a.to_string().contains("cpu"));
+    }
+}

@@ -1,0 +1,131 @@
+//! NAND timing parameters.
+//!
+//! The paper's headline device numbers: Z-NAND reads in 3 µs and programs in
+//! 100 µs — 15× and 7× faster than conventional V-NAND (§II-C) — and the
+//! firmware/interface overhead brings user-visible 4 KB latency to 8 µs
+//! (read) / 10 µs (write) at queue depth 1 (§III-A).
+
+use hams_sim::Nanos;
+use serde::{Deserialize, Serialize};
+
+/// Timing parameters of a flash medium plus its on-device firmware path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NandTiming {
+    /// Array read time (tR): sensing a page into the plane register.
+    pub read: Nanos,
+    /// Array program time (tPROG): committing a page from the register.
+    pub program: Nanos,
+    /// Block erase time (tBERS).
+    pub erase: Nanos,
+    /// Time to move one flash page across the channel bus to/from the
+    /// controller (ONFI/toggle transfer of `page_size` bytes).
+    pub channel_transfer: Nanos,
+    /// Firmware time spent in the host interface layer per command
+    /// (NVMe parse, queue bookkeeping, sub-request split).
+    pub hil_overhead: Nanos,
+    /// Firmware time spent in the FTL per sub-request (mapping lookup/update).
+    pub ftl_overhead: Nanos,
+}
+
+impl NandTiming {
+    /// Z-NAND (single-level 3D V-NAND) timing: 3 µs read, 100 µs program.
+    #[must_use]
+    pub fn z_nand() -> Self {
+        NandTiming {
+            read: Nanos::from_micros(3),
+            program: Nanos::from_micros(100),
+            erase: Nanos::from_millis(1),
+            channel_transfer: Nanos::from_nanos(3_300), // ~1.2 GB/s per channel for 4 KB
+            hil_overhead: Nanos::from_nanos(1_500),
+            ftl_overhead: Nanos::from_nanos(500),
+        }
+    }
+
+    /// Conventional TLC V-NAND timing used by the Intel-750-class NVMe SSD:
+    /// 15× slower read, 7× slower program than Z-NAND.
+    #[must_use]
+    pub fn vnand_tlc() -> Self {
+        NandTiming {
+            read: Nanos::from_micros(45),
+            program: Nanos::from_micros(700),
+            erase: Nanos::from_millis(5),
+            channel_transfer: Nanos::from_nanos(6_600),
+            hil_overhead: Nanos::from_micros(4),
+            ftl_overhead: Nanos::from_micros(1),
+        }
+    }
+
+    /// MLC NAND behind a SATA interface (low-end comparison device).
+    #[must_use]
+    pub fn sata_mlc() -> Self {
+        NandTiming {
+            read: Nanos::from_micros(60),
+            program: Nanos::from_micros(900),
+            erase: Nanos::from_millis(6),
+            channel_transfer: Nanos::from_micros(10),
+            hil_overhead: Nanos::from_micros(20),
+            ftl_overhead: Nanos::from_micros(2),
+        }
+    }
+
+    /// Time to service an array operation of the given kind, excluding
+    /// channel transfer and firmware overheads.
+    #[must_use]
+    pub fn array_time(&self, op: FlashOp) -> Nanos {
+        match op {
+            FlashOp::Read => self.read,
+            FlashOp::Program => self.program,
+            FlashOp::Erase => self.erase,
+        }
+    }
+}
+
+/// The three primitive flash array operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FlashOp {
+    /// Page read (array sense).
+    Read,
+    /// Page program.
+    Program,
+    /// Block erase.
+    Erase,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn z_nand_matches_paper_numbers() {
+        let t = NandTiming::z_nand();
+        assert_eq!(t.read, Nanos::from_micros(3));
+        assert_eq!(t.program, Nanos::from_micros(100));
+    }
+
+    #[test]
+    fn z_nand_is_15x_and_7x_faster_than_vnand() {
+        let z = NandTiming::z_nand();
+        let v = NandTiming::vnand_tlc();
+        let read_ratio = v.read.as_nanos() as f64 / z.read.as_nanos() as f64;
+        let prog_ratio = v.program.as_nanos() as f64 / z.program.as_nanos() as f64;
+        assert!((read_ratio - 15.0).abs() < 1.0, "read ratio {read_ratio}");
+        assert!((prog_ratio - 7.0).abs() < 1.0, "program ratio {prog_ratio}");
+    }
+
+    #[test]
+    fn array_time_dispatch() {
+        let t = NandTiming::z_nand();
+        assert_eq!(t.array_time(FlashOp::Read), t.read);
+        assert_eq!(t.array_time(FlashOp::Program), t.program);
+        assert_eq!(t.array_time(FlashOp::Erase), t.erase);
+    }
+
+    #[test]
+    fn device_classes_are_ordered() {
+        let z = NandTiming::z_nand();
+        let v = NandTiming::vnand_tlc();
+        let s = NandTiming::sata_mlc();
+        assert!(z.read < v.read && v.read < s.read);
+        assert!(z.hil_overhead < v.hil_overhead && v.hil_overhead < s.hil_overhead);
+    }
+}

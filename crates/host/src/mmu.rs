@@ -1,0 +1,285 @@
+//! MMU, TLB and page-table model.
+//!
+//! The MMU is what HAMS serves: every load/store is translated, and — in the
+//! MMF baseline — a missing page triggers the whole page-fault / storage-stack
+//! path of §II-B. The model tracks which virtual pages are resident (in
+//! NVDIMM / DRAM) and charges TLB hits, TLB misses (page-table walks) and page
+//! faults separately.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use hams_sim::Nanos;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the TLB and page-walk costs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TlbConfig {
+    /// Number of TLB entries.
+    pub entries: usize,
+    /// Latency of a TLB hit.
+    pub hit_latency: Nanos,
+    /// Latency of a page-table walk on a TLB miss (a few memory accesses).
+    pub walk_latency: Nanos,
+}
+
+impl TlbConfig {
+    /// A typical 1536-entry second-level TLB with a ~100 ns walk.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        TlbConfig {
+            entries: 1536,
+            hit_latency: Nanos::from_nanos(1),
+            walk_latency: Nanos::from_nanos(100),
+        }
+    }
+
+    /// A tiny TLB for unit tests.
+    #[must_use]
+    pub fn tiny_for_tests() -> Self {
+        TlbConfig {
+            entries: 4,
+            hit_latency: Nanos::from_nanos(1),
+            walk_latency: Nanos::from_nanos(100),
+        }
+    }
+}
+
+/// The outcome of one MMU translation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Translation {
+    /// TLB hit and the page is resident.
+    TlbHit,
+    /// TLB miss, page-table walk succeeded (page resident).
+    TlbMissResident,
+    /// The page is not resident: a page fault must be taken (MMF baseline) or
+    /// the access is forwarded to the MoS controller (HAMS).
+    PageFault,
+}
+
+/// Accounting counters for the MMU.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MmuStats {
+    /// Translations that hit in the TLB.
+    pub tlb_hits: u64,
+    /// Translations that walked the page table.
+    pub tlb_misses: u64,
+    /// Translations that found no resident page.
+    pub page_faults: u64,
+}
+
+impl MmuStats {
+    /// TLB hit rate in `[0, 1]`.
+    #[must_use]
+    pub fn tlb_hit_rate(&self) -> f64 {
+        let total = self.tlb_hits + self.tlb_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.tlb_hits as f64 / total as f64
+        }
+    }
+}
+
+/// MMU with a FIFO TLB and a residency-tracking page table.
+///
+/// # Example
+///
+/// ```
+/// use hams_host::{Mmu, TlbConfig, Translation};
+///
+/// let mut mmu = Mmu::new(TlbConfig::paper_default(), 4096);
+/// let (outcome, _) = mmu.translate(0x1234);
+/// assert_eq!(outcome, Translation::PageFault);
+/// mmu.install(0x1234);
+/// let (outcome, _) = mmu.translate(0x1234);
+/// assert_ne!(outcome, Translation::PageFault);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Mmu {
+    config: TlbConfig,
+    page_size: u64,
+    tlb: VecDeque<u64>,
+    tlb_set: HashSet<u64>,
+    resident: HashMap<u64, bool>,
+    stats: MmuStats,
+}
+
+impl Mmu {
+    /// Creates an MMU translating `page_size`-byte pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_size` is zero.
+    #[must_use]
+    pub fn new(config: TlbConfig, page_size: u64) -> Self {
+        assert!(page_size > 0, "page size must be non-zero");
+        Mmu {
+            config,
+            page_size,
+            tlb: VecDeque::with_capacity(config.entries),
+            tlb_set: HashSet::with_capacity(config.entries),
+            resident: HashMap::new(),
+            stats: MmuStats::default(),
+        }
+    }
+
+    /// Page size in bytes.
+    #[must_use]
+    pub fn page_size(&self) -> u64 {
+        self.page_size
+    }
+
+    /// Accounting counters.
+    #[must_use]
+    pub fn stats(&self) -> &MmuStats {
+        &self.stats
+    }
+
+    /// Virtual page number of a byte address.
+    #[must_use]
+    pub fn vpn(&self, addr: u64) -> u64 {
+        addr / self.page_size
+    }
+
+    /// Number of resident pages.
+    #[must_use]
+    pub fn resident_pages(&self) -> usize {
+        self.resident.len()
+    }
+
+    /// Translates `addr`, returning the outcome and the translation latency
+    /// (TLB hit latency or walk latency; the page-fault service itself is
+    /// charged by the platform).
+    pub fn translate(&mut self, addr: u64) -> (Translation, Nanos) {
+        let vpn = self.vpn(addr);
+        if self.tlb_set.contains(&vpn) {
+            self.stats.tlb_hits += 1;
+            if self.resident.contains_key(&vpn) {
+                return (Translation::TlbHit, self.config.hit_latency);
+            }
+            // A stale TLB entry for an evicted page behaves like a fault.
+            self.stats.page_faults += 1;
+            return (Translation::PageFault, self.config.walk_latency);
+        }
+        self.stats.tlb_misses += 1;
+        if self.resident.contains_key(&vpn) {
+            self.insert_tlb(vpn);
+            (Translation::TlbMissResident, self.config.walk_latency)
+        } else {
+            self.stats.page_faults += 1;
+            (Translation::PageFault, self.config.walk_latency)
+        }
+    }
+
+    /// Marks the page containing `addr` resident (page fault completed or
+    /// MoS fill finished) and installs its translation in the TLB.
+    pub fn install(&mut self, addr: u64) {
+        let vpn = self.vpn(addr);
+        self.resident.insert(vpn, false);
+        self.insert_tlb(vpn);
+    }
+
+    /// Marks the page containing `addr` dirty. No-op for non-resident pages.
+    pub fn mark_dirty(&mut self, addr: u64) {
+        let vpn = self.vpn(addr);
+        if let Some(d) = self.resident.get_mut(&vpn) {
+            *d = true;
+        }
+    }
+
+    /// Evicts the page containing `addr`, returning whether it was dirty.
+    /// Returns `None` if the page was not resident.
+    pub fn evict(&mut self, addr: u64) -> Option<bool> {
+        let vpn = self.vpn(addr);
+        self.resident.remove(&vpn)
+    }
+
+    fn insert_tlb(&mut self, vpn: u64) {
+        if self.tlb_set.contains(&vpn) {
+            return;
+        }
+        if self.tlb.len() >= self.config.entries {
+            if let Some(old) = self.tlb.pop_front() {
+                self.tlb_set.remove(&old);
+            }
+        }
+        self.tlb.push_back(vpn);
+        self.tlb_set.insert(vpn);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mmu() -> Mmu {
+        Mmu::new(TlbConfig::tiny_for_tests(), 4096)
+    }
+
+    #[test]
+    fn unmapped_access_faults() {
+        let mut m = mmu();
+        let (t, lat) = m.translate(0x5000);
+        assert_eq!(t, Translation::PageFault);
+        assert_eq!(lat, Nanos::from_nanos(100));
+        assert_eq!(m.stats().page_faults, 1);
+    }
+
+    #[test]
+    fn install_makes_page_resident_and_cached() {
+        let mut m = mmu();
+        m.install(0x5000);
+        let (t, lat) = m.translate(0x5123);
+        assert_eq!(t, Translation::TlbHit);
+        assert_eq!(lat, Nanos::from_nanos(1));
+    }
+
+    #[test]
+    fn tlb_capacity_evicts_fifo() {
+        let mut m = mmu();
+        for i in 0..5u64 {
+            m.install(i * 4096);
+        }
+        // Page 0's translation was evicted from the 4-entry TLB but the page
+        // is still resident, so this is a walk, not a fault.
+        let (t, _) = m.translate(0);
+        assert_eq!(t, Translation::TlbMissResident);
+        assert_eq!(m.stats().tlb_misses, 1);
+    }
+
+    #[test]
+    fn evicted_page_faults_again() {
+        let mut m = mmu();
+        m.install(0x1000);
+        m.mark_dirty(0x1000);
+        assert_eq!(m.evict(0x1000), Some(true));
+        let (t, _) = m.translate(0x1000);
+        assert_eq!(t, Translation::PageFault);
+        assert_eq!(m.evict(0x9999_0000), None);
+    }
+
+    #[test]
+    fn hit_rate_reflects_traffic() {
+        let mut m = mmu();
+        m.install(0);
+        for _ in 0..9 {
+            m.translate(64);
+        }
+        m.translate(1 << 30); // one fault / miss
+        assert!(m.stats().tlb_hit_rate() > 0.8);
+    }
+
+    #[test]
+    fn vpn_uses_page_size() {
+        let m = Mmu::new(TlbConfig::paper_default(), 128 * 1024);
+        assert_eq!(m.vpn(0), 0);
+        assert_eq!(m.vpn(128 * 1024), 1);
+        assert_eq!(m.page_size(), 128 * 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "page size")]
+    fn zero_page_size_panics() {
+        let _ = Mmu::new(TlbConfig::paper_default(), 0);
+    }
+}

@@ -1,0 +1,201 @@
+//! DDR4 memory channel model.
+//!
+//! A DDR4-2666 channel provides roughly 20 GB/s of peak bandwidth (the figure
+//! the paper quotes in §IV-C); transfers occupy the shared command/data bus in
+//! 64-byte bursts after a fixed access setup (row/column latency). Channel
+//! contention between the HAMS cache logic and the NVMe controller of the
+//! tightly-integrated design is modelled by the underlying FCFS resource.
+
+use hams_sim::{Nanos, Resource};
+use serde::{Deserialize, Serialize};
+
+/// A completed bus transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Transfer {
+    /// When the transfer finished.
+    pub finished_at: Nanos,
+    /// Pure wire/burst time, excluding queueing.
+    pub service: Nanos,
+    /// Queueing delay behind earlier transfers on the same channel.
+    pub wait: Nanos,
+}
+
+impl Transfer {
+    /// Total latency experienced by the requester.
+    #[must_use]
+    pub fn latency(&self) -> Nanos {
+        self.service + self.wait
+    }
+}
+
+/// Configuration of a DDR4 channel.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Ddr4Config {
+    /// Peak bandwidth in bytes per second.
+    pub bandwidth_bytes_per_sec: f64,
+    /// Fixed access latency before the first beat (tRCD + tCL).
+    pub access_latency: Nanos,
+    /// Burst granularity in bytes (a BL8 burst of a 64-bit channel).
+    pub burst_bytes: u64,
+}
+
+impl Ddr4Config {
+    /// DDR4-2666: ~20 GB/s, ~14 ns CAS, 64-byte bursts.
+    #[must_use]
+    pub fn ddr4_2666() -> Self {
+        Ddr4Config {
+            bandwidth_bytes_per_sec: 20.0e9,
+            access_latency: Nanos::from_nanos(14),
+            burst_bytes: 64,
+        }
+    }
+
+    /// DDR4-2133 (the NVDIMM module in the paper's testbed): ~17 GB/s.
+    #[must_use]
+    pub fn ddr4_2133() -> Self {
+        Ddr4Config {
+            bandwidth_bytes_per_sec: 17.0e9,
+            access_latency: Nanos::from_nanos(16),
+            burst_bytes: 64,
+        }
+    }
+}
+
+/// A single DDR4 channel shared by every device on it.
+///
+/// # Example
+///
+/// ```
+/// use hams_interconnect::{Ddr4Channel, Ddr4Config};
+/// use hams_sim::Nanos;
+///
+/// let mut ch = Ddr4Channel::new(Ddr4Config::ddr4_2666());
+/// let t = ch.transfer(4096, Nanos::ZERO);
+/// // 4 KB at 20 GB/s is ~205 ns plus the fixed access latency.
+/// assert!(t.service > Nanos::from_nanos(200) && t.service < Nanos::from_nanos(300));
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Ddr4Channel {
+    config: Ddr4Config,
+    bus: Resource,
+    bytes_moved: u64,
+}
+
+impl Ddr4Channel {
+    /// Creates an idle channel.
+    #[must_use]
+    pub fn new(config: Ddr4Config) -> Self {
+        Ddr4Channel {
+            config,
+            bus: Resource::new("ddr4-channel"),
+            bytes_moved: 0,
+        }
+    }
+
+    /// The channel configuration.
+    #[must_use]
+    pub fn config(&self) -> &Ddr4Config {
+        &self.config
+    }
+
+    /// Total bytes moved over the channel so far.
+    #[must_use]
+    pub fn bytes_moved(&self) -> u64 {
+        self.bytes_moved
+    }
+
+    /// Wire time for `bytes` (setup plus burst beats), without contention.
+    #[must_use]
+    pub fn service_time(&self, bytes: u64) -> Nanos {
+        if bytes == 0 {
+            return Nanos::ZERO;
+        }
+        let bursts = bytes.div_ceil(self.config.burst_bytes);
+        let burst_bytes = bursts * self.config.burst_bytes;
+        let wire_ns = burst_bytes as f64 / self.config.bandwidth_bytes_per_sec * 1e9;
+        self.config.access_latency + Nanos::from_nanos_f64(wire_ns)
+    }
+
+    /// Moves `bytes` over the channel starting no earlier than `now`.
+    pub fn transfer(&mut self, bytes: u64, now: Nanos) -> Transfer {
+        let service = self.service_time(bytes);
+        let grant = self.bus.acquire(now, service);
+        self.bytes_moved += bytes;
+        Transfer {
+            finished_at: grant.end,
+            service,
+            wait: grant.wait,
+        }
+    }
+
+    /// Reserves the channel until `until` without moving data (used while the
+    /// lock register hands bus mastership to the NVMe controller).
+    pub fn hold_until(&mut self, until: Nanos) {
+        self.bus.hold_until(until);
+    }
+
+    /// Channel utilisation over `[0, horizon]`.
+    #[must_use]
+    pub fn utilization(&self, horizon: Nanos) -> f64 {
+        self.bus.utilization(horizon)
+    }
+
+    /// Resets the channel schedule and counters.
+    pub fn reset(&mut self) {
+        self.bus.reset();
+        self.bytes_moved = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_kb_transfer_matches_bandwidth() {
+        let ch = Ddr4Channel::new(Ddr4Config::ddr4_2666());
+        let t = ch.service_time(4096);
+        // 4096 B / 20 GB/s = 204.8 ns + 14 ns access.
+        assert!(t >= Nanos::from_nanos(210) && t <= Nanos::from_nanos(230), "{t}");
+    }
+
+    #[test]
+    fn zero_byte_transfer_is_free() {
+        let mut ch = Ddr4Channel::new(Ddr4Config::ddr4_2666());
+        assert_eq!(ch.service_time(0), Nanos::ZERO);
+        let t = ch.transfer(0, Nanos::from_nanos(5));
+        assert_eq!(t.finished_at, Nanos::from_nanos(5));
+    }
+
+    #[test]
+    fn sub_burst_transfers_round_up() {
+        let ch = Ddr4Channel::new(Ddr4Config::ddr4_2666());
+        assert_eq!(ch.service_time(1), ch.service_time(64));
+        assert!(ch.service_time(65) > ch.service_time(64));
+    }
+
+    #[test]
+    fn back_to_back_transfers_queue() {
+        let mut ch = Ddr4Channel::new(Ddr4Config::ddr4_2666());
+        let a = ch.transfer(4096, Nanos::ZERO);
+        let b = ch.transfer(4096, Nanos::ZERO);
+        assert_eq!(a.wait, Nanos::ZERO);
+        assert_eq!(b.wait, a.service);
+        assert_eq!(ch.bytes_moved(), 8192);
+    }
+
+    #[test]
+    fn hold_until_blocks_later_transfers() {
+        let mut ch = Ddr4Channel::new(Ddr4Config::ddr4_2666());
+        ch.hold_until(Nanos::from_micros(1));
+        let t = ch.transfer(64, Nanos::ZERO);
+        assert!(t.finished_at > Nanos::from_micros(1));
+    }
+
+    #[test]
+    fn ddr4_2133_is_slower_than_2666() {
+        let slow = Ddr4Channel::new(Ddr4Config::ddr4_2133());
+        let fast = Ddr4Channel::new(Ddr4Config::ddr4_2666());
+        assert!(slow.service_time(4096) > fast.service_time(4096));
+    }
+}

@@ -1,0 +1,23 @@
+//! NVDIMM-N device model: DRAM-speed byte-addressable persistent memory with
+//! supercapacitor-powered backup/restore, plus the pinned metadata region
+//! HAMS carves out of it.
+//!
+//! # Example
+//!
+//! ```
+//! use hams_nvdimm::{Nvdimm, NvdimmConfig, PinnedRegion, PinnedRegionLayout};
+//!
+//! let dimm = Nvdimm::new(NvdimmConfig::hpe_8gb());
+//! let pinned = PinnedRegion::at_top_of(dimm.capacity_bytes(), PinnedRegionLayout::paper_default());
+//! // Most of the module is available to the MoS cache.
+//! assert!(pinned.cacheable_bytes() > dimm.capacity_bytes() * 9 / 10);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod nvdimm;
+pub mod pinned;
+
+pub use nvdimm::{Nvdimm, NvdimmConfig, NvdimmPowerState, NvdimmStats};
+pub use pinned::{PinnedRegion, PinnedRegionLayout};

@@ -1,0 +1,195 @@
+//! NVMe command and completion-status types.
+//!
+//! Commands are modelled at field granularity rather than as raw 64-byte
+//! encodings; the fields kept are exactly those the HAMS controller
+//! manipulates (§V-B of the paper): opcode, command identifier, starting LBA,
+//! transfer length, PRP pointers, the force-unit-access bit used by the
+//! persist mode, and the *journal tag* HAMS stores in the command's reserved
+//! area to drive power-failure recovery (§V-C).
+
+use serde::{Deserialize, Serialize};
+
+use crate::prp::PrpList;
+
+/// NVM command-set opcodes used by the model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NvmeOpcode {
+    /// Read data from the flash medium into host (NVDIMM) memory.
+    Read,
+    /// Write data from host (NVDIMM) memory to the flash medium.
+    Write,
+    /// Flush the device's volatile write buffer to the medium.
+    Flush,
+}
+
+impl NvmeOpcode {
+    /// Returns `true` for commands that transfer data to the medium.
+    #[must_use]
+    pub fn is_write(self) -> bool {
+        matches!(self, NvmeOpcode::Write)
+    }
+
+    /// Returns `true` for commands that transfer data from the medium.
+    #[must_use]
+    pub fn is_read(self) -> bool {
+        matches!(self, NvmeOpcode::Read)
+    }
+}
+
+/// Completion status returned in a completion-queue entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NvmeStatus {
+    /// The command completed successfully.
+    Success,
+    /// The command referenced an LBA beyond the namespace capacity.
+    LbaOutOfRange,
+    /// The command was aborted (e.g. by a power failure before service).
+    Aborted,
+    /// An internal device error occurred.
+    InternalError,
+}
+
+impl NvmeStatus {
+    /// Returns `true` if the status indicates success.
+    #[must_use]
+    pub fn is_success(self) -> bool {
+        matches!(self, NvmeStatus::Success)
+    }
+}
+
+/// A single 64-byte NVMe command as manipulated by the HAMS NVMe engine.
+///
+/// The `cid` (command identifier) is assigned by the submission queue when the
+/// command is enqueued; a freshly constructed command carries `cid == 0`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NvmeCommand {
+    /// Command identifier, unique among outstanding commands of one queue.
+    pub cid: u16,
+    /// Command opcode.
+    pub opcode: NvmeOpcode,
+    /// Namespace identifier (the model uses a single namespace, 1).
+    pub nsid: u32,
+    /// Starting logical block address.
+    pub slba: u64,
+    /// Transfer length in bytes.
+    pub length: u64,
+    /// Physical-region-page pointers locating the data in host memory.
+    pub prp: PrpList,
+    /// Force-unit-access: bypass the device's volatile buffer. Used by the
+    /// HAMS persist mode (`hams-LP`/`-TP`).
+    pub fua: bool,
+    /// HAMS journal tag stored in the command's reserved area: set to `true`
+    /// when the command is issued, cleared on completion, scanned during
+    /// power-failure recovery (§V-C).
+    pub journal_tag: bool,
+}
+
+impl NvmeCommand {
+    /// Builds a read command for `length` bytes starting at `slba`.
+    #[must_use]
+    pub fn read(nsid: u32, slba: u64, length: u64, prp: PrpList) -> Self {
+        NvmeCommand {
+            cid: 0,
+            opcode: NvmeOpcode::Read,
+            nsid,
+            slba,
+            length,
+            prp,
+            fua: false,
+            journal_tag: false,
+        }
+    }
+
+    /// Builds a write command for `length` bytes starting at `slba`.
+    #[must_use]
+    pub fn write(nsid: u32, slba: u64, length: u64, prp: PrpList) -> Self {
+        NvmeCommand {
+            cid: 0,
+            opcode: NvmeOpcode::Write,
+            nsid,
+            slba,
+            length,
+            prp,
+            fua: false,
+            journal_tag: false,
+        }
+    }
+
+    /// Builds a flush command.
+    #[must_use]
+    pub fn flush(nsid: u32) -> Self {
+        NvmeCommand {
+            cid: 0,
+            opcode: NvmeOpcode::Flush,
+            nsid,
+            slba: 0,
+            length: 0,
+            prp: PrpList::empty(),
+            fua: false,
+            journal_tag: false,
+        }
+    }
+
+    /// Sets the force-unit-access bit (builder style).
+    #[must_use]
+    pub fn with_fua(mut self, fua: bool) -> Self {
+        self.fua = fua;
+        self
+    }
+
+    /// Sets the HAMS journal tag (builder style).
+    #[must_use]
+    pub fn with_journal_tag(mut self, tag: bool) -> Self {
+        self.journal_tag = tag;
+        self
+    }
+
+    /// The encoded size of a command on the wire/bus: 64 bytes, the size the
+    /// advanced HAMS register interface bursts over DDR4 in eight beats.
+    pub const WIRE_SIZE_BYTES: u64 = 64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_expected_fields() {
+        let r = NvmeCommand::read(1, 0x10, 4096, PrpList::single(0xA000));
+        assert_eq!(r.opcode, NvmeOpcode::Read);
+        assert!(r.opcode.is_read());
+        assert!(!r.opcode.is_write());
+        assert_eq!(r.slba, 0x10);
+        assert_eq!(r.length, 4096);
+        assert!(!r.fua);
+        assert!(!r.journal_tag);
+
+        let w = NvmeCommand::write(1, 0x20, 8192, PrpList::single(0xB000));
+        assert!(w.opcode.is_write());
+
+        let f = NvmeCommand::flush(1);
+        assert_eq!(f.opcode, NvmeOpcode::Flush);
+        assert_eq!(f.length, 0);
+    }
+
+    #[test]
+    fn builder_flags() {
+        let c = NvmeCommand::write(1, 0, 4096, PrpList::single(0))
+            .with_fua(true)
+            .with_journal_tag(true);
+        assert!(c.fua);
+        assert!(c.journal_tag);
+    }
+
+    #[test]
+    fn status_success_check() {
+        assert!(NvmeStatus::Success.is_success());
+        assert!(!NvmeStatus::Aborted.is_success());
+        assert!(!NvmeStatus::LbaOutOfRange.is_success());
+    }
+
+    #[test]
+    fn wire_size_matches_spec() {
+        assert_eq!(NvmeCommand::WIRE_SIZE_BYTES, 64);
+    }
+}

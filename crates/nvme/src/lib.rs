@@ -1,0 +1,46 @@
+//! NVMe protocol substrate used by both the ULL-Flash device model and the
+//! HAMS in-controller NVMe engine.
+//!
+//! The paper's baseline HAMS keeps the full NVMe machinery (submission /
+//! completion queues, PRP pointers, doorbells, MSI) but moves its management
+//! from the OS driver into the memory controller hub. This crate implements
+//! that machinery faithfully enough to reproduce the behaviours the paper
+//! relies on:
+//!
+//! * FIFO submission queues and completion queues with head/tail pointers and
+//!   doorbell synchronisation ([`queue`]),
+//! * 64-byte commands carrying opcode, LBA, length, PRP pointers, a
+//!   force-unit-access flag and the HAMS *journal tag* stored in the command's
+//!   reserved area ([`command`]),
+//! * PRP lists describing where in host memory (NVDIMM, for HAMS) the data for
+//!   a command lives ([`prp`]),
+//! * message-signalled interrupts delivered on completion ([`msi`]).
+//!
+//! # Example
+//!
+//! ```
+//! use hams_nvme::{NvmeCommand, NvmeOpcode, QueuePair, PrpList};
+//!
+//! let mut qp = QueuePair::new(0, 64);
+//! let cmd = NvmeCommand::read(1, 0x80, 4096, PrpList::single(0x1000));
+//! let cid = qp.submit(cmd).unwrap();
+//! // Device side: fetch, service, complete.
+//! let fetched = qp.fetch_next().unwrap();
+//! assert_eq!(fetched.cid, cid);
+//! qp.complete(cid, hams_nvme::NvmeStatus::Success).unwrap();
+//! let cqe = qp.reap().unwrap();
+//! assert_eq!(cqe.cid, cid);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod command;
+pub mod msi;
+pub mod prp;
+pub mod queue;
+
+pub use command::{NvmeCommand, NvmeOpcode, NvmeStatus};
+pub use msi::{MsiTable, MsiVector};
+pub use prp::{PrpEntry, PrpList};
+pub use queue::{CompletionEntry, CompletionQueue, QueueError, QueuePair, SubmissionQueue};

@@ -1,0 +1,186 @@
+//! Physical-region-page (PRP) pointers.
+//!
+//! Every NVMe command references its host-memory data buffer through one or
+//! more PRP entries. In HAMS the "host memory" is the NVDIMM, and the address
+//! manager rewrites PRP entries to point at the PRP-pool clone of a cache line
+//! during eviction-hazard avoidance (§V-B), so the model keeps PRPs as
+//! first-class, mutable values.
+
+use serde::{Deserialize, Serialize};
+
+/// A single PRP entry: a physical address in host (NVDIMM) memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PrpEntry(pub u64);
+
+impl PrpEntry {
+    /// The physical address this entry points at.
+    #[must_use]
+    pub fn address(self) -> u64 {
+        self.0
+    }
+}
+
+impl From<u64> for PrpEntry {
+    fn from(addr: u64) -> Self {
+        PrpEntry(addr)
+    }
+}
+
+/// The list of PRP entries attached to a command.
+///
+/// Transfers up to one memory page use a single PRP pointer; larger transfers
+/// use a list of page-aligned pointers, exactly as the specification (and the
+/// paper's Fig. 4b discussion) describes.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PrpList {
+    entries: Vec<PrpEntry>,
+}
+
+impl PrpList {
+    /// An empty list (used by data-less commands such as Flush).
+    #[must_use]
+    pub fn empty() -> Self {
+        PrpList { entries: Vec::new() }
+    }
+
+    /// A list holding a single pointer.
+    #[must_use]
+    pub fn single(addr: u64) -> Self {
+        PrpList {
+            entries: vec![PrpEntry(addr)],
+        }
+    }
+
+    /// Builds the PRP list for a transfer of `length` bytes starting at host
+    /// address `base`, split into `page_size`-byte regions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_size` is zero.
+    #[must_use]
+    pub fn for_transfer(base: u64, length: u64, page_size: u64) -> Self {
+        assert!(page_size > 0, "PRP page size must be non-zero");
+        if length == 0 {
+            return PrpList::empty();
+        }
+        let first_page = base / page_size;
+        let last_page = (base + length - 1) / page_size;
+        let entries = (first_page..=last_page)
+            .map(|p| PrpEntry(p * page_size))
+            .collect();
+        PrpList { entries }
+    }
+
+    /// Number of PRP entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if the list has no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The first entry, if any.
+    #[must_use]
+    pub fn first(&self) -> Option<PrpEntry> {
+        self.entries.first().copied()
+    }
+
+    /// Iterates over entries.
+    pub fn iter(&self) -> std::slice::Iter<'_, PrpEntry> {
+        self.entries.iter()
+    }
+
+    /// Rewrites every entry to point into the clone at `new_base`, preserving
+    /// the per-entry offsets relative to the original first entry.
+    ///
+    /// This is the operation the HAMS address manager performs when it clones
+    /// a cache line into the PRP pool to avoid an eviction hazard: the command
+    /// already sits in the submission queue, so only its PRP pointers change.
+    pub fn retarget(&mut self, new_base: u64) {
+        let Some(old_base) = self.entries.first().map(|e| e.0) else {
+            return;
+        };
+        for e in &mut self.entries {
+            let offset = e.0.wrapping_sub(old_base);
+            e.0 = new_base.wrapping_add(offset);
+        }
+    }
+}
+
+impl FromIterator<PrpEntry> for PrpList {
+    fn from_iter<I: IntoIterator<Item = PrpEntry>>(iter: I) -> Self {
+        PrpList {
+            entries: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a PrpList {
+    type Item = &'a PrpEntry;
+    type IntoIter = std::slice::Iter<'a, PrpEntry>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_page_transfer_uses_one_entry() {
+        let l = PrpList::for_transfer(0x1000, 4096, 4096);
+        assert_eq!(l.len(), 1);
+        assert_eq!(l.first().unwrap().address(), 0x1000);
+    }
+
+    #[test]
+    fn multi_page_transfer_uses_a_list() {
+        let l = PrpList::for_transfer(0x1000, 16 * 1024, 4096);
+        assert_eq!(l.len(), 4);
+        let addrs: Vec<u64> = l.iter().map(|e| e.address()).collect();
+        assert_eq!(addrs, vec![0x1000, 0x2000, 0x3000, 0x4000]);
+    }
+
+    #[test]
+    fn unaligned_transfer_covers_straddled_pages() {
+        // 4 KB starting 1 KB into a page touches two pages.
+        let l = PrpList::for_transfer(0x1400, 4096, 4096);
+        assert_eq!(l.len(), 2);
+    }
+
+    #[test]
+    fn zero_length_transfer_is_empty() {
+        let l = PrpList::for_transfer(0x1000, 0, 4096);
+        assert!(l.is_empty());
+        assert_eq!(l.first(), None);
+    }
+
+    #[test]
+    fn retarget_preserves_offsets() {
+        let mut l = PrpList::for_transfer(0x1000, 8192, 4096);
+        l.retarget(0x9000);
+        let addrs: Vec<u64> = l.iter().map(|e| e.address()).collect();
+        assert_eq!(addrs, vec![0x9000, 0xA000]);
+        // Retargeting an empty list is a no-op.
+        let mut e = PrpList::empty();
+        e.retarget(0x5000);
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let l: PrpList = [PrpEntry(1), PrpEntry(2)].into_iter().collect();
+        assert_eq!(l.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "page size")]
+    fn zero_page_size_panics() {
+        let _ = PrpList::for_transfer(0, 4096, 0);
+    }
+}

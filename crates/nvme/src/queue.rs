@@ -1,0 +1,501 @@
+//! Submission and completion queues with doorbell semantics.
+//!
+//! The queues are simple FIFO rings, each entry referenced by PRP pointers,
+//! exactly as §II-C describes. HAMS places the rings in a pinned,
+//! MMU-invisible region of NVDIMM; this module models the ring *state*
+//! (entries, head/tail pointers, doorbells) while the NVDIMM crate models
+//! where that state lives and what survives a power failure.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::command::{NvmeCommand, NvmeStatus};
+
+/// Errors produced by queue operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QueueError {
+    /// The submission queue is full; the host must wait for completions.
+    SubmissionQueueFull,
+    /// The completion queue is full; the device must wait for the host to reap.
+    CompletionQueueFull,
+    /// A completion was posted for a command identifier that is not outstanding.
+    UnknownCommand(u16),
+}
+
+impl fmt::Display for QueueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueueError::SubmissionQueueFull => write!(f, "submission queue full"),
+            QueueError::CompletionQueueFull => write!(f, "completion queue full"),
+            QueueError::UnknownCommand(cid) => write!(f, "unknown command identifier {cid}"),
+        }
+    }
+}
+
+impl std::error::Error for QueueError {}
+
+/// A completion-queue entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CompletionEntry {
+    /// Identifier of the completed command.
+    pub cid: u16,
+    /// Completion status.
+    pub status: NvmeStatus,
+    /// Submission-queue head pointer at completion time, used by the host to
+    /// learn how far the device has consumed the SQ.
+    pub sq_head: u16,
+}
+
+/// A FIFO submission queue with head/tail pointers and a tail doorbell.
+///
+/// `tail` advances on submission (host side), `head` advances when the device
+/// fetches a command. The *doorbell* records the last tail value the host has
+/// rung; entries between the doorbell and the tail are invisible to the
+/// device, which is exactly the window the HAMS power-failure recovery logic
+/// inspects (§IV-B).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SubmissionQueue {
+    capacity: usize,
+    entries: VecDeque<NvmeCommand>,
+    next_cid: u16,
+    head: u16,
+    tail: u16,
+    doorbell: u16,
+}
+
+impl SubmissionQueue {
+    /// Creates an empty submission queue with the given entry capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is below the NVMe minimum of 2 entries or exceeds
+    /// the maximum of 65 536.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!((2..=65_536).contains(&capacity), "invalid SQ capacity");
+        SubmissionQueue {
+            capacity,
+            entries: VecDeque::with_capacity(capacity),
+            next_cid: 0,
+            head: 0,
+            tail: 0,
+            doorbell: 0,
+        }
+    }
+
+    /// Queue capacity in entries.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of commands currently waiting to be fetched by the device.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if no commands are waiting.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Returns `true` if the queue cannot accept another command.
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Current head pointer (device consumption point).
+    #[must_use]
+    pub fn head(&self) -> u16 {
+        self.head
+    }
+
+    /// Current tail pointer (host production point).
+    #[must_use]
+    pub fn tail(&self) -> u16 {
+        self.tail
+    }
+
+    /// Last tail value rung through the doorbell.
+    #[must_use]
+    pub fn doorbell(&self) -> u16 {
+        self.doorbell
+    }
+
+    /// Enqueues a command, assigning it a command identifier, and returns that
+    /// identifier. The doorbell is *not* rung; call [`ring_doorbell`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueError::SubmissionQueueFull`] when the ring is full.
+    ///
+    /// [`ring_doorbell`]: SubmissionQueue::ring_doorbell
+    pub fn push(&mut self, mut cmd: NvmeCommand) -> Result<u16, QueueError> {
+        if self.is_full() {
+            return Err(QueueError::SubmissionQueueFull);
+        }
+        let cid = self.next_cid;
+        self.next_cid = self.next_cid.wrapping_add(1);
+        cmd.cid = cid;
+        self.entries.push_back(cmd);
+        self.tail = self.tail.wrapping_add(1) % self.capacity as u16;
+        Ok(cid)
+    }
+
+    /// Rings the tail doorbell, making every pushed entry visible to the device.
+    pub fn ring_doorbell(&mut self) {
+        self.doorbell = self.tail;
+    }
+
+    /// Device side: fetches the oldest visible command, advancing the head.
+    /// Returns `None` when no doorbell-visible command is pending.
+    pub fn fetch(&mut self) -> Option<NvmeCommand> {
+        if self.head == self.doorbell {
+            return None;
+        }
+        let cmd = self.entries.pop_front()?;
+        self.head = self.head.wrapping_add(1) % self.capacity as u16;
+        Some(cmd)
+    }
+
+    /// Commands pushed but not yet fetched, in submission order. Used by the
+    /// HAMS recovery scan, which re-reads the SQ ring out of the pinned
+    /// NVDIMM region after a power failure.
+    #[must_use]
+    pub fn pending(&self) -> Vec<NvmeCommand> {
+        self.entries.iter().cloned().collect()
+    }
+
+    /// Returns `true` if head, tail and doorbell all coincide — the paper's
+    /// consistency condition for "no requests were in flight at power-off".
+    #[must_use]
+    pub fn is_quiescent(&self) -> bool {
+        self.head == self.tail && self.tail == self.doorbell && self.entries.is_empty()
+    }
+}
+
+/// A FIFO completion queue with head/tail pointers.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CompletionQueue {
+    capacity: usize,
+    entries: VecDeque<CompletionEntry>,
+    head: u16,
+    tail: u16,
+}
+
+impl CompletionQueue {
+    /// Creates an empty completion queue with the given entry capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is below the NVMe minimum of 2 entries or exceeds
+    /// the maximum of 65 536.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!((2..=65_536).contains(&capacity), "invalid CQ capacity");
+        CompletionQueue {
+            capacity,
+            entries: VecDeque::with_capacity(capacity),
+            head: 0,
+            tail: 0,
+        }
+    }
+
+    /// Number of completions waiting to be reaped by the host.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if no completions are waiting.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Current head pointer (host consumption point).
+    #[must_use]
+    pub fn head(&self) -> u16 {
+        self.head
+    }
+
+    /// Current tail pointer (device production point).
+    #[must_use]
+    pub fn tail(&self) -> u16 {
+        self.tail
+    }
+
+    /// Device side: posts a completion entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueError::CompletionQueueFull`] when the ring is full.
+    pub fn post(&mut self, entry: CompletionEntry) -> Result<(), QueueError> {
+        if self.entries.len() >= self.capacity {
+            return Err(QueueError::CompletionQueueFull);
+        }
+        self.entries.push_back(entry);
+        self.tail = self.tail.wrapping_add(1) % self.capacity as u16;
+        Ok(())
+    }
+
+    /// Host side: reaps the oldest completion, advancing the head.
+    pub fn reap(&mut self) -> Option<CompletionEntry> {
+        let e = self.entries.pop_front()?;
+        self.head = self.head.wrapping_add(1) % self.capacity as u16;
+        Some(e)
+    }
+
+    /// Returns `true` if head and tail coincide with an empty ring.
+    #[must_use]
+    pub fn is_quiescent(&self) -> bool {
+        self.head == self.tail && self.entries.is_empty()
+    }
+}
+
+/// A paired submission/completion queue with outstanding-command tracking —
+/// the unit of NVMe I/O the HAMS NVMe engine manages.
+///
+/// See the crate-level example for typical use.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QueuePair {
+    /// Queue identifier (0 is the admin queue in real NVMe; the model uses
+    /// a single I/O queue pair with identifier 0 by convention).
+    pub id: u16,
+    sq: SubmissionQueue,
+    cq: CompletionQueue,
+    outstanding: Vec<NvmeCommand>,
+}
+
+impl QueuePair {
+    /// Creates a queue pair whose SQ and CQ both hold `depth` entries.
+    #[must_use]
+    pub fn new(id: u16, depth: usize) -> Self {
+        QueuePair {
+            id,
+            sq: SubmissionQueue::new(depth),
+            cq: CompletionQueue::new(depth),
+            outstanding: Vec::new(),
+        }
+    }
+
+    /// Read access to the submission queue.
+    #[must_use]
+    pub fn submission(&self) -> &SubmissionQueue {
+        &self.sq
+    }
+
+    /// Read access to the completion queue.
+    #[must_use]
+    pub fn completion(&self) -> &CompletionQueue {
+        &self.cq
+    }
+
+    /// Number of commands fetched by the device but not yet completed.
+    #[must_use]
+    pub fn outstanding(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    /// Host side: submits a command and rings the doorbell.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueError::SubmissionQueueFull`] when the SQ is full.
+    pub fn submit(&mut self, cmd: NvmeCommand) -> Result<u16, QueueError> {
+        let cid = self.sq.push(cmd)?;
+        self.sq.ring_doorbell();
+        Ok(cid)
+    }
+
+    /// Device side: fetches the next doorbell-visible command and marks it
+    /// outstanding.
+    pub fn fetch_next(&mut self) -> Option<NvmeCommand> {
+        let cmd = self.sq.fetch()?;
+        self.outstanding.push(cmd.clone());
+        Some(cmd)
+    }
+
+    /// Device side: completes an outstanding command, posting a CQ entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueError::UnknownCommand`] if `cid` is not outstanding, or
+    /// [`QueueError::CompletionQueueFull`] if the CQ has no room.
+    pub fn complete(&mut self, cid: u16, status: NvmeStatus) -> Result<(), QueueError> {
+        let idx = self
+            .outstanding
+            .iter()
+            .position(|c| c.cid == cid)
+            .ok_or(QueueError::UnknownCommand(cid))?;
+        self.cq.post(CompletionEntry {
+            cid,
+            status,
+            sq_head: self.sq.head(),
+        })?;
+        self.outstanding.remove(idx);
+        Ok(())
+    }
+
+    /// Host side: reaps the next completion.
+    pub fn reap(&mut self) -> Option<CompletionEntry> {
+        self.cq.reap()
+    }
+
+    /// Commands that were submitted but have neither been fetched nor
+    /// completed, plus those fetched but still outstanding: everything a power
+    /// failure would leave unfinished. This is the set the HAMS recovery
+    /// procedure re-issues.
+    #[must_use]
+    pub fn unfinished(&self) -> Vec<NvmeCommand> {
+        let mut all = self.outstanding.clone();
+        all.extend(self.sq.pending());
+        all
+    }
+
+    /// Returns `true` when no command is pending, outstanding or unreaped —
+    /// the "tail pointers refer to the same offset" condition of §IV-B.
+    #[must_use]
+    pub fn is_quiescent(&self) -> bool {
+        self.sq.is_quiescent() && self.cq.is_quiescent() && self.outstanding.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prp::PrpList;
+
+    fn cmd(lba: u64) -> NvmeCommand {
+        NvmeCommand::read(1, lba, 4096, PrpList::single(0x1000))
+    }
+
+    #[test]
+    fn submission_requires_doorbell() {
+        let mut sq = SubmissionQueue::new(8);
+        sq.push(cmd(1)).unwrap();
+        assert_eq!(sq.fetch(), None, "entry must be invisible before doorbell");
+        sq.ring_doorbell();
+        assert!(sq.fetch().is_some());
+        assert!(sq.fetch().is_none());
+    }
+
+    #[test]
+    fn submission_queue_fills_and_reports() {
+        let mut sq = SubmissionQueue::new(2);
+        sq.push(cmd(1)).unwrap();
+        sq.push(cmd(2)).unwrap();
+        assert!(sq.is_full());
+        assert_eq!(sq.push(cmd(3)), Err(QueueError::SubmissionQueueFull));
+        assert_eq!(sq.len(), 2);
+        assert_eq!(sq.pending().len(), 2);
+        assert!(!sq.is_quiescent());
+    }
+
+    #[test]
+    fn cids_are_unique_and_sequential() {
+        let mut sq = SubmissionQueue::new(16);
+        let a = sq.push(cmd(1)).unwrap();
+        let b = sq.push(cmd(2)).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(b, a.wrapping_add(1));
+    }
+
+    #[test]
+    fn completion_queue_round_trip() {
+        let mut cq = CompletionQueue::new(2);
+        assert!(cq.is_quiescent());
+        cq.post(CompletionEntry {
+            cid: 7,
+            status: NvmeStatus::Success,
+            sq_head: 0,
+        })
+        .unwrap();
+        assert_eq!(cq.len(), 1);
+        let e = cq.reap().unwrap();
+        assert_eq!(e.cid, 7);
+        assert!(e.status.is_success());
+        assert!(cq.reap().is_none());
+    }
+
+    #[test]
+    fn completion_queue_full() {
+        let mut cq = CompletionQueue::new(2);
+        cq.post(CompletionEntry {
+            cid: 7,
+            status: NvmeStatus::Success,
+            sq_head: 0,
+        })
+        .unwrap();
+        cq.post(CompletionEntry {
+            cid: 0,
+            status: NvmeStatus::Success,
+            sq_head: 0,
+        })
+        .unwrap();
+        let err = cq
+            .post(CompletionEntry {
+                cid: 1,
+                status: NvmeStatus::Success,
+                sq_head: 0,
+            })
+            .unwrap_err();
+        assert_eq!(err, QueueError::CompletionQueueFull);
+    }
+
+    #[test]
+    fn queue_pair_full_lifecycle() {
+        let mut qp = QueuePair::new(0, 8);
+        assert!(qp.is_quiescent());
+        let cid = qp.submit(cmd(5)).unwrap();
+        assert!(!qp.is_quiescent());
+        let fetched = qp.fetch_next().unwrap();
+        assert_eq!(fetched.cid, cid);
+        assert_eq!(qp.outstanding(), 1);
+        qp.complete(cid, NvmeStatus::Success).unwrap();
+        assert_eq!(qp.outstanding(), 0);
+        let cqe = qp.reap().unwrap();
+        assert_eq!(cqe.cid, cid);
+        assert!(qp.is_quiescent());
+    }
+
+    #[test]
+    fn completing_unknown_cid_is_an_error() {
+        let mut qp = QueuePair::new(0, 4);
+        assert_eq!(
+            qp.complete(99, NvmeStatus::Success),
+            Err(QueueError::UnknownCommand(99))
+        );
+    }
+
+    #[test]
+    fn unfinished_reports_both_pending_and_outstanding() {
+        let mut qp = QueuePair::new(0, 8);
+        qp.submit(cmd(1)).unwrap();
+        qp.submit(cmd(2)).unwrap();
+        qp.submit(cmd(3)).unwrap();
+        let _ = qp.fetch_next().unwrap(); // one outstanding, two pending
+        let unfinished = qp.unfinished();
+        assert_eq!(unfinished.len(), 3);
+    }
+
+    #[test]
+    fn error_display_messages() {
+        assert_eq!(
+            QueueError::SubmissionQueueFull.to_string(),
+            "submission queue full"
+        );
+        assert!(QueueError::UnknownCommand(3).to_string().contains('3'));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid SQ capacity")]
+    fn zero_capacity_sq_panics() {
+        let _ = SubmissionQueue::new(0);
+    }
+}

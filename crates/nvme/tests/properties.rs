@@ -1,0 +1,108 @@
+//! Property-based tests for the NVMe queue and PRP machinery.
+
+use hams_nvme::{NvmeCommand, NvmeStatus, PrpList, QueuePair};
+use proptest::prelude::*;
+
+proptest! {
+    /// A PRP list built for any transfer covers every byte of the transfer:
+    /// the number of entries equals the number of pages the range straddles.
+    #[test]
+    fn prp_lists_cover_the_transfer(base in 0u64..1_000_000, len in 0u64..1_000_000) {
+        let page = 4096u64;
+        let list = PrpList::for_transfer(base, len, page);
+        if len == 0 {
+            prop_assert!(list.is_empty());
+        } else {
+            let first = base / page;
+            let last = (base + len - 1) / page;
+            prop_assert_eq!(list.len() as u64, last - first + 1);
+            prop_assert_eq!(list.first().unwrap().address(), first * page);
+        }
+    }
+
+    /// Retargeting preserves pairwise offsets between PRP entries.
+    #[test]
+    fn retarget_preserves_offsets(base in 0u64..1_000_000, len in 1u64..100_000, new_base in 0u64..1_000_000) {
+        let mut list = PrpList::for_transfer(base, len, 4096);
+        let offsets: Vec<u64> = list.iter().map(|e| e.address().wrapping_sub(base / 4096 * 4096)).collect();
+        list.retarget(new_base);
+        let new_offsets: Vec<u64> = list
+            .iter()
+            .map(|e| e.address().wrapping_sub(new_base))
+            .collect();
+        prop_assert_eq!(offsets, new_offsets);
+    }
+
+    /// Any interleaving of submit / fetch / complete keeps the queue-pair
+    /// invariants: completions only for fetched commands, and the pair is
+    /// quiescent exactly when everything submitted has been reaped.
+    #[test]
+    fn queue_pair_invariants_hold(ops in proptest::collection::vec(0u8..3, 1..200)) {
+        let mut qp = QueuePair::new(0, 256);
+        let mut submitted = 0usize;
+        let mut fetched: Vec<u16> = Vec::new();
+        let mut completed = 0usize;
+        let mut reaped = 0usize;
+        for op in ops {
+            match op {
+                0 => {
+                    if qp
+                        .submit(NvmeCommand::read(1, submitted as u64, 4096, PrpList::single(0)))
+                        .is_ok()
+                    {
+                        submitted += 1;
+                    }
+                }
+                1 => {
+                    if let Some(cmd) = qp.fetch_next() {
+                        fetched.push(cmd.cid);
+                    }
+                }
+                _ => {
+                    if let Some(cid) = fetched.pop() {
+                        prop_assert!(qp.complete(cid, NvmeStatus::Success).is_ok());
+                        completed += 1;
+                    } else {
+                        prop_assert!(qp.reap().is_none() || reaped < completed);
+                    }
+                    if qp.reap().is_some() {
+                        reaped += 1;
+                    }
+                }
+            }
+            prop_assert!(qp.outstanding() <= submitted);
+            prop_assert!(completed <= submitted);
+        }
+        // Drain everything and verify quiescence is reachable.
+        while let Some(cmd) = qp.fetch_next() {
+            fetched.push(cmd.cid);
+        }
+        for cid in fetched.drain(..) {
+            let _ = qp.complete(cid, NvmeStatus::Success);
+        }
+        while qp.reap().is_some() {}
+        prop_assert!(qp.is_quiescent());
+    }
+
+    /// Unfinished commands reported for recovery are exactly those submitted
+    /// but not completed.
+    #[test]
+    fn unfinished_matches_submitted_minus_completed(total in 1usize..64, to_complete in 0usize..64) {
+        let mut qp = QueuePair::new(0, 128);
+        let mut cids = Vec::new();
+        for i in 0..total {
+            let cid = qp
+                .submit(NvmeCommand::write(1, i as u64, 4096, PrpList::single(0)))
+                .unwrap();
+            cids.push(cid);
+        }
+        for _ in 0..total {
+            let _ = qp.fetch_next();
+        }
+        let completing = to_complete.min(total);
+        for cid in cids.iter().take(completing) {
+            qp.complete(*cid, NvmeStatus::Success).unwrap();
+        }
+        prop_assert_eq!(qp.unfinished().len(), total - completing);
+    }
+}

@@ -1,0 +1,226 @@
+//! The four HAMS platforms (`hams-LP`, `hams-LE`, `hams-TP`, `hams-TE`)
+//! wrapped behind the [`Platform`] trait.
+
+use hams_core::{AttachMode, HamsConfig, HamsController, PersistMode};
+use hams_energy::{EnergyAccount, PowerParams};
+use hams_nvdimm::{NvdimmConfig, PinnedRegionLayout};
+use hams_sim::{LatencyBreakdown, Nanos};
+use hams_workloads::Access;
+
+use crate::platform::{AccessOutcome, Platform};
+
+/// A HAMS system under test.
+///
+/// # Example
+///
+/// ```
+/// use hams_core::{AttachMode, PersistMode};
+/// use hams_platforms::{HamsPlatform, Platform};
+/// use hams_sim::Nanos;
+/// use hams_workloads::Access;
+///
+/// let mut te = HamsPlatform::scaled(AttachMode::Tight, PersistMode::Extend, 8 << 20);
+/// let access = Access { addr: 0, size: 64, is_write: true, compute_instructions: 0 };
+/// let outcome = te.access(&access, Nanos::ZERO);
+/// assert_eq!(outcome.os_time, Nanos::ZERO); // no OS involvement, ever
+/// ```
+#[derive(Debug)]
+pub struct HamsPlatform {
+    name: String,
+    controller: HamsController,
+    power: PowerParams,
+}
+
+impl HamsPlatform {
+    /// Builds a platform from an explicit HAMS configuration.
+    #[must_use]
+    pub fn from_config(config: HamsConfig) -> Self {
+        let name = Self::paper_name(config.attach, config.persist);
+        HamsPlatform {
+            name,
+            controller: HamsController::new(config),
+            power: PowerParams::paper_default(),
+        }
+    }
+
+    /// The paper's full-scale configuration for the given modes.
+    #[must_use]
+    pub fn paper(attach: AttachMode, persist: PersistMode) -> Self {
+        let config = match attach {
+            AttachMode::Loose => HamsConfig::loose(persist),
+            AttachMode::Tight => HamsConfig::tight(persist),
+        };
+        Self::from_config(config)
+    }
+
+    /// A capacity-scaled configuration: `nvdimm_bytes` of NVDIMM cache with a
+    /// proportionally small pinned region and 4 KB MoS pages, so scaled-down
+    /// datasets exhibit the same hit/miss behaviour as the full-scale system.
+    #[must_use]
+    pub fn scaled(attach: AttachMode, persist: PersistMode, nvdimm_bytes: u64) -> Self {
+        let base = match attach {
+            AttachMode::Loose => HamsConfig::loose(persist),
+            AttachMode::Tight => HamsConfig::tight(persist),
+        };
+        let mut ssd = base.ssd;
+        if ssd.dram_capacity_bytes > 0 {
+            // Keep the paper's 512 MB : 8 GB ratio between the SSD-internal
+            // DRAM and the NVDIMM cache at the scaled-down capacity.
+            ssd.dram_capacity_bytes = (nvdimm_bytes / 16).max(64 * 4096);
+        }
+        let config = HamsConfig {
+            nvdimm: NvdimmConfig {
+                capacity_bytes: nvdimm_bytes,
+                ..NvdimmConfig::hpe_8gb()
+            },
+            pinned: PinnedRegionLayout::tiny_for_tests(),
+            ssd,
+            ..base
+        }
+        .with_mos_page_size(4096);
+        Self::from_config(config)
+    }
+
+    fn paper_name(attach: AttachMode, persist: PersistMode) -> String {
+        let a = match attach {
+            AttachMode::Loose => "L",
+            AttachMode::Tight => "T",
+        };
+        let p = match persist {
+            PersistMode::Persist => "P",
+            PersistMode::Extend => "E",
+        };
+        format!("hams-{a}{p}")
+    }
+
+    /// Read access to the wrapped controller.
+    #[must_use]
+    pub fn controller(&self) -> &HamsController {
+        &self.controller
+    }
+
+    /// Mutable access to the wrapped controller (power-failure experiments).
+    pub fn controller_mut(&mut self) -> &mut HamsController {
+        &mut self.controller
+    }
+}
+
+impl Platform for HamsPlatform {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn access(&mut self, access: &Access, now: Nanos) -> AccessOutcome {
+        let capacity = self.controller.mos_capacity_bytes();
+        let addr = access.addr % capacity.max(1);
+        let result = self.controller.access(addr, access.is_write, access.size, now);
+        AccessOutcome {
+            finished_at: result.finished_at,
+            os_time: Nanos::ZERO,
+            ssd_time: Nanos::ZERO,
+            memory_time: result.finished_at - now,
+        }
+    }
+
+    fn memory_delay(&self) -> LatencyBreakdown {
+        self.controller.stats().delay.clone()
+    }
+
+    fn device_energy(&self, elapsed: Nanos) -> EnergyAccount {
+        let mut e = EnergyAccount::new();
+        let nv = self.controller.nvdimm().stats();
+        e.add_power("nvdimm", self.power.nvdimm_background_watts, elapsed);
+        e.add(
+            "nvdimm",
+            (nv.bytes_read + nv.bytes_written) as f64 * self.power.nvdimm_access_nj_per_byte / 1e9,
+        );
+        let ssd = self.controller.ssd();
+        if ssd.has_internal_dram() {
+            e.add_power("internal_dram", self.power.ssd_dram_background_watts, elapsed);
+            e.add(
+                "internal_dram",
+                (ssd.dram_stats().accesses * 4096) as f64 * self.power.ssd_dram_access_nj_per_byte
+                    / 1e9,
+            );
+        }
+        e.add(
+            "znand",
+            (ssd.stats().page_reads as f64 * self.power.znand_read_page_nj
+                + ssd.stats().page_programs as f64 * self.power.znand_program_page_nj)
+                / 1e9,
+        );
+        e
+    }
+
+    fn hit_rate(&self) -> Option<f64> {
+        Some(self.controller.stats().hit_rate())
+    }
+
+    fn is_persistent(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn acc(addr: u64, is_write: bool) -> Access {
+        Access {
+            addr,
+            size: 64,
+            is_write,
+            compute_instructions: 0,
+        }
+    }
+
+    #[test]
+    fn names_follow_the_papers_convention() {
+        assert_eq!(
+            HamsPlatform::scaled(AttachMode::Loose, PersistMode::Persist, 8 << 20).name(),
+            "hams-LP"
+        );
+        assert_eq!(
+            HamsPlatform::scaled(AttachMode::Tight, PersistMode::Extend, 8 << 20).name(),
+            "hams-TE"
+        );
+    }
+
+    #[test]
+    fn hams_never_reports_os_time() {
+        let mut p = HamsPlatform::scaled(AttachMode::Loose, PersistMode::Extend, 8 << 20);
+        let mut t = Nanos::ZERO;
+        for i in 0..64u64 {
+            let o = p.access(&acc(i * 8192, i % 2 == 0), t);
+            assert_eq!(o.os_time, Nanos::ZERO);
+            assert_eq!(o.ssd_time, Nanos::ZERO);
+            t = o.finished_at;
+        }
+        assert!(p.hit_rate().is_some());
+        assert!(p.is_persistent());
+    }
+
+    #[test]
+    fn memory_delay_breakdown_is_populated_after_misses() {
+        let mut p = HamsPlatform::scaled(AttachMode::Loose, PersistMode::Extend, 4 << 20);
+        let mut t = Nanos::ZERO;
+        for i in 0..512u64 {
+            t = p.access(&acc(i * 4096, false), t).finished_at;
+        }
+        let d = p.memory_delay();
+        assert!(d.component("nvdimm") > Nanos::ZERO);
+        assert!(d.component("ssd") > Nanos::ZERO);
+    }
+
+    #[test]
+    fn tight_platform_without_ssd_dram_reports_no_dram_energy() {
+        let mut p = HamsPlatform::scaled(AttachMode::Tight, PersistMode::Extend, 4 << 20);
+        let mut t = Nanos::ZERO;
+        for i in 0..256u64 {
+            t = p.access(&acc(i * 4096, true), t).finished_at;
+        }
+        let e = p.device_energy(t);
+        assert_eq!(e.component_joules("internal_dram"), 0.0);
+        assert!(e.component_joules("nvdimm") > 0.0);
+    }
+}

@@ -1,0 +1,40 @@
+//! Full-system platform compositions and the experiment runner.
+//!
+//! This crate assembles the substrates (flash, NVMe, interconnect, NVDIMM,
+//! host, energy) and the HAMS controller into the eleven systems the paper
+//! evaluates, and provides [`run_workload`] / [`run_matrix`] to execute
+//! Table III workloads on them and collect every reported metric
+//! (throughput, IPC, execution-time breakdown, memory-delay breakdown,
+//! energy breakdown, hit rates).
+//!
+//! # Example
+//!
+//! ```
+//! use hams_platforms::{run_workload, PlatformKind, ScaleProfile};
+//! use hams_workloads::WorkloadSpec;
+//!
+//! let scale = ScaleProfile::test_tiny();
+//! let spec = WorkloadSpec::by_name("rndWr").unwrap();
+//! let mut hams_te = PlatformKind::HamsTE.build(&scale);
+//! let metrics = run_workload(hams_te.as_mut(), spec, &scale);
+//! assert!(metrics.pages_per_sec > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cache;
+pub mod direct;
+pub mod hams;
+pub mod mmap;
+pub mod platform;
+pub mod runner;
+pub mod summary;
+
+pub use cache::{CacheOutcome, CacheStats, LruPageCache};
+pub use direct::{FlatFlashPlatform, NvdimmCPlatform, OptanePlatform, OraclePlatform};
+pub use hams::HamsPlatform;
+pub use mmap::MmapPlatform;
+pub use platform::{AccessOutcome, Platform};
+pub use runner::{run_matrix, run_workload, PlatformKind, RunMetrics, ScaleProfile, ACCESSES_PER_SQL_OP};
+pub use summary::{feature_table, headline_claims, paper_config, FeatureRow, HeadlineClaims, PaperConfig};

@@ -1,0 +1,82 @@
+//! The [`Platform`] abstraction: a complete system that serves memory
+//! accesses from a workload trace.
+//!
+//! Every evaluated system of §VI-A — `mmap`, `flatflash-P/-M`, `nvdimm-C`,
+//! `optane-P/-M`, the four HAMS variants and the `oracle` — implements this
+//! trait, so the runner and every figure harness are platform-agnostic.
+
+use hams_energy::EnergyAccount;
+use hams_sim::{LatencyBreakdown, Nanos};
+use hams_workloads::Access;
+use serde::{Deserialize, Serialize};
+
+/// The outcome of serving one access on a platform.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AccessOutcome {
+    /// Simulated time at which the access (and any blocking work it caused)
+    /// completed.
+    pub finished_at: Nanos,
+    /// Time the CPU was stalled inside the OS / software stack ("OS" in
+    /// Fig. 17). Zero for hardware-automated platforms.
+    pub os_time: Nanos,
+    /// Time the CPU was stalled waiting for the storage device ("SSD" in
+    /// Fig. 17) when that wait is visible to software.
+    pub ssd_time: Nanos,
+    /// Time spent in the memory system itself (DRAM/NVDIMM plus, for HAMS,
+    /// hardware-managed fills and evictions) — charged to the application as
+    /// load/store latency.
+    pub memory_time: Nanos,
+}
+
+impl AccessOutcome {
+    /// Total stall latency relative to the issue time.
+    #[must_use]
+    pub fn latency(&self, issued_at: Nanos) -> Nanos {
+        self.finished_at - issued_at
+    }
+}
+
+/// A complete system under test.
+pub trait Platform {
+    /// Platform name as used in the paper's figure legends (e.g. `"hams-TE"`).
+    fn name(&self) -> &str;
+
+    /// Serves one memory access issued at `now`.
+    fn access(&mut self, access: &Access, now: Nanos) -> AccessOutcome;
+
+    /// The platform's share of the memory-delay breakdown of Fig. 18
+    /// (`nvdimm` / `dma` / `ssd`), if it distinguishes these components.
+    fn memory_delay(&self) -> LatencyBreakdown {
+        LatencyBreakdown::new()
+    }
+
+    /// Device-side energy consumed so far (everything except the CPU, which
+    /// the runner accounts from compute/stall time): `nvdimm`,
+    /// `internal_dram`, `znand`.
+    fn device_energy(&self, elapsed: Nanos) -> EnergyAccount;
+
+    /// Cache hit rate of the platform's fastest tier, if it has a cache.
+    fn hit_rate(&self) -> Option<f64> {
+        None
+    }
+
+    /// Whether acknowledged writes are durable across a power failure on this
+    /// platform (Table I's "persistence" property as the paper interprets it).
+    fn is_persistent(&self) -> bool;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_latency_is_relative() {
+        let o = AccessOutcome {
+            finished_at: Nanos::from_micros(10),
+            os_time: Nanos::ZERO,
+            ssd_time: Nanos::ZERO,
+            memory_time: Nanos::from_micros(2),
+        };
+        assert_eq!(o.latency(Nanos::from_micros(4)), Nanos::from_micros(6));
+    }
+}

@@ -1,0 +1,430 @@
+//! The experiment runner: executes a Table III workload on a platform and
+//! produces every metric the paper's figures report.
+
+use hams_core::{AttachMode, PersistMode};
+use hams_energy::{EnergyAccount, PowerParams};
+use hams_flash::SsdConfig;
+use hams_host::{CpuConfig, CpuModel};
+use hams_sim::{LatencyBreakdown, Nanos};
+use hams_workloads::{TraceGenerator, WorkloadClass, WorkloadSpec};
+use serde::{Deserialize, Serialize};
+
+use crate::direct::{FlatFlashPlatform, NvdimmCPlatform, OptanePlatform, OraclePlatform};
+use crate::hams::HamsPlatform;
+use crate::mmap::MmapPlatform;
+use crate::platform::Platform;
+
+/// Number of MoS accesses that constitute one SQLite "operation" when
+/// converting access throughput into the ops/s metric of Fig. 16b.
+pub const ACCESSES_PER_SQL_OP: u64 = 128;
+
+/// The metrics produced by one (platform, workload) run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunMetrics {
+    /// Platform name (figure legend).
+    pub platform: String,
+    /// Workload name (figure x-axis).
+    pub workload: String,
+    /// Memory accesses replayed.
+    pub accesses: u64,
+    /// Instructions retired (memory plus compute).
+    pub instructions: u64,
+    /// Total simulated execution time.
+    pub total_time: Nanos,
+    /// Execution-time breakdown (`app`, `os`, `ssd`) — Fig. 7a and Fig. 17.
+    pub exec_breakdown: LatencyBreakdown,
+    /// Memory-delay breakdown (`nvdimm`, `dma`, `ssd`) — Fig. 10a and Fig. 18.
+    pub memory_delay: LatencyBreakdown,
+    /// Whole-system energy (`cpu`, `nvdimm`, `internal_dram`, `znand`) — Fig. 19.
+    pub energy: EnergyAccount,
+    /// Effective instructions per cycle — Fig. 7b.
+    pub ipc: f64,
+    /// Application throughput in pages per second — Fig. 16a.
+    pub pages_per_sec: f64,
+    /// Application throughput in operations per second — Fig. 16b.
+    pub ops_per_sec: f64,
+    /// Fast-tier (page cache / NVDIMM) hit rate, if the platform has one.
+    pub hit_rate: Option<f64>,
+}
+
+impl RunMetrics {
+    /// Throughput in the unit the paper plots for this workload class:
+    /// K pages/s for microbenchmark and Rodinia workloads, ops/s for SQLite.
+    #[must_use]
+    pub fn paper_throughput(&self, class: WorkloadClass) -> f64 {
+        match class {
+            WorkloadClass::Sqlite => self.ops_per_sec,
+            _ => self.pages_per_sec / 1_000.0,
+        }
+    }
+}
+
+/// How much the full-scale experiment is shrunk so it runs in seconds.
+///
+/// Capacities (DRAM/NVDIMM caches) and dataset footprints are divided by
+/// `capacity_divisor`, which preserves the cache-to-dataset ratio and hence
+/// hit rates; the number of replayed accesses is capped at `accesses`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScaleProfile {
+    /// Factor by which capacities and dataset sizes are divided.
+    pub capacity_divisor: u64,
+    /// Number of accesses replayed per run.
+    pub accesses: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl ScaleProfile {
+    /// The profile used by the figure benches: 1/256 capacities,
+    /// 60 000 accesses.
+    #[must_use]
+    pub fn bench_default() -> Self {
+        ScaleProfile {
+            capacity_divisor: 256,
+            accesses: 60_000,
+            seed: 42,
+        }
+    }
+
+    /// A very small profile for unit and integration tests.
+    #[must_use]
+    pub fn test_tiny() -> Self {
+        ScaleProfile {
+            capacity_divisor: 2048,
+            accesses: 4_000,
+            seed: 7,
+        }
+    }
+
+    /// The scaled DRAM / NVDIMM cache capacity (8 GB full scale).
+    #[must_use]
+    pub fn cache_bytes(&self) -> u64 {
+        (8u64 * 1024 * 1024 * 1024 / self.capacity_divisor).max(4 * 1024 * 1024)
+    }
+
+    /// The scaled SSD-internal DRAM capacity (512 MB full scale).
+    #[must_use]
+    pub fn ssd_dram_bytes(&self) -> u64 {
+        (512u64 * 1024 * 1024 / self.capacity_divisor).max(64 * 4096)
+    }
+
+    /// Scales a workload's dataset, keeping at least four cache's worth so
+    /// misses still occur for the larger datasets.
+    #[must_use]
+    pub fn scale_spec(&self, spec: WorkloadSpec) -> WorkloadSpec {
+        let scaled = (spec.dataset_bytes / self.capacity_divisor).max(spec.access_bytes * 16);
+        spec.with_dataset_bytes(scaled)
+    }
+}
+
+/// The eleven platforms of §VI-A (Fig. 16's legend).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PlatformKind {
+    /// MMF baseline over ULL-Flash.
+    Mmap,
+    /// FlatFlash, persistent (direct MMIO).
+    FlatFlashP,
+    /// FlatFlash with host-memory caching.
+    FlatFlashM,
+    /// NVDIMM-C (flash on the memory channel, refresh-window migration).
+    NvdimmC,
+    /// Optane DC PMM in App Direct mode.
+    OptaneP,
+    /// Optane DC PMM behind a DRAM cache.
+    OptaneM,
+    /// Loosely-coupled HAMS, persist mode.
+    HamsLP,
+    /// Loosely-coupled HAMS, extend mode.
+    HamsLE,
+    /// Tightly-integrated HAMS, persist mode.
+    HamsTP,
+    /// Tightly-integrated HAMS, extend mode.
+    HamsTE,
+    /// 512 GB NVDIMM oracle.
+    Oracle,
+}
+
+impl PlatformKind {
+    /// Every platform, in the order the paper's figures list them.
+    #[must_use]
+    pub fn all() -> Vec<PlatformKind> {
+        vec![
+            PlatformKind::Mmap,
+            PlatformKind::FlatFlashP,
+            PlatformKind::FlatFlashM,
+            PlatformKind::HamsLP,
+            PlatformKind::HamsLE,
+            PlatformKind::NvdimmC,
+            PlatformKind::OptaneP,
+            PlatformKind::OptaneM,
+            PlatformKind::HamsTP,
+            PlatformKind::HamsTE,
+            PlatformKind::Oracle,
+        ]
+    }
+
+    /// The subset compared in Fig. 17 and Fig. 19 (mmap plus the HAMS modes).
+    #[must_use]
+    pub fn breakdown_set() -> Vec<PlatformKind> {
+        vec![
+            PlatformKind::Mmap,
+            PlatformKind::HamsLP,
+            PlatformKind::HamsLE,
+            PlatformKind::HamsTP,
+            PlatformKind::HamsTE,
+        ]
+    }
+
+    /// The HAMS-only subset of Fig. 18.
+    #[must_use]
+    pub fn hams_set() -> Vec<PlatformKind> {
+        vec![
+            PlatformKind::HamsLP,
+            PlatformKind::HamsLE,
+            PlatformKind::HamsTP,
+            PlatformKind::HamsTE,
+        ]
+    }
+
+    /// The platform's name as used in figure legends.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            PlatformKind::Mmap => "mmap",
+            PlatformKind::FlatFlashP => "flatflash-P",
+            PlatformKind::FlatFlashM => "flatflash-M",
+            PlatformKind::NvdimmC => "nvdimm-C",
+            PlatformKind::OptaneP => "optane-P",
+            PlatformKind::OptaneM => "optane-M",
+            PlatformKind::HamsLP => "hams-LP",
+            PlatformKind::HamsLE => "hams-LE",
+            PlatformKind::HamsTP => "hams-TP",
+            PlatformKind::HamsTE => "hams-TE",
+            PlatformKind::Oracle => "oracle",
+        }
+    }
+
+    /// Builds the platform with caches sized by `scale`.
+    #[must_use]
+    pub fn build(&self, scale: &ScaleProfile) -> Box<dyn Platform> {
+        let cache = scale.cache_bytes();
+        let ssd_dram = scale.ssd_dram_bytes();
+        let scaled_ull = || {
+            let mut cfg = SsdConfig::ull_flash();
+            cfg.dram_capacity_bytes = ssd_dram;
+            cfg
+        };
+        match self {
+            PlatformKind::Mmap => Box::new(MmapPlatform::new("mmap", scaled_ull(), cache)),
+            PlatformKind::FlatFlashP => {
+                Box::new(FlatFlashPlatform::persistent().with_ssd_dram_bytes(ssd_dram))
+            }
+            PlatformKind::FlatFlashM => {
+                Box::new(FlatFlashPlatform::memory_cached(cache).with_ssd_dram_bytes(ssd_dram))
+            }
+            PlatformKind::NvdimmC => Box::new(NvdimmCPlatform::new(cache).with_ssd_dram_bytes(ssd_dram)),
+            PlatformKind::OptaneP => Box::new(OptanePlatform::app_direct()),
+            PlatformKind::OptaneM => Box::new(OptanePlatform::memory_mode(cache)),
+            PlatformKind::HamsLP => Box::new(HamsPlatform::scaled(
+                AttachMode::Loose,
+                PersistMode::Persist,
+                cache,
+            )),
+            PlatformKind::HamsLE => Box::new(HamsPlatform::scaled(
+                AttachMode::Loose,
+                PersistMode::Extend,
+                cache,
+            )),
+            PlatformKind::HamsTP => Box::new(HamsPlatform::scaled(
+                AttachMode::Tight,
+                PersistMode::Persist,
+                cache,
+            )),
+            PlatformKind::HamsTE => Box::new(HamsPlatform::scaled(
+                AttachMode::Tight,
+                PersistMode::Extend,
+                cache,
+            )),
+            PlatformKind::Oracle => Box::new(OraclePlatform::new()),
+        }
+    }
+}
+
+/// Runs one workload on one platform and gathers metrics.
+pub fn run_workload(platform: &mut dyn Platform, spec: WorkloadSpec, scale: &ScaleProfile) -> RunMetrics {
+    let scaled = scale.scale_spec(spec);
+    let mut cpu = CpuModel::new(CpuConfig::paper_default());
+    let power = PowerParams::paper_default();
+    let mut t = Nanos::ZERO;
+    let mut exec = LatencyBreakdown::new();
+    let mut accesses = 0u64;
+
+    for access in TraceGenerator::new(scaled, scale.seed, scale.accesses) {
+        accesses += 1;
+        // Compute phase between memory accesses.
+        let compute = cpu.retire(access.compute_instructions + 1);
+        exec.add("app", compute);
+        t += compute;
+        // Memory access.
+        let outcome = platform.access(&access, t);
+        let stall = outcome.latency(t);
+        cpu.stall(stall);
+        exec.add("os", outcome.os_time);
+        exec.add("ssd", outcome.ssd_time);
+        exec.add("app", stall.saturating_sub(outcome.os_time + outcome.ssd_time));
+        t = outcome.finished_at;
+    }
+
+    let mut energy = platform.device_energy(t);
+    energy.add_power("cpu", power.cpu_active_watts, cpu.compute_time());
+    energy.add_power("cpu", power.cpu_idle_watts, cpu.stall_time());
+
+    let secs = t.as_secs_f64().max(1e-12);
+    let bytes_touched = accesses * scaled.access_bytes;
+    let pages_per_sec = bytes_touched as f64 / 4096.0 / secs;
+    let ops_per_sec = accesses as f64 / ACCESSES_PER_SQL_OP as f64 / secs;
+
+    RunMetrics {
+        platform: platform.name().to_owned(),
+        workload: spec.name.to_owned(),
+        accesses,
+        instructions: cpu.instructions(),
+        total_time: t,
+        exec_breakdown: exec,
+        memory_delay: platform.memory_delay(),
+        energy,
+        ipc: cpu.ipc(),
+        pages_per_sec,
+        ops_per_sec,
+        hit_rate: platform.hit_rate(),
+    }
+}
+
+/// Runs one workload across a set of platforms.
+pub fn run_matrix(
+    kinds: &[PlatformKind],
+    spec: WorkloadSpec,
+    scale: &ScaleProfile,
+) -> Vec<RunMetrics> {
+    kinds
+        .iter()
+        .map(|k| {
+            let mut platform = k.build(scale);
+            run_workload(platform.as_mut(), spec, scale)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_scale() -> ScaleProfile {
+        ScaleProfile {
+            capacity_divisor: 2048,
+            accesses: 1_500,
+            seed: 3,
+        }
+    }
+
+    #[test]
+    fn all_platforms_run_every_workload_class() {
+        let scale = quick_scale();
+        for name in ["rndWr", "rndSel", "KMN"] {
+            let spec = WorkloadSpec::by_name(name).unwrap();
+            for kind in PlatformKind::all() {
+                let mut platform = kind.build(&scale);
+                let m = run_workload(platform.as_mut(), spec, &scale);
+                assert_eq!(m.accesses, scale.accesses as u64);
+                assert!(m.total_time > Nanos::ZERO, "{name} on {} took no time", kind.label());
+                assert!(m.pages_per_sec > 0.0);
+                assert!(m.energy.total_joules() > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn hams_te_outperforms_mmap() {
+        let scale = ScaleProfile {
+            capacity_divisor: 1024,
+            accesses: 6_000,
+            seed: 11,
+        };
+        let spec = WorkloadSpec::by_name("rndWr").unwrap();
+        let mut mmap = PlatformKind::Mmap.build(&scale);
+        let mut te = PlatformKind::HamsTE.build(&scale);
+        let m = run_workload(mmap.as_mut(), spec, &scale);
+        let h = run_workload(te.as_mut(), spec, &scale);
+        assert!(
+            h.pages_per_sec > m.pages_per_sec,
+            "hams-TE ({:.0}) should beat mmap ({:.0}) pages/s",
+            h.pages_per_sec,
+            m.pages_per_sec
+        );
+        assert!(h.ipc > m.ipc);
+    }
+
+    #[test]
+    fn oracle_is_the_upper_bound_among_hams_and_mmap() {
+        let scale = quick_scale();
+        let spec = WorkloadSpec::by_name("seqRd").unwrap();
+        let results = run_matrix(
+            &[PlatformKind::Mmap, PlatformKind::HamsTE, PlatformKind::Oracle],
+            spec,
+            &scale,
+        );
+        let oracle = results.iter().find(|r| r.platform == "oracle").unwrap();
+        for r in &results {
+            assert!(
+                oracle.pages_per_sec >= r.pages_per_sec * 0.99,
+                "{} ({:.0}) beat the oracle ({:.0})",
+                r.platform,
+                r.pages_per_sec,
+                oracle.pages_per_sec
+            );
+        }
+    }
+
+    #[test]
+    fn mmap_execution_is_dominated_by_software_overhead() {
+        let scale = quick_scale();
+        let spec = WorkloadSpec::by_name("rndRd").unwrap();
+        let mut mmap = PlatformKind::Mmap.build(&scale);
+        let m = run_workload(mmap.as_mut(), spec, &scale);
+        let os_fraction = m.exec_breakdown.fraction("os");
+        assert!(
+            os_fraction > 0.3,
+            "mmap OS fraction was only {os_fraction:.2}; the paper reports ~69%"
+        );
+    }
+
+    #[test]
+    fn persist_mode_is_slower_than_extend_mode() {
+        let scale = quick_scale();
+        let spec = WorkloadSpec::by_name("update").unwrap();
+        let results = run_matrix(&[PlatformKind::HamsTP, PlatformKind::HamsTE], spec, &scale);
+        assert!(results[1].ops_per_sec >= results[0].ops_per_sec);
+    }
+
+    #[test]
+    fn scale_profile_preserves_ratios() {
+        let scale = ScaleProfile::bench_default();
+        let spec = WorkloadSpec::by_name("seqRd").unwrap();
+        let scaled = scale.scale_spec(spec);
+        let full_ratio = spec.dataset_bytes as f64 / (8.0 * 1024.0 * 1024.0 * 1024.0);
+        let scaled_ratio = scaled.dataset_bytes as f64 / scale.cache_bytes() as f64;
+        assert!((full_ratio - scaled_ratio).abs() < 0.05 * full_ratio.max(scaled_ratio));
+    }
+
+    #[test]
+    fn paper_throughput_selects_the_right_unit() {
+        let scale = quick_scale();
+        let spec = WorkloadSpec::by_name("seqSel").unwrap();
+        let mut oracle = PlatformKind::Oracle.build(&scale);
+        let m = run_workload(oracle.as_mut(), spec, &scale);
+        assert!((m.paper_throughput(WorkloadClass::Sqlite) - m.ops_per_sec).abs() < 1e-9);
+        assert!(
+            (m.paper_throughput(WorkloadClass::Microbench) - m.pages_per_sec / 1000.0).abs() < 1e-9
+        );
+    }
+}

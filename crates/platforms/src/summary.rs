@@ -1,0 +1,146 @@
+//! Qualitative tables of the paper (Table I, Table II) and the headline
+//! claims of the abstract, exposed as data so the `figures` binary and the
+//! integration tests can print and check them.
+
+use serde::{Deserialize, Serialize};
+
+/// One row of Table I: feature comparison across persistent-memory types.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FeatureRow {
+    /// Memory type name.
+    pub name: &'static str,
+    /// Relative capacity class.
+    pub capacity: &'static str,
+    /// Whether the OS must intervene on the data path.
+    pub os_intervention: bool,
+    /// Qualitative performance class.
+    pub performance: &'static str,
+    /// Whether the type is byte-addressable.
+    pub byte_addressable: bool,
+}
+
+/// Table I of the paper.
+#[must_use]
+pub fn feature_table() -> Vec<FeatureRow> {
+    vec![
+        FeatureRow {
+            name: "NVDIMM-N",
+            capacity: "Low",
+            os_intervention: false,
+            performance: "DRAM-like",
+            byte_addressable: true,
+        },
+        FeatureRow {
+            name: "NVDIMM-F",
+            capacity: "High",
+            os_intervention: true,
+            performance: "Slow",
+            byte_addressable: false,
+        },
+        FeatureRow {
+            name: "NVDIMM-P",
+            capacity: "Medium",
+            os_intervention: true,
+            performance: "Medium",
+            byte_addressable: true,
+        },
+        FeatureRow {
+            name: "HAMS",
+            capacity: "High",
+            os_intervention: false,
+            performance: "DRAM-like",
+            byte_addressable: true,
+        },
+    ]
+}
+
+/// Table II of the paper: the simulated system configuration.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PaperConfig {
+    /// Operating system of the full-system simulation.
+    pub os: &'static str,
+    /// CPU configuration.
+    pub cpu: &'static str,
+    /// Cache hierarchy.
+    pub cache: &'static str,
+    /// Memory (NVDIMM) configuration.
+    pub memory: &'static str,
+    /// Storage (ULL-Flash) configuration.
+    pub storage: &'static str,
+    /// Flash timing.
+    pub flash: &'static str,
+}
+
+/// Table II of the paper.
+#[must_use]
+pub fn paper_config() -> PaperConfig {
+    PaperConfig {
+        os: "Linux 4.9, Ubuntu 14.10",
+        cpu: "quad-core, ARM v8, 2GHz",
+        cache: "64KB L1I / 64KB L1D / 2MB L2",
+        memory: "NVDIMM, DDR4, 8GB, 128KB page",
+        storage: "ULL-Flash, 512MB buffer, 800GB",
+        flash: "3us read, 100us write",
+    }
+}
+
+/// The abstract's headline claims, used as reproduction targets.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HeadlineClaims {
+    /// HAMS (loose) speed-up over the software MMF design (97 % ⇒ 1.97×).
+    pub hams_speedup_over_mmap: f64,
+    /// Advanced HAMS speed-up over the software MMF design (119 % ⇒ 2.19×).
+    pub advanced_hams_speedup_over_mmap: f64,
+    /// HAMS energy relative to the MMF design (41 % lower ⇒ 0.59×).
+    pub hams_energy_vs_mmap: f64,
+    /// Advanced HAMS energy relative to the MMF design (45 % lower ⇒ 0.55×).
+    pub advanced_hams_energy_vs_mmap: f64,
+    /// Average NVDIMM cache hit rate reported in §VI-C.
+    pub nvdimm_hit_rate: f64,
+}
+
+/// The paper's headline numbers.
+#[must_use]
+pub fn headline_claims() -> HeadlineClaims {
+    HeadlineClaims {
+        hams_speedup_over_mmap: 1.97,
+        advanced_hams_speedup_over_mmap: 2.19,
+        hams_energy_vs_mmap: 0.59,
+        advanced_hams_energy_vs_mmap: 0.55,
+        nvdimm_hit_rate: 0.94,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_four_rows_and_hams_is_best_of_both() {
+        let t = feature_table();
+        assert_eq!(t.len(), 4);
+        let hams = t.iter().find(|r| r.name == "HAMS").unwrap();
+        assert!(hams.byte_addressable);
+        assert!(!hams.os_intervention);
+        assert_eq!(hams.capacity, "High");
+        let nvdimm_n = t.iter().find(|r| r.name == "NVDIMM-N").unwrap();
+        assert_eq!(nvdimm_n.capacity, "Low");
+    }
+
+    #[test]
+    fn table2_matches_the_paper() {
+        let c = paper_config();
+        assert!(c.memory.contains("8GB"));
+        assert!(c.flash.contains("3us read"));
+        assert!(c.storage.contains("800GB"));
+    }
+
+    #[test]
+    fn headline_claims_are_the_abstract_numbers() {
+        let h = headline_claims();
+        assert!((h.hams_speedup_over_mmap - 1.97).abs() < 1e-9);
+        assert!((h.advanced_hams_speedup_over_mmap - 2.19).abs() < 1e-9);
+        assert!(h.hams_energy_vs_mmap < 1.0);
+        assert!(h.nvdimm_hit_rate > 0.9);
+    }
+}

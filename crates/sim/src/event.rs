@@ -1,0 +1,180 @@
+//! An ordered future-event list.
+//!
+//! The flash firmware model and the HAMS NVMe engine complete work
+//! out-of-order with respect to submission (the paper leans on this in its
+//! eviction-hazard discussion, §V-B). [`EventQueue`] keeps pending completions
+//! ordered by simulated time with FIFO tie-breaking so that components can pop
+//! "the next thing that finishes" deterministically.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::Nanos;
+
+/// An event scheduled to fire at a given simulated time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduledEvent<T> {
+    /// When the event fires.
+    pub at: Nanos,
+    /// Monotonic sequence number used to keep FIFO order among equal times.
+    pub seq: u64,
+    /// The event payload.
+    pub payload: T,
+}
+
+impl<T: Eq> Ord for ScheduledEvent<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse so that the BinaryHeap (a max-heap) pops the earliest event.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<T: Eq> PartialOrd for ScheduledEvent<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A time-ordered queue of future events with FIFO tie-breaking.
+///
+/// # Example
+///
+/// ```
+/// use hams_sim::{EventQueue, Nanos};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(Nanos::from_nanos(30), "late");
+/// q.schedule(Nanos::from_nanos(10), "early");
+/// q.schedule(Nanos::from_nanos(10), "early-second");
+/// assert_eq!(q.pop().unwrap().payload, "early");
+/// assert_eq!(q.pop().unwrap().payload, "early-second");
+/// assert_eq!(q.pop().unwrap().payload, "late");
+/// assert!(q.pop().is_none());
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<T: Eq> {
+    heap: BinaryHeap<ScheduledEvent<T>>,
+    next_seq: u64,
+}
+
+impl<T: Eq> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Eq> EventQueue<T> {
+    /// Creates an empty event queue.
+    #[must_use]
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `payload` to fire at time `at`. Returns the sequence number
+    /// assigned to the event.
+    pub fn schedule(&mut self, at: Nanos, payload: T) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(ScheduledEvent { at, seq, payload });
+        seq
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<ScheduledEvent<T>> {
+        self.heap.pop()
+    }
+
+    /// Removes and returns the earliest event if it fires at or before `now`.
+    pub fn pop_due(&mut self, now: Nanos) -> Option<ScheduledEvent<T>> {
+        if self.peek_time().is_some_and(|t| t <= now) {
+            self.heap.pop()
+        } else {
+            None
+        }
+    }
+
+    /// The firing time of the earliest pending event.
+    #[must_use]
+    pub fn peek_time(&self) -> Option<Nanos> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` if no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drains every pending event in firing order.
+    pub fn drain_ordered(&mut self) -> Vec<ScheduledEvent<T>> {
+        let mut out = Vec::with_capacity(self.heap.len());
+        while let Some(e) = self.heap.pop() {
+            out.push(e);
+        }
+        out
+    }
+
+    /// Removes all pending events without returning them.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Nanos::from_nanos(5), 5u32);
+        q.schedule(Nanos::from_nanos(1), 1u32);
+        q.schedule(Nanos::from_nanos(3), 3u32);
+        let order: Vec<u32> = q.drain_ordered().into_iter().map(|e| e.payload).collect();
+        assert_eq!(order, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn equal_times_are_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..10u32 {
+            q.schedule(Nanos::from_nanos(42), i);
+        }
+        let order: Vec<u32> = q.drain_ordered().into_iter().map(|e| e.payload).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pop_due_respects_now() {
+        let mut q = EventQueue::new();
+        q.schedule(Nanos::from_nanos(10), "a");
+        q.schedule(Nanos::from_nanos(20), "b");
+        assert!(q.pop_due(Nanos::from_nanos(5)).is_none());
+        assert_eq!(q.pop_due(Nanos::from_nanos(10)).unwrap().payload, "a");
+        assert_eq!(q.peek_time(), Some(Nanos::from_nanos(20)));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn clear_and_empty() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(Nanos::ZERO, 1u8);
+        assert!(!q.is_empty());
+        q.clear();
+        assert!(q.is_empty());
+        assert!(q.pop().is_none());
+    }
+}

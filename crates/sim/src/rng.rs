@@ -1,0 +1,110 @@
+//! Deterministic random number construction.
+//!
+//! Every experiment in the reproduction is seeded, so a figure regenerated
+//! twice produces identical numbers. All stochastic behaviour (random access
+//! patterns, hot-set selection, firmware jitter) flows through RNGs created by
+//! [`seeded_rng`], never through thread-local or OS entropy.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Creates a deterministic RNG from a 64-bit experiment seed.
+///
+/// # Example
+///
+/// ```
+/// use rand::Rng;
+///
+/// let mut a = hams_sim::rng::seeded_rng(42);
+/// let mut b = hams_sim::rng::seeded_rng(42);
+/// assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+/// ```
+#[must_use]
+pub fn seeded_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Derives a child RNG from a parent seed and a component label, so that two
+/// components of the same experiment never share a random stream.
+///
+/// The derivation is a simple FNV-1a mix of the label into the seed; it is
+/// not cryptographic, only collision-resistant enough for experiment
+/// bookkeeping.
+///
+/// # Example
+///
+/// ```
+/// use rand::Rng;
+///
+/// let mut ftl = hams_sim::rng::derived_rng(7, "ftl");
+/// let mut workload = hams_sim::rng::derived_rng(7, "workload");
+/// // Different labels yield independent-looking streams.
+/// assert_ne!(ftl.gen::<u64>(), workload.gen::<u64>());
+/// ```
+#[must_use]
+pub fn derived_rng(seed: u64, label: &str) -> StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ seed;
+    for b in label.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// Samples an exponentially distributed duration (in nanoseconds) with the
+/// given mean, clamped to at least 1 ns. Used to model firmware and queueing
+/// jitter around published mean latencies.
+pub fn exponential_nanos<R: Rng + ?Sized>(rng: &mut R, mean_ns: f64) -> u64 {
+    if mean_ns <= 0.0 {
+        return 0;
+    }
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let sample = -mean_ns * u.ln();
+    sample.max(1.0).round() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = seeded_rng(123);
+        let mut b = seeded_rng(123);
+        let xs: Vec<u64> = (0..16).map(|_| a.gen()).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.gen()).collect();
+        assert_eq!(xs, ys);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = seeded_rng(1);
+        let mut b = seeded_rng(2);
+        assert_ne!(a.gen::<u64>(), b.gen::<u64>());
+    }
+
+    #[test]
+    fn derived_streams_are_label_dependent() {
+        let mut a = derived_rng(99, "flash");
+        let mut b = derived_rng(99, "host");
+        let mut a2 = derived_rng(99, "flash");
+        assert_ne!(a.gen::<u64>(), b.gen::<u64>());
+        let mut a = derived_rng(99, "flash");
+        assert_eq!(a.gen::<u64>(), a2.gen::<u64>());
+    }
+
+    #[test]
+    fn exponential_mean_is_roughly_right() {
+        let mut rng = seeded_rng(7);
+        let n = 20_000;
+        let mean = 1_000.0;
+        let total: u64 = (0..n).map(|_| exponential_nanos(&mut rng, mean)).sum();
+        let observed = total as f64 / n as f64;
+        assert!(
+            (observed - mean).abs() < mean * 0.1,
+            "observed mean {observed} too far from {mean}"
+        );
+        assert_eq!(exponential_nanos(&mut rng, 0.0), 0);
+        assert_eq!(exponential_nanos(&mut rng, -5.0), 0);
+    }
+}

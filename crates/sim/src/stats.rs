@@ -1,0 +1,524 @@
+//! Measurement primitives used to produce every figure of the paper.
+//!
+//! * [`Counter`] — a named monotonically increasing event count,
+//! * [`RunningStats`] — online mean/min/max over a stream of samples,
+//! * [`Histogram`] — fixed-width-bucket latency histogram with percentiles,
+//! * [`LatencyBreakdown`] — named time components (e.g. `"mmap"`, `"io_stack"`,
+//!   `"ssd"`, `"cpu"`) that sum to a total, used for the stacked-bar figures
+//!   (Fig. 7a, 17, 18, 19).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::Nanos;
+
+/// A named monotonically increasing counter.
+///
+/// # Example
+///
+/// ```
+/// use hams_sim::Counter;
+///
+/// let mut hits = Counter::new("nvdimm_cache_hits");
+/// hits.add(3);
+/// hits.incr();
+/// assert_eq!(hits.value(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counter {
+    name: String,
+    value: u64,
+}
+
+impl Counter {
+    /// Creates a zeroed counter with a diagnostic name.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Counter {
+            name: name.into(),
+            value: 0,
+        }
+    }
+
+    /// The counter's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The current count.
+    #[must_use]
+    pub fn value(&self) -> u64 {
+        self.value
+    }
+
+    /// Adds one to the counter.
+    pub fn incr(&mut self) {
+        self.value += 1;
+    }
+
+    /// Adds `n` to the counter.
+    pub fn add(&mut self, n: u64) {
+        self.value = self.value.saturating_add(n);
+    }
+
+    /// Resets the counter to zero.
+    pub fn reset(&mut self) {
+        self.value = 0;
+    }
+}
+
+/// Online mean / min / max / count over a stream of `f64` samples.
+///
+/// # Example
+///
+/// ```
+/// use hams_sim::RunningStats;
+///
+/// let mut s = RunningStats::new();
+/// for x in [1.0, 2.0, 3.0] {
+///     s.push(x);
+/// }
+/// assert_eq!(s.count(), 3);
+/// assert!((s.mean() - 2.0).abs() < 1e-12);
+/// assert_eq!(s.min(), Some(1.0));
+/// assert_eq!(s.max(), Some(3.0));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunningStats {
+    count: u64,
+    sum: f64,
+    sum_sq: f64,
+    min: Option<f64>,
+    max: Option<f64>,
+}
+
+impl RunningStats {
+    /// Creates empty statistics.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a sample.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        self.sum += x;
+        self.sum_sq += x * x;
+        self.min = Some(self.min.map_or(x, |m| m.min(x)));
+        self.max = Some(self.max.map_or(x, |m| m.max(x)));
+    }
+
+    /// Adds a time sample expressed in nanoseconds.
+    pub fn push_nanos(&mut self, t: Nanos) {
+        self.push(t.as_nanos() as f64);
+    }
+
+    /// Number of samples observed.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Arithmetic mean, or 0 if no samples have been observed.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Population variance, or 0 if fewer than two samples have been observed.
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            return 0.0;
+        }
+        let n = self.count as f64;
+        (self.sum_sq / n - (self.sum / n).powi(2)).max(0.0)
+    }
+
+    /// Population standard deviation.
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest sample observed.
+    #[must_use]
+    pub fn min(&self) -> Option<f64> {
+        self.min
+    }
+
+    /// Largest sample observed.
+    #[must_use]
+    pub fn max(&self) -> Option<f64> {
+        self.max
+    }
+
+    /// Merges another statistics accumulator into this one.
+    pub fn merge(&mut self, other: &RunningStats) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.sum_sq += other.sum_sq;
+        self.min = match (self.min, other.min) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.max = match (self.max, other.max) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+    }
+}
+
+/// A fixed-bucket-width histogram of nanosecond latencies with percentile
+/// queries.
+///
+/// Samples above the configured range accumulate in an overflow bucket that
+/// still participates in percentile queries (returning the range maximum).
+///
+/// # Example
+///
+/// ```
+/// use hams_sim::{Histogram, Nanos};
+///
+/// let mut h = Histogram::new(Nanos::from_nanos(100), 100);
+/// for i in 1..=100u64 {
+///     h.record(Nanos::from_nanos(i * 100));
+/// }
+/// assert_eq!(h.count(), 100);
+/// let p50 = h.percentile(50.0).unwrap();
+/// assert!(p50 >= Nanos::from_nanos(4900) && p50 <= Nanos::from_nanos(5200));
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    bucket_width: Nanos,
+    buckets: Vec<u64>,
+    overflow: u64,
+    count: u64,
+    sum: u128,
+}
+
+impl Histogram {
+    /// Creates a histogram with `buckets` buckets each `bucket_width` wide.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_width` is zero or `buckets` is zero.
+    #[must_use]
+    pub fn new(bucket_width: Nanos, buckets: usize) -> Self {
+        assert!(!bucket_width.is_zero(), "bucket width must be non-zero");
+        assert!(buckets > 0, "histogram needs at least one bucket");
+        Histogram {
+            bucket_width,
+            buckets: vec![0; buckets],
+            overflow: 0,
+            count: 0,
+            sum: 0,
+        }
+    }
+
+    /// Records a latency sample.
+    pub fn record(&mut self, t: Nanos) {
+        let idx = (t.as_nanos() / self.bucket_width.as_nanos()) as usize;
+        if idx < self.buckets.len() {
+            self.buckets[idx] += 1;
+        } else {
+            self.overflow += 1;
+        }
+        self.count += 1;
+        self.sum += u128::from(t.as_nanos());
+    }
+
+    /// Number of samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Number of samples that fell past the last bucket.
+    #[must_use]
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Mean of all recorded samples, or zero when empty.
+    #[must_use]
+    pub fn mean(&self) -> Nanos {
+        if self.count == 0 {
+            Nanos::ZERO
+        } else {
+            Nanos::from_nanos((self.sum / u128::from(self.count)) as u64)
+        }
+    }
+
+    /// The `p`-th percentile (0 < p ≤ 100), approximated at bucket-boundary
+    /// resolution. Returns `None` when no samples have been recorded.
+    #[must_use]
+    pub fn percentile(&self, p: f64) -> Option<Nanos> {
+        if self.count == 0 {
+            return None;
+        }
+        let p = p.clamp(0.0, 100.0);
+        let target = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some(self.bucket_width * (i as u64 + 1));
+            }
+        }
+        Some(self.bucket_width * self.buckets.len() as u64)
+    }
+
+    /// Clears all recorded samples.
+    pub fn reset(&mut self) {
+        self.buckets.iter_mut().for_each(|b| *b = 0);
+        self.overflow = 0;
+        self.count = 0;
+        self.sum = 0;
+    }
+}
+
+/// Named time components that sum to a total — the stacked bars of the
+/// paper's breakdown figures.
+///
+/// Components are stored in a `BTreeMap` so iteration order (and therefore
+/// printed output) is deterministic.
+///
+/// # Example
+///
+/// ```
+/// use hams_sim::{LatencyBreakdown, Nanos};
+///
+/// let mut b = LatencyBreakdown::new();
+/// b.add("os", Nanos::from_micros(15));
+/// b.add("ssd", Nanos::from_micros(3));
+/// b.add("app", Nanos::from_micros(12));
+/// assert_eq!(b.total(), Nanos::from_micros(30));
+/// assert!((b.fraction("os") - 0.5).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyBreakdown {
+    components: BTreeMap<String, Nanos>,
+}
+
+impl LatencyBreakdown {
+    /// Creates an empty breakdown.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `t` to the component named `name`, creating it if necessary.
+    pub fn add(&mut self, name: impl Into<String>, t: Nanos) {
+        let entry = self.components.entry(name.into()).or_insert(Nanos::ZERO);
+        *entry += t;
+    }
+
+    /// The accumulated time of component `name`, or zero if absent.
+    #[must_use]
+    pub fn component(&self, name: &str) -> Nanos {
+        self.components.get(name).copied().unwrap_or(Nanos::ZERO)
+    }
+
+    /// The sum of all components.
+    #[must_use]
+    pub fn total(&self) -> Nanos {
+        self.components.values().copied().sum()
+    }
+
+    /// Component `name` as a fraction of the total, in `[0, 1]`.
+    /// Returns 0 when the total is zero.
+    #[must_use]
+    pub fn fraction(&self, name: &str) -> f64 {
+        let total = self.total();
+        if total.is_zero() {
+            return 0.0;
+        }
+        self.component(name).as_nanos() as f64 / total.as_nanos() as f64
+    }
+
+    /// Iterates over `(component, time)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, Nanos)> {
+        self.components.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Component names present in the breakdown, in name order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.components.keys().map(String::as_str)
+    }
+
+    /// Returns `true` if no components have been added.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// Merges another breakdown into this one component-by-component.
+    pub fn merge(&mut self, other: &LatencyBreakdown) {
+        for (name, t) in other.iter() {
+            self.add(name, t);
+        }
+    }
+
+    /// Returns the breakdown normalised so that components sum to 1.0.
+    /// Components of a zero-total breakdown normalise to 0.
+    #[must_use]
+    pub fn normalized(&self) -> Vec<(String, f64)> {
+        self.components
+            .keys()
+            .map(|k| (k.clone(), self.fraction(k)))
+            .collect()
+    }
+}
+
+impl fmt::Display for LatencyBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total = self.total();
+        write!(f, "total={total}")?;
+        for (name, t) in self.iter() {
+            write!(f, " {name}={t} ({:.1}%)", self.fraction(name) * 100.0)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let mut c = Counter::new("x");
+        assert_eq!(c.name(), "x");
+        c.incr();
+        c.add(10);
+        assert_eq!(c.value(), 11);
+        c.reset();
+        assert_eq!(c.value(), 0);
+    }
+
+    #[test]
+    fn counter_saturates() {
+        let mut c = Counter::new("x");
+        c.add(u64::MAX);
+        c.add(5);
+        assert_eq!(c.value(), u64::MAX);
+    }
+
+    #[test]
+    fn running_stats_mean_and_extremes() {
+        let mut s = RunningStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min(), None);
+        for x in [4.0, 8.0, 6.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 3);
+        assert!((s.mean() - 6.0).abs() < 1e-12);
+        assert_eq!(s.min(), Some(4.0));
+        assert_eq!(s.max(), Some(8.0));
+        assert!(s.std_dev() > 0.0);
+    }
+
+    #[test]
+    fn running_stats_merge() {
+        let mut a = RunningStats::new();
+        let mut b = RunningStats::new();
+        a.push(1.0);
+        a.push(3.0);
+        b.push(5.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert!((a.mean() - 3.0).abs() < 1e-12);
+        assert_eq!(a.max(), Some(5.0));
+    }
+
+    #[test]
+    fn running_stats_variance_of_constant_is_zero() {
+        let mut s = RunningStats::new();
+        for _ in 0..100 {
+            s.push(7.5);
+        }
+        assert!(s.variance() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_percentiles() {
+        let mut h = Histogram::new(Nanos::from_nanos(10), 1000);
+        for i in 1..=1000u64 {
+            h.record(Nanos::from_nanos(i * 10));
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.overflow(), 1); // the 10_000ns sample lands past bucket 999
+        let p99 = h.percentile(99.0).unwrap();
+        assert!(p99 >= Nanos::from_nanos(9_800), "p99 was {p99}");
+        assert!(h.mean() > Nanos::from_nanos(4_000));
+        assert!(h.percentile(0.0).is_some());
+    }
+
+    #[test]
+    fn histogram_empty_and_reset() {
+        let mut h = Histogram::new(Nanos::from_nanos(10), 10);
+        assert_eq!(h.percentile(50.0), None);
+        assert_eq!(h.mean(), Nanos::ZERO);
+        h.record(Nanos::from_nanos(5));
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile(50.0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket width")]
+    fn histogram_rejects_zero_width() {
+        let _ = Histogram::new(Nanos::ZERO, 10);
+    }
+
+    #[test]
+    fn breakdown_fractions_sum_to_one() {
+        let mut b = LatencyBreakdown::new();
+        b.add("a", Nanos::from_nanos(10));
+        b.add("b", Nanos::from_nanos(30));
+        b.add("a", Nanos::from_nanos(10));
+        let sum: f64 = b.normalized().iter().map(|(_, f)| f).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert_eq!(b.component("a"), Nanos::from_nanos(20));
+        assert_eq!(b.component("missing"), Nanos::ZERO);
+        assert_eq!(b.total(), Nanos::from_nanos(50));
+    }
+
+    #[test]
+    fn breakdown_merge_and_display() {
+        let mut a = LatencyBreakdown::new();
+        a.add("os", Nanos::from_nanos(5));
+        let mut b = LatencyBreakdown::new();
+        b.add("os", Nanos::from_nanos(5));
+        b.add("ssd", Nanos::from_nanos(10));
+        a.merge(&b);
+        assert_eq!(a.component("os"), Nanos::from_nanos(10));
+        assert_eq!(a.component("ssd"), Nanos::from_nanos(10));
+        let shown = a.to_string();
+        assert!(shown.contains("os"));
+        assert!(shown.contains("ssd"));
+    }
+
+    #[test]
+    fn breakdown_empty_total_is_zero() {
+        let b = LatencyBreakdown::new();
+        assert!(b.is_empty());
+        assert_eq!(b.total(), Nanos::ZERO);
+        assert_eq!(b.fraction("anything"), 0.0);
+    }
+}

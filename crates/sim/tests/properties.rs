@@ -1,0 +1,104 @@
+//! Property-based tests for the simulation primitives.
+
+use hams_sim::{EventQueue, Histogram, LatencyBreakdown, Nanos, Resource, RunningStats};
+use proptest::prelude::*;
+
+proptest! {
+    /// Saturating arithmetic never panics and never goes below zero.
+    #[test]
+    fn nanos_arithmetic_is_total(a in any::<u64>(), b in any::<u64>()) {
+        let x = Nanos::from_nanos(a);
+        let y = Nanos::from_nanos(b);
+        let sum = x + y;
+        let diff = x - y;
+        prop_assert!(sum >= x.max(y) || sum == Nanos::MAX);
+        prop_assert!(diff <= x);
+        prop_assert_eq!(x.max(y).min(x.min(y)), x.min(y));
+    }
+
+    /// A resource never starts a grant before the request time, never before
+    /// the previous grant ends, and accounts busy time exactly.
+    #[test]
+    fn resource_grants_never_overlap(durations in proptest::collection::vec(1u64..10_000, 1..60)) {
+        let mut r = Resource::new("prop");
+        let mut prev_end = Nanos::ZERO;
+        let mut total = Nanos::ZERO;
+        for d in &durations {
+            let g = r.acquire(Nanos::ZERO, Nanos::from_nanos(*d));
+            prop_assert!(g.start >= prev_end);
+            prop_assert_eq!(g.end, g.start + Nanos::from_nanos(*d));
+            prev_end = g.end;
+            total += Nanos::from_nanos(*d);
+        }
+        prop_assert_eq!(r.busy_time(), total);
+        prop_assert_eq!(r.busy_until(), prev_end);
+        prop_assert_eq!(r.grants(), durations.len() as u64);
+    }
+
+    /// Events always pop in non-decreasing time order, FIFO among ties.
+    #[test]
+    fn event_queue_orders_events(times in proptest::collection::vec(0u64..1_000, 1..100)) {
+        let mut q = EventQueue::new();
+        for (i, t) in times.iter().enumerate() {
+            q.schedule(Nanos::from_nanos(*t), i);
+        }
+        let drained = q.drain_ordered();
+        prop_assert_eq!(drained.len(), times.len());
+        for pair in drained.windows(2) {
+            prop_assert!(pair[0].at <= pair[1].at);
+            if pair[0].at == pair[1].at {
+                prop_assert!(pair[0].seq < pair[1].seq);
+            }
+        }
+    }
+
+    /// Histogram percentiles are monotone in the percentile and bounded by
+    /// the recorded extremes (at bucket resolution).
+    #[test]
+    fn histogram_percentiles_are_monotone(samples in proptest::collection::vec(1u64..100_000, 1..300)) {
+        let mut h = Histogram::new(Nanos::from_nanos(100), 1_024);
+        for s in &samples {
+            h.record(Nanos::from_nanos(*s));
+        }
+        let p50 = h.percentile(50.0).unwrap();
+        let p90 = h.percentile(90.0).unwrap();
+        let p99 = h.percentile(99.0).unwrap();
+        prop_assert!(p50 <= p90 && p90 <= p99);
+        prop_assert_eq!(h.count(), samples.len() as u64);
+    }
+
+    /// Running statistics: the mean lies between min and max and merging two
+    /// accumulators equals accumulating the concatenation.
+    #[test]
+    fn running_stats_merge_is_consistent(
+        xs in proptest::collection::vec(-1e6f64..1e6, 1..100),
+        ys in proptest::collection::vec(-1e6f64..1e6, 1..100),
+    ) {
+        let mut a = RunningStats::new();
+        let mut b = RunningStats::new();
+        let mut both = RunningStats::new();
+        for x in &xs { a.push(*x); both.push(*x); }
+        for y in &ys { b.push(*y); both.push(*y); }
+        a.merge(&b);
+        prop_assert_eq!(a.count(), both.count());
+        prop_assert!((a.mean() - both.mean()).abs() < 1e-6);
+        prop_assert!(a.mean() >= a.min().unwrap() - 1e-9);
+        prop_assert!(a.mean() <= a.max().unwrap() + 1e-9);
+    }
+
+    /// Breakdown component fractions always sum to 1 (or 0 for an empty one).
+    #[test]
+    fn breakdown_fractions_normalise(components in proptest::collection::vec((0usize..6, 1u64..1_000_000), 0..30)) {
+        let names = ["nvdimm", "dma", "ssd", "hams", "os", "app"];
+        let mut b = LatencyBreakdown::new();
+        for (idx, v) in &components {
+            b.add(names[*idx], Nanos::from_nanos(*v));
+        }
+        let sum: f64 = b.normalized().iter().map(|(_, f)| f).sum();
+        if components.is_empty() {
+            prop_assert_eq!(sum, 0.0);
+        } else {
+            prop_assert!((sum - 1.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! fio-style block-level workload generator for the device characterisation
+//! of Fig. 5 (ULL-Flash vs NVMe SSD latency and bandwidth versus I/O depth).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use hams_sim::rng::derived_rng;
+
+/// One block-level I/O request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IoRequest {
+    /// Byte offset within the device.
+    pub offset: u64,
+    /// Request size in bytes.
+    pub bytes: u64,
+    /// Whether the request is a write.
+    pub is_write: bool,
+}
+
+/// Access pattern of a fio job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FioPattern {
+    /// Sequential offsets.
+    Sequential,
+    /// Uniformly random 4 KB-aligned offsets.
+    Random,
+}
+
+/// A fio job description: the four corners of Fig. 5 are
+/// sequential/random × read/write, swept over I/O depth.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FioJob {
+    /// Spatial pattern.
+    pub pattern: FioPattern,
+    /// Whether requests are writes.
+    pub is_write: bool,
+    /// Number of requests kept in flight.
+    pub io_depth: usize,
+    /// Request payload size (the paper uses the 4 KB NVMe packet payload).
+    pub request_bytes: u64,
+    /// Extent of the device region exercised, in bytes.
+    pub span_bytes: u64,
+}
+
+impl FioJob {
+    /// A 4 KB job over an 8 GiB span, matching the paper's fio setup.
+    #[must_use]
+    pub fn four_kib(pattern: FioPattern, is_write: bool, io_depth: usize) -> Self {
+        FioJob {
+            pattern,
+            is_write,
+            io_depth,
+            request_bytes: 4096,
+            span_bytes: 8 * 1024 * 1024 * 1024,
+        }
+    }
+
+    /// Short label used in figure output, e.g. `"Seq Read"`.
+    #[must_use]
+    pub fn label(&self) -> String {
+        let p = match self.pattern {
+            FioPattern::Sequential => "Seq",
+            FioPattern::Random => "Rand",
+        };
+        let k = if self.is_write { "Write" } else { "Read" };
+        format!("{p} {k}")
+    }
+
+    /// Generates `count` requests of this job, deterministically from `seed`.
+    #[must_use]
+    pub fn requests(&self, seed: u64, count: usize) -> Vec<IoRequest> {
+        let mut rng = derived_rng(seed, &self.label());
+        let slots = (self.span_bytes / self.request_bytes).max(1);
+        (0..count)
+            .map(|i| {
+                let slot = match self.pattern {
+                    FioPattern::Sequential => i as u64 % slots,
+                    FioPattern::Random => rng.gen_range(0..slots),
+                };
+                IoRequest {
+                    offset: slot * self.request_bytes,
+                    bytes: self.request_bytes,
+                    is_write: self.is_write,
+                }
+            })
+            .collect()
+    }
+
+    /// The four job corners of Fig. 5 at a given I/O depth.
+    #[must_use]
+    pub fn figure5_jobs(io_depth: usize) -> Vec<FioJob> {
+        vec![
+            FioJob::four_kib(FioPattern::Sequential, false, io_depth),
+            FioJob::four_kib(FioPattern::Sequential, true, io_depth),
+            FioJob::four_kib(FioPattern::Random, false, io_depth),
+            FioJob::four_kib(FioPattern::Random, true, io_depth),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_cover_all_corners() {
+        let labels: Vec<String> = FioJob::figure5_jobs(1).iter().map(FioJob::label).collect();
+        assert_eq!(labels, vec!["Seq Read", "Seq Write", "Rand Read", "Rand Write"]);
+    }
+
+    #[test]
+    fn sequential_requests_advance_by_request_size() {
+        let job = FioJob::four_kib(FioPattern::Sequential, false, 1);
+        let reqs = job.requests(1, 8);
+        for (i, r) in reqs.iter().enumerate() {
+            assert_eq!(r.offset, i as u64 * 4096);
+            assert_eq!(r.bytes, 4096);
+            assert!(!r.is_write);
+        }
+    }
+
+    #[test]
+    fn random_requests_stay_in_span_and_are_aligned() {
+        let mut job = FioJob::four_kib(FioPattern::Random, true, 32);
+        job.span_bytes = 1 << 20;
+        for r in job.requests(9, 1000) {
+            assert!(r.offset + r.bytes <= job.span_bytes);
+            assert_eq!(r.offset % 4096, 0);
+            assert!(r.is_write);
+        }
+    }
+
+    #[test]
+    fn requests_are_deterministic_per_seed() {
+        let job = FioJob::four_kib(FioPattern::Random, false, 4);
+        assert_eq!(job.requests(5, 100), job.requests(5, 100));
+        assert_ne!(job.requests(5, 100), job.requests(6, 100));
+    }
+}

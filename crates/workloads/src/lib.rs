@@ -1,0 +1,22 @@
+//! Workload generators reproducing the paper's evaluation inputs: the twelve
+//! Table III workloads (mmap-benchmark, SQLite, Rodinia) as memory-access
+//! traces, and fio-style block jobs for the device characterisation of Fig. 5.
+//!
+//! # Example
+//!
+//! ```
+//! use hams_workloads::{TraceGenerator, WorkloadSpec};
+//!
+//! let update = WorkloadSpec::by_name("update").unwrap().with_dataset_bytes(1 << 22);
+//! let accesses: Vec<_> = TraceGenerator::new(update, 1, 256).collect();
+//! assert_eq!(accesses.len(), 256);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod fio;
+pub mod spec;
+
+pub use fio::{FioJob, FioPattern, IoRequest};
+pub use spec::{Access, AccessPattern, TraceGenerator, WorkloadClass, WorkloadSpec};

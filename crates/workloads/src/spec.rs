@@ -1,0 +1,424 @@
+//! Workload specifications and the memory-access trace generator.
+//!
+//! Table III of the paper characterises twelve workloads (four
+//! mmap-microbenchmark kernels, five SQLite operations, three Rodinia
+//! kernels) by instruction count, load/store ratios and dataset size. The
+//! memory system only observes the resulting stream of
+//! address/size/read-write/compute-gap tuples, so the reproduction generates
+//! synthetic traces with those statistics: same dataset footprint, same
+//! memory-instruction mix, same coarse- vs fine-grained access granularity,
+//! and an access pattern matching the workload's nature (sequential scans,
+//! uniform random, or hot-spot skewed).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use hams_sim::rng::derived_rng;
+
+/// One memory access observed by the memory system, plus the number of
+/// non-memory instructions the core executes before issuing it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Access {
+    /// Byte address within the workload's dataset.
+    pub addr: u64,
+    /// Access size in bytes.
+    pub size: u64,
+    /// Whether the access is a store.
+    pub is_write: bool,
+    /// Non-memory instructions executed since the previous access.
+    pub compute_instructions: u64,
+}
+
+/// Spatial pattern of a workload's accesses.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AccessPattern {
+    /// Monotonically increasing addresses with a fixed stride.
+    Sequential,
+    /// Uniformly random addresses over the dataset.
+    Random,
+    /// Skewed accesses: `hot_access_fraction` of accesses fall in the first
+    /// `hot_fraction` of the dataset (database-style locality).
+    Hotspot {
+        /// Fraction of the dataset that is hot.
+        hot_fraction: f64,
+        /// Fraction of accesses that touch the hot region.
+        hot_access_fraction: f64,
+    },
+}
+
+/// Which benchmark suite a workload belongs to (Table III columns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WorkloadClass {
+    /// mmap-benchmark microbenchmarks (page-granular, memory intensive).
+    Microbench,
+    /// SQLite/LevelDB benchmark operations (fine-grained, DBMS computation).
+    Sqlite,
+    /// Rodinia kernels (fine-grained, computation heavy).
+    Rodinia,
+}
+
+/// The static characteristics of one workload (one column of Table III).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Workload name as used in the paper's figures.
+    pub name: &'static str,
+    /// Benchmark suite.
+    pub class: WorkloadClass,
+    /// Total dynamic instruction count (Table III, "# of inst.").
+    pub total_instructions: u64,
+    /// Fraction of instructions that are loads.
+    pub load_ratio: f64,
+    /// Fraction of instructions that are stores.
+    pub store_ratio: f64,
+    /// Dataset footprint in bytes.
+    pub dataset_bytes: u64,
+    /// Size of one memory access issued to the MoS space.
+    pub access_bytes: u64,
+    /// Spatial pattern.
+    pub pattern: AccessPattern,
+}
+
+impl WorkloadSpec {
+    /// Fraction of instructions that reference memory.
+    #[must_use]
+    pub fn memory_ratio(&self) -> f64 {
+        self.load_ratio + self.store_ratio
+    }
+
+    /// Fraction of memory accesses that are writes.
+    #[must_use]
+    pub fn write_fraction(&self) -> f64 {
+        let m = self.memory_ratio();
+        if m <= 0.0 {
+            0.0
+        } else {
+            self.store_ratio / m
+        }
+    }
+
+    /// Total number of memory accesses the full workload performs.
+    #[must_use]
+    pub fn total_memory_accesses(&self) -> u64 {
+        (self.total_instructions as f64 * self.memory_ratio()) as u64
+    }
+
+    /// Average non-memory instructions between consecutive memory accesses.
+    #[must_use]
+    pub fn compute_per_access(&self) -> u64 {
+        let m = self.memory_ratio();
+        if m <= 0.0 {
+            return 0;
+        }
+        ((1.0 - m) / m).round() as u64
+    }
+
+    /// The four mmap-benchmark microbenchmarks (Table III).
+    #[must_use]
+    pub fn microbench() -> Vec<WorkloadSpec> {
+        let gb = 1024 * 1024 * 1024;
+        let spec = |name, inst: u64, load, store, pattern| WorkloadSpec {
+            name,
+            class: WorkloadClass::Microbench,
+            total_instructions: inst,
+            load_ratio: load,
+            store_ratio: store,
+            dataset_bytes: 16 * gb,
+            access_bytes: 4096,
+            pattern,
+        };
+        vec![
+            spec("seqRd", 67_000_000_000, 0.28, 0.43, AccessPattern::Sequential),
+            spec("rndRd", 69_000_000_000, 0.27, 0.37, AccessPattern::Random),
+            spec("seqWr", 67_000_000_000, 0.28, 0.43, AccessPattern::Sequential),
+            spec("rndWr", 69_000_000_000, 0.27, 0.37, AccessPattern::Random),
+        ]
+    }
+
+    /// The five SQLite benchmark operations (Table III).
+    #[must_use]
+    pub fn sqlite() -> Vec<WorkloadSpec> {
+        let gb = 1024 * 1024 * 1024;
+        let hotspot = AccessPattern::Hotspot {
+            hot_fraction: 0.2,
+            hot_access_fraction: 0.85,
+        };
+        let spec = |name, inst: u64, load, store, pattern| WorkloadSpec {
+            name,
+            class: WorkloadClass::Sqlite,
+            total_instructions: inst,
+            load_ratio: load,
+            store_ratio: store,
+            dataset_bytes: 11 * gb,
+            access_bytes: 64,
+            pattern,
+        };
+        vec![
+            spec("seqSel", 213_000_000_000, 0.26, 0.20, AccessPattern::Sequential),
+            spec("rndSel", 213_000_000_000, 0.26, 0.20, hotspot),
+            spec("seqIns", 40_000_000_000, 0.25, 0.21, AccessPattern::Sequential),
+            spec("rndIns", 44_000_000_000, 0.25, 0.21, hotspot),
+            spec("update", 244_000_000_000, 0.26, 0.20, hotspot),
+        ]
+    }
+
+    /// The three Rodinia kernels (Table III).
+    #[must_use]
+    pub fn rodinia() -> Vec<WorkloadSpec> {
+        let gb = 1024 * 1024 * 1024;
+        vec![
+            WorkloadSpec {
+                name: "BFS",
+                class: WorkloadClass::Rodinia,
+                total_instructions: 192_000_000_000,
+                load_ratio: 0.21,
+                store_ratio: 0.04,
+                dataset_bytes: 9 * gb,
+                access_bytes: 64,
+                pattern: AccessPattern::Random,
+            },
+            WorkloadSpec {
+                name: "KMN",
+                class: WorkloadClass::Rodinia,
+                total_instructions: 38_000_000_000,
+                load_ratio: 0.27,
+                store_ratio: 0.03,
+                dataset_bytes: 5 * gb,
+                access_bytes: 64,
+                pattern: AccessPattern::Sequential,
+            },
+            WorkloadSpec {
+                name: "NN",
+                class: WorkloadClass::Rodinia,
+                total_instructions: 145_000_000_000,
+                load_ratio: 0.16,
+                store_ratio: 0.05,
+                dataset_bytes: 7 * gb,
+                access_bytes: 64,
+                pattern: AccessPattern::Sequential,
+            },
+        ]
+    }
+
+    /// Every workload of Table III, in the order the figures list them.
+    #[must_use]
+    pub fn table3() -> Vec<WorkloadSpec> {
+        let mut all = Self::microbench();
+        all.extend(Self::rodinia());
+        all.extend(Self::sqlite());
+        all
+    }
+
+    /// Looks a workload up by its paper name (case-sensitive).
+    #[must_use]
+    pub fn by_name(name: &str) -> Option<WorkloadSpec> {
+        Self::table3().into_iter().find(|w| w.name == name)
+    }
+
+    /// Returns a copy of this spec with its dataset scaled to `bytes`
+    /// (used by the Fig. 20b large-footprint stress test and by the
+    /// scaled-down unit tests).
+    #[must_use]
+    pub fn with_dataset_bytes(mut self, bytes: u64) -> Self {
+        self.dataset_bytes = bytes;
+        self
+    }
+}
+
+/// Deterministic generator of a workload's memory-access trace.
+///
+/// The generator produces `count` accesses whose statistics follow the spec;
+/// `count` is typically a scaled-down sample of
+/// [`WorkloadSpec::total_memory_accesses`] so that experiments finish in
+/// seconds while preserving ratios.
+///
+/// # Example
+///
+/// ```
+/// use hams_workloads::{TraceGenerator, WorkloadSpec};
+///
+/// let spec = WorkloadSpec::by_name("rndWr").unwrap().with_dataset_bytes(1 << 20);
+/// let trace: Vec<_> = TraceGenerator::new(spec, 42, 1000).collect();
+/// assert_eq!(trace.len(), 1000);
+/// let writes = trace.iter().filter(|a| a.is_write).count();
+/// assert!(writes > 400 && writes < 800); // store-heavy microbenchmark
+/// ```
+#[derive(Debug)]
+pub struct TraceGenerator {
+    spec: WorkloadSpec,
+    rng: rand::rngs::StdRng,
+    remaining: usize,
+    next_sequential: u64,
+}
+
+impl TraceGenerator {
+    /// Creates a generator for `count` accesses of `spec`, seeded by `seed`.
+    #[must_use]
+    pub fn new(spec: WorkloadSpec, seed: u64, count: usize) -> Self {
+        TraceGenerator {
+            spec,
+            rng: derived_rng(seed, spec.name),
+            remaining: count,
+            next_sequential: 0,
+        }
+    }
+
+    /// The spec this generator follows.
+    #[must_use]
+    pub fn spec(&self) -> &WorkloadSpec {
+        &self.spec
+    }
+
+    fn next_addr(&mut self) -> u64 {
+        let span = self.spec.dataset_bytes.max(self.spec.access_bytes);
+        let slots = (span / self.spec.access_bytes).max(1);
+        match self.spec.pattern {
+            AccessPattern::Sequential => {
+                let slot = self.next_sequential % slots;
+                self.next_sequential += 1;
+                slot * self.spec.access_bytes
+            }
+            AccessPattern::Random => self.rng.gen_range(0..slots) * self.spec.access_bytes,
+            AccessPattern::Hotspot {
+                hot_fraction,
+                hot_access_fraction,
+            } => {
+                let hot_slots = ((slots as f64 * hot_fraction).ceil() as u64).max(1);
+                if self.rng.gen_bool(hot_access_fraction.clamp(0.0, 1.0)) {
+                    self.rng.gen_range(0..hot_slots) * self.spec.access_bytes
+                } else {
+                    self.rng.gen_range(0..slots) * self.spec.access_bytes
+                }
+            }
+        }
+    }
+}
+
+impl Iterator for TraceGenerator {
+    type Item = Access;
+
+    fn next(&mut self) -> Option<Access> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let addr = self.next_addr();
+        let is_write = self.rng.gen_bool(self.spec.write_fraction().clamp(0.0, 1.0));
+        Some(Access {
+            addr,
+            size: self.spec.access_bytes,
+            is_write,
+            compute_instructions: self.spec.compute_per_access(),
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for TraceGenerator {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_lists_all_twelve_workloads() {
+        let all = WorkloadSpec::table3();
+        assert_eq!(all.len(), 12);
+        let names: Vec<&str> = all.iter().map(|w| w.name).collect();
+        for expected in [
+            "seqRd", "rndRd", "seqWr", "rndWr", "BFS", "KMN", "NN", "seqSel", "rndSel", "seqIns",
+            "rndIns", "update",
+        ] {
+            assert!(names.contains(&expected), "missing workload {expected}");
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(WorkloadSpec::by_name("update").is_some());
+        assert!(WorkloadSpec::by_name("doom").is_none());
+    }
+
+    #[test]
+    fn ratios_match_table3() {
+        let bfs = WorkloadSpec::by_name("BFS").unwrap();
+        assert!((bfs.load_ratio - 0.21).abs() < 1e-9);
+        assert!((bfs.store_ratio - 0.04).abs() < 1e-9);
+        assert_eq!(bfs.dataset_bytes, 9 * 1024 * 1024 * 1024);
+        assert!(bfs.write_fraction() < 0.2);
+
+        let seq_wr = WorkloadSpec::by_name("seqWr").unwrap();
+        assert!(seq_wr.write_fraction() > 0.5, "seqWr is store heavy");
+    }
+
+    #[test]
+    fn compute_per_access_reflects_memory_intensity() {
+        let micro = WorkloadSpec::by_name("seqRd").unwrap();
+        let rodinia = WorkloadSpec::by_name("NN").unwrap();
+        assert!(
+            rodinia.compute_per_access() > micro.compute_per_access(),
+            "Rodinia is computation heavy"
+        );
+    }
+
+    #[test]
+    fn sequential_trace_is_monotonic_with_wraparound() {
+        let spec = WorkloadSpec::by_name("seqRd").unwrap().with_dataset_bytes(64 * 4096);
+        let trace: Vec<Access> = TraceGenerator::new(spec, 1, 64).collect();
+        for pair in trace.windows(2) {
+            assert!(pair[1].addr > pair[0].addr || pair[1].addr == 0);
+        }
+    }
+
+    #[test]
+    fn traces_are_reproducible_per_seed() {
+        let spec = WorkloadSpec::by_name("rndRd").unwrap().with_dataset_bytes(1 << 22);
+        let a: Vec<Access> = TraceGenerator::new(spec, 7, 500).collect();
+        let b: Vec<Access> = TraceGenerator::new(spec, 7, 500).collect();
+        let c: Vec<Access> = TraceGenerator::new(spec, 8, 500).collect();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn addresses_stay_within_the_dataset() {
+        for spec in WorkloadSpec::table3() {
+            let spec = spec.with_dataset_bytes(1 << 24);
+            for access in TraceGenerator::new(spec, 3, 2000) {
+                assert!(access.addr + access.size <= spec.dataset_bytes.max(spec.access_bytes));
+            }
+        }
+    }
+
+    #[test]
+    fn hotspot_pattern_concentrates_accesses() {
+        let spec = WorkloadSpec::by_name("rndSel").unwrap().with_dataset_bytes(1 << 24);
+        let trace: Vec<Access> = TraceGenerator::new(spec, 11, 5000).collect();
+        let hot_boundary = (spec.dataset_bytes as f64 * 0.2) as u64;
+        let hot = trace.iter().filter(|a| a.addr < hot_boundary).count();
+        assert!(
+            hot as f64 > 0.7 * trace.len() as f64,
+            "only {hot} of {} accesses were hot",
+            trace.len()
+        );
+    }
+
+    #[test]
+    fn generator_reports_exact_length() {
+        let spec = WorkloadSpec::by_name("KMN").unwrap().with_dataset_bytes(1 << 20);
+        let g = TraceGenerator::new(spec, 5, 123);
+        assert_eq!(g.len(), 123);
+        assert_eq!(g.count(), 123);
+    }
+
+    #[test]
+    fn write_fraction_of_zero_memory_ratio_is_zero() {
+        let mut spec = WorkloadSpec::by_name("KMN").unwrap();
+        spec.load_ratio = 0.0;
+        spec.store_ratio = 0.0;
+        assert_eq!(spec.write_fraction(), 0.0);
+        assert_eq!(spec.compute_per_access(), 0);
+    }
+}

@@ -1,0 +1,85 @@
+//! Characterises the three SSD classes the paper compares (SATA, NVMe 750,
+//! Z-NAND ULL-Flash) the way §III-A does with fio: 4 KB random reads and
+//! writes at increasing queue depth, reporting latency and bandwidth.
+//!
+//! Run with: `cargo run --release --example device_characterization`
+
+use hams::flash::{SsdConfig, SsdDevice};
+use hams::nvme::{NvmeCommand, PrpList};
+use hams::sim::Nanos;
+use hams::workloads::{FioJob, FioPattern};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Replays a job keeping `io_depth` requests outstanding; returns
+/// (average latency, bandwidth MB/s).
+fn replay(ssd: &mut SsdDevice, job: &FioJob, count: usize) -> (Nanos, f64) {
+    let requests = job.requests(11, count);
+    let mut outstanding: BinaryHeap<Reverse<Nanos>> = BinaryHeap::new();
+    let mut now = Nanos::ZERO;
+    let mut total_latency = Nanos::ZERO;
+    let mut makespan = Nanos::ZERO;
+    for r in &requests {
+        while outstanding.len() >= job.io_depth {
+            let Reverse(done) = outstanding.pop().expect("queue not empty");
+            now = now.max(done);
+        }
+        let cmd = if r.is_write {
+            NvmeCommand::write(1, r.offset / 4096, r.bytes, PrpList::single(0))
+        } else {
+            NvmeCommand::read(1, r.offset / 4096, r.bytes, PrpList::single(0))
+        };
+        let done = ssd.service(&cmd, now).expect("within capacity").finished_at;
+        total_latency += done - now;
+        makespan = makespan.max(done);
+        outstanding.push(Reverse(done));
+    }
+    let avg = total_latency / requests.len() as u64;
+    let bw = (requests.len() as u64 * job.request_bytes) as f64 / makespan.as_secs_f64() / 1e6;
+    (avg, bw)
+}
+
+fn main() {
+    let devices = [
+        ("SATA SSD", SsdConfig::sata_ssd()),
+        ("NVMe SSD", SsdConfig::nvme_750()),
+        ("ULL-Flash", SsdConfig::ull_flash()),
+    ];
+    let span: u64 = 64 << 20;
+
+    println!(
+        "{:<10} {:<6} {:>6} {:>12} {:>12}",
+        "device", "op", "depth", "latency(us)", "bw(MB/s)"
+    );
+    for (name, cfg) in devices {
+        for is_write in [false, true] {
+            for depth in [1usize, 4, 16, 32] {
+                let mut ssd = SsdDevice::new(cfg);
+                // Precondition: make the exercised region durable so reads
+                // actually touch the flash array.
+                for p in 0..(span / 4096).min(2048) {
+                    let cmd =
+                        NvmeCommand::write(1, p, 4096, PrpList::single(0)).with_fua(true);
+                    let _ = ssd.service(&cmd, Nanos::ZERO);
+                }
+                let mut job = FioJob::four_kib(FioPattern::Random, is_write, depth);
+                job.span_bytes = span;
+                let (lat, bw) = replay(&mut ssd, &job, 800);
+                println!(
+                    "{:<10} {:<6} {:>6} {:>12.1} {:>12.0}",
+                    name,
+                    if is_write { "write" } else { "read" },
+                    depth,
+                    lat.as_micros_f64(),
+                    bw
+                );
+            }
+        }
+    }
+    println!();
+    println!(
+        "Expected shape (paper Fig. 5): ULL-Flash latency stays flat with queue \
+         depth and its bandwidth peaks at shallow queues, while the conventional \
+         NVMe SSD's latency grows sharply."
+    );
+}

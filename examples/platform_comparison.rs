@@ -1,0 +1,44 @@
+//! Compares all eleven evaluated platforms on one microbenchmark and one
+//! SQLite workload — a command-line rendition of Fig. 16.
+//!
+//! Run with: `cargo run --release --example platform_comparison`
+
+use hams::platforms::{run_workload, PlatformKind, ScaleProfile};
+use hams::workloads::WorkloadSpec;
+
+fn main() {
+    let scale = ScaleProfile {
+        capacity_divisor: 512,
+        accesses: 15_000,
+        seed: 3,
+    };
+
+    for workload in ["rndWr", "update"] {
+        let spec = WorkloadSpec::by_name(workload).expect("known workload");
+        println!("=== {workload} ===");
+        println!(
+            "{:<12} {:>14} {:>10} {:>10} {:>12}",
+            "platform", "K pages/s", "IPC", "hit rate", "persistent"
+        );
+        let mut baseline_pages = None;
+        for kind in PlatformKind::all() {
+            let mut platform = kind.build(&scale);
+            let m = run_workload(platform.as_mut(), spec, &scale);
+            if kind == PlatformKind::Mmap {
+                baseline_pages = Some(m.pages_per_sec);
+            }
+            let speedup = baseline_pages
+                .map(|b| m.pages_per_sec / b.max(f64::MIN_POSITIVE))
+                .unwrap_or(1.0);
+            println!(
+                "{:<12} {:>14.1} {:>10.4} {:>9.1}% {:>11}  ({speedup:.2}x mmap)",
+                m.platform,
+                m.pages_per_sec / 1000.0,
+                m.ipc,
+                m.hit_rate.unwrap_or(0.0) * 100.0,
+                if platform.is_persistent() { "yes" } else { "no" },
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,48 @@
+//! Quickstart: build an advanced HAMS controller, drive a short access
+//! stream at it and print the cache behaviour and latency breakdown.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use hams::core::{AttachMode, HamsConfig, HamsController, PersistMode};
+use hams::sim::Nanos;
+
+fn main() {
+    // A scaled-down advanced HAMS (DDR4-attached ULL-Flash, extend mode).
+    // `HamsConfig::tight(PersistMode::Extend)` is the paper-scale equivalent.
+    let config = HamsConfig::tiny_for_tests(AttachMode::Tight, PersistMode::Extend);
+    let mut hams = HamsController::new(config);
+
+    println!("MoS capacity      : {} GiB", hams.mos_capacity_bytes() >> 30);
+    println!("NVDIMM cache sets : {}", hams.cache_sets());
+    println!();
+
+    // Touch a small working set repeatedly, plus a cold page now and then.
+    let mut now = Nanos::ZERO;
+    for i in 0..2_000u64 {
+        let addr = if i % 50 == 0 {
+            // A cold page, far away: will miss and be filled from ULL-Flash.
+            (i * 977) % (hams.mos_capacity_bytes() / 2)
+        } else {
+            // The hot working set: a few KiB that stays cached in NVDIMM.
+            (i % 64) * 64
+        };
+        let result = hams.access(addr, i % 3 == 0, 64, now);
+        now = result.finished_at;
+    }
+
+    let stats = hams.stats();
+    println!("accesses          : {}", stats.accesses);
+    println!("NVDIMM hit rate   : {:.1}%", stats.hit_rate() * 100.0);
+    println!("evictions         : {}", stats.evictions);
+    println!("wait-queue stalls : {}", stats.wait_stalls);
+    println!();
+    println!("memory delay breakdown (critical path):");
+    for (component, time) in stats.delay.iter() {
+        println!(
+            "  {component:<8} {time}  ({:.1}%)",
+            stats.delay.fraction(component) * 100.0
+        );
+    }
+    println!();
+    println!("total simulated time: {now}");
+}

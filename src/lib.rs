@@ -1,0 +1,65 @@
+//! HAMS — a full reproduction of *"Revamping Storage Class Memory With
+//! Hardware Automated Memory-Over-Storage Solution"* (ISCA 2021) in Rust.
+//!
+//! This facade crate re-exports the whole workspace so that applications,
+//! examples and experiments can depend on a single crate:
+//!
+//! * [`core`] — the HAMS controller (MoS address manager, NVDIMM tag cache,
+//!   NVMe engine, hazard avoidance, persistency control),
+//! * [`flash`], [`nvme`], [`interconnect`], [`nvdimm`], [`host`], [`energy`],
+//!   [`sim`] — the substrates the controller is built on,
+//! * [`workloads`] — Table III trace generators and fio-style device jobs,
+//! * [`platforms`] — the eleven evaluated systems plus the experiment runner.
+//!
+//! # Quick start
+//!
+//! ```
+//! use hams::core::{AttachMode, HamsConfig, HamsController, PersistMode};
+//! use hams::sim::Nanos;
+//!
+//! // Advanced HAMS (DDR4-attached, extend mode) on a scaled-down configuration.
+//! let config = HamsConfig::tiny_for_tests(AttachMode::Tight, PersistMode::Extend);
+//! let mut hams = HamsController::new(config);
+//!
+//! // A store to a cold MoS page misses, a second access to the same page hits.
+//! let miss = hams.access(0x0, true, 64, Nanos::ZERO);
+//! let hit = hams.access(0x40, false, 64, miss.finished_at);
+//! assert!(!miss.hit && hit.hit);
+//! ```
+//!
+//! See the `examples/` directory for runnable end-to-end scenarios and the
+//! `hams-bench` crate for the harnesses that regenerate every figure of the
+//! paper.
+
+#![warn(missing_docs)]
+
+pub use hams_core as core;
+pub use hams_energy as energy;
+pub use hams_flash as flash;
+pub use hams_host as host;
+pub use hams_interconnect as interconnect;
+pub use hams_nvdimm as nvdimm;
+pub use hams_nvme as nvme;
+pub use hams_platforms as platforms;
+pub use hams_sim as sim;
+pub use hams_workloads as workloads;
+
+/// The paper this workspace reproduces.
+pub const PAPER: &str = "Revamping Storage Class Memory With Hardware Automated \
+                         Memory-Over-Storage Solution (ISCA 2021, arXiv:2106.14241)";
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_re_exports_compose() {
+        use crate::platforms::{run_workload, PlatformKind, ScaleProfile};
+        use crate::workloads::WorkloadSpec;
+
+        let scale = ScaleProfile::test_tiny();
+        let spec = WorkloadSpec::by_name("KMN").unwrap();
+        let mut platform = PlatformKind::HamsTE.build(&scale);
+        let metrics = run_workload(platform.as_mut(), spec, &scale);
+        assert!(metrics.total_time > crate::sim::Nanos::ZERO);
+        assert!(super::PAPER.contains("ISCA"));
+    }
+}

@@ -1,0 +1,150 @@
+//! Integration test: the paper's headline claims hold in shape on the
+//! scaled-down reproduction.
+//!
+//! The abstract claims HAMS and advanced HAMS deliver 97 % / 119 % higher
+//! system performance than the software (MMF) NVDIMM design while consuming
+//! 41 % / 45 % less energy, with a ~94 % NVDIMM cache hit rate. Absolute
+//! factors depend on the substrate, so the assertions below check the
+//! *direction* and *ordering* of every claim plus loose magnitude bands.
+
+use hams::platforms::{run_workload, PlatformKind, RunMetrics, ScaleProfile};
+use hams::workloads::WorkloadSpec;
+
+fn scale() -> ScaleProfile {
+    ScaleProfile {
+        capacity_divisor: 1024,
+        accesses: 8_000,
+        seed: 2024,
+    }
+}
+
+fn run(kind: PlatformKind, workload: &str, scale: &ScaleProfile) -> RunMetrics {
+    let spec = WorkloadSpec::by_name(workload).expect("workload exists");
+    let mut platform = kind.build(scale);
+    run_workload(platform.as_mut(), spec, scale)
+}
+
+#[test]
+fn hams_outperforms_the_mmf_baseline_on_every_workload_class() {
+    let scale = scale();
+    for workload in ["rndWr", "seqRd", "update", "BFS"] {
+        let mmap = run(PlatformKind::Mmap, workload, &scale);
+        let le = run(PlatformKind::HamsLE, workload, &scale);
+        let te = run(PlatformKind::HamsTE, workload, &scale);
+        assert!(
+            le.pages_per_sec > mmap.pages_per_sec,
+            "{workload}: hams-LE ({:.0}) must beat mmap ({:.0})",
+            le.pages_per_sec,
+            mmap.pages_per_sec
+        );
+        assert!(
+            te.pages_per_sec > mmap.pages_per_sec,
+            "{workload}: hams-TE ({:.0}) must beat mmap ({:.0})",
+            te.pages_per_sec,
+            mmap.pages_per_sec
+        );
+    }
+}
+
+#[test]
+fn advanced_hams_beats_baseline_hams_overall() {
+    let scale = scale();
+    // Geometric mean of speedups across a representative workload mix, as the
+    // paper's "97% vs 119%" aggregate does.
+    let mut le_product = 1.0f64;
+    let mut te_product = 1.0f64;
+    let workloads = ["rndWr", "seqWr", "rndRd", "update"];
+    for workload in workloads {
+        let mmap = run(PlatformKind::Mmap, workload, &scale);
+        let le = run(PlatformKind::HamsLE, workload, &scale);
+        let te = run(PlatformKind::HamsTE, workload, &scale);
+        le_product *= le.pages_per_sec / mmap.pages_per_sec;
+        te_product *= te.pages_per_sec / mmap.pages_per_sec;
+    }
+    let n = workloads.len() as f64;
+    let le_speedup = le_product.powf(1.0 / n);
+    let te_speedup = te_product.powf(1.0 / n);
+    assert!(
+        te_speedup > le_speedup,
+        "advanced HAMS ({te_speedup:.2}x) must beat baseline HAMS ({le_speedup:.2}x)"
+    );
+    // The paper's factors are 1.97x and 2.19x; accept a generous band around
+    // them for the scaled simulator.
+    assert!(
+        le_speedup > 1.3,
+        "baseline HAMS speed-up over mmap was only {le_speedup:.2}x"
+    );
+    assert!(
+        te_speedup > 1.5,
+        "advanced HAMS speed-up over mmap was only {te_speedup:.2}x"
+    );
+}
+
+#[test]
+fn hams_consumes_less_energy_than_mmap() {
+    let scale = scale();
+    for workload in ["rndWr", "update"] {
+        let mmap = run(PlatformKind::Mmap, workload, &scale);
+        let le = run(PlatformKind::HamsLE, workload, &scale);
+        let te = run(PlatformKind::HamsTE, workload, &scale);
+        let le_ratio = le.energy.normalized_to(&mmap.energy);
+        let te_ratio = te.energy.normalized_to(&mmap.energy);
+        assert!(
+            le_ratio < 1.0,
+            "{workload}: hams-LE energy ratio {le_ratio:.2} should be below 1"
+        );
+        assert!(
+            te_ratio < 1.0,
+            "{workload}: hams-TE energy ratio {te_ratio:.2} should be below 1"
+        );
+        assert!(
+            te_ratio <= le_ratio + 0.05,
+            "{workload}: advanced HAMS ({te_ratio:.2}) should not use more energy than baseline ({le_ratio:.2})"
+        );
+    }
+}
+
+#[test]
+fn nvdimm_cache_hit_rate_is_high_for_skewed_workloads() {
+    let scale = scale();
+    // The SQLite workloads have hot-spot locality; the paper reports a 94%
+    // average hit rate with an 8 GB NVDIMM over 11-16 GB datasets.
+    let te = run(PlatformKind::HamsTE, "rndSel", &scale);
+    let hit = te.hit_rate.unwrap_or(0.0);
+    assert!(hit > 0.75, "NVDIMM hit rate was only {hit:.2}");
+}
+
+#[test]
+fn persist_mode_trades_throughput_for_write_through_persistence() {
+    let scale = scale();
+    for (persist, extend) in [
+        (PlatformKind::HamsLP, PlatformKind::HamsLE),
+        (PlatformKind::HamsTP, PlatformKind::HamsTE),
+    ] {
+        let p = run(persist, "rndWr", &scale);
+        let e = run(extend, "rndWr", &scale);
+        assert!(
+            e.pages_per_sec >= p.pages_per_sec,
+            "{}: extend ({:.0}) must be at least as fast as persist ({:.0})",
+            e.platform,
+            e.pages_per_sec,
+            p.pages_per_sec
+        );
+    }
+}
+
+#[test]
+fn oracle_remains_the_upper_bound() {
+    let scale = scale();
+    let oracle = run(PlatformKind::Oracle, "seqRd", &scale);
+    for kind in PlatformKind::all() {
+        let m = run(kind, "seqRd", &scale);
+        assert!(
+            oracle.pages_per_sec >= m.pages_per_sec * 0.99,
+            "{} ({:.0}) beat the oracle ({:.0})",
+            m.platform,
+            m.pages_per_sec,
+            oracle.pages_per_sec
+        );
+    }
+}
