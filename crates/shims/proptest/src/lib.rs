@@ -1,0 +1,338 @@
+//! Offline stand-in for the real `proptest` crate.
+//!
+//! The build container has no crates-registry access, so the workspace ships
+//! this shim as a path dependency. It supports the subset of proptest the
+//! HAMS test suites use:
+//!
+//! * the [`proptest!`] macro (with an optional leading
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]`),
+//! * strategies: primitive ranges (`0u64..512`, `-1e6f64..1e6`),
+//!   `any::<T>()`, tuples of strategies, and `collection::vec`,
+//! * `prop_assert!`, `prop_assert_eq!`, `prop_assert_ne!`.
+//!
+//! Differences from the real crate: cases are sampled from a deterministic
+//! per-test stream (derived from the test name and the case index), there is
+//! no failure-case shrinking, and a failed assertion panics immediately with
+//! the standard assert message. Swap the path dependency for crates.io
+//! `proptest` to get shrinking back; no source changes are required.
+
+use core::ops::Range;
+
+/// Number of cases run per property when no explicit config is given. The
+/// real proptest defaults to 256; the shim trades depth for suite runtime.
+pub const DEFAULT_CASES: u32 = 48;
+
+/// Mirror of `proptest::prelude::ProptestConfig` (only `cases` is honoured).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of sampled cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: DEFAULT_CASES,
+        }
+    }
+}
+
+/// Deterministic xoshiro256++ stream used to sample strategy values.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// A stream fully determined by the owning test's name and case index.
+    #[must_use]
+    pub fn deterministic(case: u64, test_name: &str) -> Self {
+        // FNV-1a over the test name, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let mut x = h ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let mut s = [0u64; 4];
+        for w in &mut s {
+            x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            *w = z ^ (z >> 31);
+        }
+        TestRng { s }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `u64` in `[0, bound)`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "empty sampling bound");
+        self.next_u64() % bound
+    }
+}
+
+/// A source of random values of one type, mirroring `proptest::Strategy`
+/// (sampling only — the shim does not shrink).
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Samples one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+    )*};
+}
+impl_range_strategy_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        let v = self.start + rng.next_unit_f64() * (self.end - self.start);
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn sample(&self, rng: &mut TestRng) -> f32 {
+        (f64::from(self.start)..f64::from(self.end)).sample(rng) as f32
+    }
+}
+
+/// Whole-domain sampling for `any::<T>()`.
+pub trait Arbitrary: Sized {
+    /// Samples one value from the type's whole domain.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_unit_f64()
+    }
+}
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+/// The `proptest::prelude::any` entry point: sample the whole domain of `T`.
+#[must_use]
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident / $idx:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A/0);
+    (A/0, B/1);
+    (A/0, B/1, C/2);
+    (A/0, B/1, C/2, D/3);
+    (A/0, B/1, C/2, D/3, E/4);
+}
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use core::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `len`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// Mirror of `proptest::collection::vec`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.len.clone().sample(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// The common imports, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, ProptestConfig,
+        Strategy,
+    };
+}
+
+/// Property assertion; the shim panics immediately (no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Property equality assertion; the shim panics immediately (no shrinking).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Property inequality assertion; the shim panics immediately (no shrinking).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that samples its strategies `config.cases` times from
+/// a deterministic per-test stream and runs the body on each sample.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { (<$crate::ProptestConfig as ::core::default::Default>::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            for case in 0..u64::from(config.cases) {
+                let mut rng = $crate::TestRng::deterministic(case, concat!(module_path!(), "::", stringify!($name)));
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)+
+                $body
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_vec_sample_within_bounds() {
+        let mut rng = crate::TestRng::deterministic(0, "bounds");
+        for _ in 0..1_000 {
+            let v = (5u64..10).sample(&mut rng);
+            assert!((5..10).contains(&v));
+            let xs = collection::vec(0u8..3, 2..6).sample(&mut rng);
+            assert!(xs.len() >= 2 && xs.len() < 6);
+            assert!(xs.iter().all(|x| *x < 3));
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_case() {
+        let mut a = crate::TestRng::deterministic(3, "det");
+        let mut b = crate::TestRng::deterministic(3, "det");
+        let s = (0u64..1_000_000, any::<bool>());
+        assert_eq!(s.sample(&mut a), s.sample(&mut b));
+    }
+
+    proptest! {
+        /// The macro itself: strategies bind and assertions run.
+        #[test]
+        fn macro_end_to_end(x in 1u64..100, flip in any::<bool>(), xs in collection::vec(0u32..7, 1..20)) {
+            prop_assert!((1..100).contains(&x));
+            prop_assert_eq!(flip, flip);
+            prop_assert_ne!(xs.len(), 0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+
+        /// Explicit configs parse and apply.
+        #[test]
+        fn configured_cases_run(seed in 0u64..10) {
+            prop_assert!(seed < 10);
+        }
+    }
+}

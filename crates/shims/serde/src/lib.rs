@@ -1,0 +1,17 @@
+//! Offline stand-in for the real `serde` crate.
+//!
+//! The build container has no access to a crates registry, so the workspace
+//! ships this shim as a path dependency. It provides exactly the surface the
+//! HAMS crates use today — `use serde::{Deserialize, Serialize};` plus the
+//! two derives — with the derives expanding to nothing. When registry access
+//! is available, point the workspace `serde` entry at crates.io instead; the
+//! source code needs no changes.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`. The no-op derive does not
+/// implement it; it exists so trait bounds written against `serde` compile.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de> {}

@@ -1,0 +1,21 @@
+//! Offline stand-in for the real `serde_derive` crate.
+//!
+//! This build environment has no registry access, so the workspace vendors a
+//! minimal shim: `#[derive(Serialize, Deserialize)]` parses (including
+//! `#[serde(...)]` attributes) and expands to nothing. Swap the `serde`
+//! path dependency in the workspace manifest for the real crates.io package
+//! to get actual serialization support; no source changes are required.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive: accepts the input and emits no code.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive: accepts the input and emits no code.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
