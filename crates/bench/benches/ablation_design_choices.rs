@@ -64,9 +64,17 @@ fn hams_ablation() -> Vec<(String, f64)> {
         (label.to_owned(), m.pages_per_sec)
     };
     vec![
-        build("loose + SSD DRAM + extend", scale.ssd_dram_bytes(), PersistMode::Extend),
+        build(
+            "loose + SSD DRAM + extend",
+            scale.ssd_dram_bytes(),
+            PersistMode::Extend,
+        ),
         build("loose + no SSD DRAM + extend", 0, PersistMode::Extend),
-        build("loose + SSD DRAM + persist", scale.ssd_dram_bytes(), PersistMode::Persist),
+        build(
+            "loose + SSD DRAM + persist",
+            scale.ssd_dram_bytes(),
+            PersistMode::Persist,
+        ),
     ]
 }
 
@@ -87,7 +95,10 @@ fn bench(c: &mut Criterion) {
     let scale = bench_scale();
     let spec = WorkloadSpec::by_name("rndWr").unwrap();
     println!("=== Ablation: attach mode (extend, rndWr) ===");
-    for (label, attach) in [("loose (PCIe)", AttachMode::Loose), ("tight (DDR4)", AttachMode::Tight)] {
+    for (label, attach) in [
+        ("loose (PCIe)", AttachMode::Loose),
+        ("tight (DDR4)", AttachMode::Tight),
+    ] {
         let mut platform = HamsPlatform::scaled(attach, PersistMode::Extend, scale.cache_bytes());
         let m = run_workload(&mut platform, spec, &scale);
         println!("{label:<16} {:>12.0} pages/s", m.pages_per_sec);

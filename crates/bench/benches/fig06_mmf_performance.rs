@@ -5,7 +5,10 @@ use hams_bench::{bench_scale, fig06_mmf_performance, print_rows};
 
 fn bench(c: &mut Criterion) {
     let scale = bench_scale();
-    let rows = fig06_mmf_performance(&scale, &["seqRd", "rndRd", "seqWr", "rndWr", "rndSel", "update"]);
+    let rows = fig06_mmf_performance(
+        &scale,
+        &["seqRd", "rndRd", "seqWr", "rndWr", "rndSel", "update"],
+    );
     print_rows("Figure 6: MMF system performance per SSD", &rows);
 
     let mut group = c.benchmark_group("fig06");

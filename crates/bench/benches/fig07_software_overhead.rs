@@ -3,12 +3,17 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use hams_bench::{bench_scale, fig07a_software_overheads, fig07b_bypass_ipc, print_rows};
 
-const WORKLOADS: &[&str] = &["rndRd", "rndWr", "seqRd", "seqWr", "rndIns", "seqIns", "update", "rndSel", "seqSel"];
+const WORKLOADS: &[&str] = &[
+    "rndRd", "rndWr", "seqRd", "seqWr", "rndIns", "seqIns", "update", "rndSel", "seqSel",
+];
 
 fn bench(c: &mut Criterion) {
     let scale = bench_scale();
     let rows = fig07a_software_overheads(&scale, WORKLOADS);
-    print_rows("Figure 7a: MMF execution breakdown and degradation vs NVDIMM", &rows);
+    print_rows(
+        "Figure 7a: MMF execution breakdown and degradation vs NVDIMM",
+        &rows,
+    );
     let ipc = fig07b_bypass_ipc(&scale, &["rndRd", "rndWr", "update"]);
     print_rows("Figure 7b: IPC of bypass strategies", &ipc);
 

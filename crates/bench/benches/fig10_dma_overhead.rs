@@ -3,7 +3,9 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use hams_bench::{bench_scale, fig10_dma_overhead, print_rows};
 
-const WORKLOADS: &[&str] = &["rndRd", "rndWr", "seqRd", "seqWr", "rndIns", "seqIns", "update", "rndSel", "seqSel"];
+const WORKLOADS: &[&str] = &[
+    "rndRd", "rndWr", "seqRd", "seqWr", "rndIns", "seqIns", "update", "rndSel", "seqSel",
+];
 
 fn bench(c: &mut Criterion) {
     let scale = bench_scale();

@@ -9,7 +9,10 @@ fn bench(c: &mut Criterion) {
     let rows = fig16_application_performance(
         &scale,
         &PlatformKind::all(),
-        &["seqRd", "rndRd", "seqWr", "rndWr", "BFS", "KMN", "NN", "seqSel", "rndSel", "seqIns", "rndIns", "update"],
+        &[
+            "seqRd", "rndRd", "seqWr", "rndWr", "BFS", "KMN", "NN", "seqSel", "rndSel", "seqIns",
+            "rndIns", "update",
+        ],
     );
     print_rows("Figure 16: application performance", &rows);
 

@@ -3,7 +3,10 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use hams_bench::{bench_scale, fig18_memory_delay, print_rows};
 
-const WORKLOADS: &[&str] = &["seqRd", "rndRd", "seqWr", "rndWr", "BFS", "KMN", "NN", "seqSel", "rndSel", "seqIns", "rndIns", "update"];
+const WORKLOADS: &[&str] = &[
+    "seqRd", "rndRd", "seqWr", "rndWr", "BFS", "KMN", "NN", "seqSel", "rndSel", "seqIns", "rndIns",
+    "update",
+];
 
 fn bench(c: &mut Criterion) {
     let scale = bench_scale();

@@ -3,7 +3,10 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use hams_bench::{bench_scale, fig19_energy, print_rows};
 
-const WORKLOADS: &[&str] = &["seqRd", "rndRd", "seqWr", "rndWr", "BFS", "KMN", "NN", "seqSel", "rndSel", "seqIns", "rndIns", "update"];
+const WORKLOADS: &[&str] = &[
+    "seqRd", "rndRd", "seqWr", "rndWr", "BFS", "KMN", "NN", "seqSel", "rndSel", "seqIns", "rndIns",
+    "update",
+];
 
 fn bench(c: &mut Criterion) {
     let scale = bench_scale();
@@ -14,9 +17,7 @@ fn bench(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("fig19");
     group.sample_size(10);
-    group.bench_function("energy_rndWr", |b| {
-        b.iter(|| fig19_energy(&scale, "rndWr"))
-    });
+    group.bench_function("energy_rndWr", |b| b.iter(|| fig19_energy(&scale, "rndWr")));
     group.finish();
 }
 

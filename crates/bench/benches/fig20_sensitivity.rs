@@ -3,7 +3,14 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use hams_bench::{bench_scale, fig20a_page_sizes, fig20b_large_footprint, print_rows};
 
-const PAGE_SIZES: &[u64] = &[4096, 16 * 1024, 64 * 1024, 128 * 1024, 256 * 1024, 1024 * 1024];
+const PAGE_SIZES: &[u64] = &[
+    4096,
+    16 * 1024,
+    64 * 1024,
+    128 * 1024,
+    256 * 1024,
+    1024 * 1024,
+];
 const WORKLOADS: &[&str] = &["seqSel", "rndSel", "seqIns", "rndIns", "update"];
 
 fn bench(c: &mut Criterion) {

@@ -135,7 +135,10 @@ impl HamsConfig {
     /// Panics if `size` is zero or not a multiple of 4 KB.
     #[must_use]
     pub fn with_mos_page_size(mut self, size: u64) -> Self {
-        assert!(size > 0 && size % 4096 == 0, "MoS page size must be a positive multiple of 4 KB");
+        assert!(
+            size > 0 && size.is_multiple_of(4096),
+            "MoS page size must be a positive multiple of 4 KB"
+        );
         self.mos_page_size = size;
         self
     }
@@ -155,12 +158,18 @@ mod tests {
 
         let te = HamsConfig::tight(PersistMode::Extend);
         assert_eq!(te.attach, AttachMode::Tight);
-        assert_eq!(te.ssd.dram_capacity_bytes, 0, "advanced HAMS removes the SSD DRAM");
+        assert_eq!(
+            te.ssd.dram_capacity_bytes, 0,
+            "advanced HAMS removes the SSD DRAM"
+        );
     }
 
     #[test]
     fn default_page_size_matches_table_2() {
-        assert_eq!(HamsConfig::loose(PersistMode::Extend).mos_page_size, 128 * 1024);
+        assert_eq!(
+            HamsConfig::loose(PersistMode::Extend).mos_page_size,
+            128 * 1024
+        );
     }
 
     #[test]

@@ -102,8 +102,13 @@ impl NvmeEngine {
         nvdimm_addr: u64,
         completes_at: Nanos,
     ) -> Result<u16, QueueError> {
-        let cmd = NvmeCommand::read(1, slba, length, PrpList::for_transfer(nvdimm_addr, length, 4096))
-            .with_journal_tag(true);
+        let cmd = NvmeCommand::read(
+            1,
+            slba,
+            length,
+            PrpList::for_transfer(nvdimm_addr, length, 4096),
+        )
+        .with_journal_tag(true);
         self.issue(cmd, mos_page, completes_at)
     }
 
@@ -122,9 +127,14 @@ impl NvmeEngine {
         fua: bool,
         completes_at: Nanos,
     ) -> Result<u16, QueueError> {
-        let cmd = NvmeCommand::write(1, slba, length, PrpList::for_transfer(nvdimm_addr, length, 4096))
-            .with_fua(fua)
-            .with_journal_tag(true);
+        let cmd = NvmeCommand::write(
+            1,
+            slba,
+            length,
+            PrpList::for_transfer(nvdimm_addr, length, 4096),
+        )
+        .with_fua(fua)
+        .with_journal_tag(true);
         self.issue(cmd, mos_page, completes_at)
     }
 
@@ -224,8 +234,10 @@ mod tests {
     fn issue_and_retire_lifecycle() {
         let mut e = NvmeEngine::new(16);
         assert!(e.is_quiescent());
-        e.issue_read(3, 0, 4096, 0x1000, Nanos::from_micros(8)).unwrap();
-        e.issue_write(5, 8, 4096, 0x2000, false, Nanos::from_micros(4)).unwrap();
+        e.issue_read(3, 0, 4096, 0x1000, Nanos::from_micros(8))
+            .unwrap();
+        e.issue_write(5, 8, 4096, 0x2000, false, Nanos::from_micros(4))
+            .unwrap();
         assert_eq!(e.outstanding(), 2);
         assert!(!e.is_quiescent());
 
@@ -243,8 +255,10 @@ mod tests {
     #[test]
     fn journal_scan_finds_only_incomplete_commands() {
         let mut e = NvmeEngine::new(16);
-        e.issue_write(1, 0, 4096, 0x1000, false, Nanos::from_micros(2)).unwrap();
-        e.issue_write(2, 8, 4096, 0x2000, false, Nanos::from_micros(50)).unwrap();
+        e.issue_write(1, 0, 4096, 0x1000, false, Nanos::from_micros(2))
+            .unwrap();
+        e.issue_write(2, 8, 4096, 0x2000, false, Nanos::from_micros(50))
+            .unwrap();
         e.retire_due(Nanos::from_micros(10));
         // Power fails at 10 µs: only the second command is journaled-incomplete.
         let pending = e.journaled_incomplete(Nanos::from_micros(10));
@@ -256,7 +270,9 @@ mod tests {
     #[test]
     fn mark_recovered_counts_and_clears() {
         let mut e = NvmeEngine::new(16);
-        let cid = e.issue_write(9, 0, 4096, 0x1000, true, Nanos::from_micros(100)).unwrap();
+        let cid = e
+            .issue_write(9, 0, 4096, 0x1000, true, Nanos::from_micros(100))
+            .unwrap();
         let pending = e.journaled_incomplete(Nanos::ZERO);
         assert_eq!(pending.len(), 1);
         e.mark_recovered(&[cid]);

@@ -104,7 +104,10 @@ impl PrpPool {
             }
         }
         let idx = self.slots.iter().position(Option::is_none)?;
-        self.slots[idx] = Some(CloneSlot { mos_page, release_at });
+        self.slots[idx] = Some(CloneSlot {
+            mos_page,
+            release_at,
+        });
         self.by_page.insert(mos_page, idx);
         self.high_water = self.high_water.max(self.by_page.len());
         Some(idx)
@@ -140,9 +143,13 @@ mod tests {
     fn full_pool_rejects_until_expiry() {
         let mut p = PrpPool::new(1);
         p.allocate(1, Nanos::from_micros(10), Nanos::ZERO).unwrap();
-        assert!(p.allocate(2, Nanos::from_micros(20), Nanos::from_micros(5)).is_none());
+        assert!(p
+            .allocate(2, Nanos::from_micros(20), Nanos::from_micros(5))
+            .is_none());
         // After the first clone's eviction completes, its slot is reclaimable.
-        assert!(p.allocate(2, Nanos::from_micros(20), Nanos::from_micros(10)).is_some());
+        assert!(p
+            .allocate(2, Nanos::from_micros(20), Nanos::from_micros(10))
+            .is_some());
         assert!(!p.holds_page(1));
         assert!(p.holds_page(2));
     }

@@ -143,7 +143,8 @@ impl MosTagArray {
     #[must_use]
     pub fn resident_page(&self, index: usize) -> Option<u64> {
         let e = self.sets[index];
-        e.valid.then(|| e.tag * self.sets.len() as u64 + index as u64)
+        e.valid
+            .then(|| e.tag * self.sets.len() as u64 + index as u64)
     }
 
     /// Read access to a set's entry.
@@ -316,7 +317,10 @@ mod tests {
         let mut t = MosTagArray::new(4);
         t.fill(3);
         t.set_busy(3, Nanos::from_micros(10));
-        assert_eq!(t.busy_until(3, Nanos::from_micros(1)), Some(Nanos::from_micros(10)));
+        assert_eq!(
+            t.busy_until(3, Nanos::from_micros(1)),
+            Some(Nanos::from_micros(10))
+        );
         assert_eq!(t.stats().busy_waits, 1);
         // After the completion time the busy bit self-clears.
         assert_eq!(t.busy_until(3, Nanos::from_micros(11)), None);

@@ -228,7 +228,8 @@ impl SsdDevice {
     /// Builds a device from its configuration.
     #[must_use]
     pub fn new(config: SsdConfig) -> Self {
-        let dram_pages = (config.dram_capacity_bytes / u64::from(config.geometry.page_size)) as usize;
+        let dram_pages =
+            (config.dram_capacity_bytes / u64::from(config.geometry.page_size)) as usize;
         SsdDevice {
             config,
             ftl: Ftl::new(config.geometry, config.over_provisioning),
@@ -388,7 +389,9 @@ impl SsdDevice {
                 all_dram = false;
                 let outcome = self.ftl.write(lpn)?;
                 self.stats.page_programs += 1;
-                let c = self.fil.schedule_page(outcome.ppn, FlashOp::Program, firmware_clock);
+                let c = self
+                    .fil
+                    .schedule_page(outcome.ppn, FlashOp::Program, firmware_clock);
                 breakdown.merge(&c.breakdown());
                 let mut done = c.finished_at;
                 // GC work triggered by this write delays it (foreground GC).
@@ -506,7 +509,8 @@ mod tests {
     fn ull_flash_4k_read_latency_is_a_few_microseconds() {
         let mut ssd = SsdDevice::new(SsdConfig::ull_flash());
         // Populate the page first so the read touches the array.
-        ssd.service(&write_cmd(0, 4096).with_fua(true), Nanos::ZERO).unwrap();
+        ssd.service(&write_cmd(0, 4096).with_fua(true), Nanos::ZERO)
+            .unwrap();
         let t0 = Nanos::from_millis(1);
         let done = ssd.service(&read_cmd(0, 4096), t0).unwrap();
         let lat = done.latency(t0);
@@ -521,12 +525,16 @@ mod tests {
         let mut ull = SsdDevice::new(SsdConfig::ull_flash());
         let mut nvme = SsdDevice::new(SsdConfig::nvme_750());
         for dev in [&mut ull, &mut nvme] {
-            dev.service(&write_cmd(0, 4096).with_fua(true), Nanos::ZERO).unwrap();
+            dev.service(&write_cmd(0, 4096).with_fua(true), Nanos::ZERO)
+                .unwrap();
         }
         let t0 = Nanos::from_millis(10);
         let a = ull.service(&read_cmd(0, 4096), t0).unwrap().latency(t0);
         let b = nvme.service(&read_cmd(0, 4096), t0).unwrap().latency(t0);
-        assert!(b > a * 3, "NVMe SSD ({b}) should be much slower than ULL ({a})");
+        assert!(
+            b > a * 3,
+            "NVMe SSD ({b}) should be much slower than ULL ({a})"
+        );
     }
 
     #[test]
@@ -615,7 +623,8 @@ mod tests {
         let mut ssd = SsdDevice::new(SsdConfig::ull_flash());
         // Fill a small region so reads hit the array, then hammer one die.
         for i in 0..32u64 {
-            ssd.service(&write_cmd(i, 4096).with_fua(true), Nanos::ZERO).unwrap();
+            ssd.service(&write_cmd(i, 4096).with_fua(true), Nanos::ZERO)
+                .unwrap();
         }
         let t0 = Nanos::from_millis(100);
         let single = ssd.service(&read_cmd(0, 4096), t0).unwrap().latency(t0);
@@ -627,7 +636,10 @@ mod tests {
             let done = ssd.service(&read_cmd(i % 4, 4096), t1).unwrap();
             worst = worst.max(done.latency(t1));
         }
-        assert!(worst > single, "contended latency {worst} should exceed idle {single}");
+        assert!(
+            worst > single,
+            "contended latency {worst} should exceed idle {single}"
+        );
     }
 
     #[test]

@@ -103,8 +103,7 @@ impl Fil {
         match op {
             FlashOp::Read => {
                 let die_grant = self.dies.acquire_unit(die_idx, now, array);
-                let transfer_done =
-                    self.schedule_transfer(channel_idx, die_grant.end, transfer);
+                let transfer_done = self.schedule_transfer(channel_idx, die_grant.end, transfer);
                 FilCompletion {
                     finished_at: transfer_done.0,
                     array_time: array,
@@ -150,7 +149,9 @@ impl Fil {
             let finish = g1.end.max(g2.end);
             (finish, half, g1.wait.max(g2.wait))
         } else {
-            let g = self.channels.acquire_unit(channel_idx, ready_at, full_transfer);
+            let g = self
+                .channels
+                .acquire_unit(channel_idx, ready_at, full_transfer);
             (g.end, full_transfer, g.wait)
         }
     }
@@ -221,7 +222,10 @@ mod tests {
         let mut f = fil(false);
         let a = f.schedule_page(0, FlashOp::Read, Nanos::ZERO);
         let b = f.schedule_page(1, FlashOp::Read, Nanos::ZERO);
-        assert_eq!(a.finished_at, b.finished_at, "independent dies should not queue");
+        assert_eq!(
+            a.finished_at, b.finished_at,
+            "independent dies should not queue"
+        );
     }
 
     #[test]
@@ -229,7 +233,10 @@ mod tests {
         let mut f = fil(false);
         let c = f.schedule_page(0, FlashOp::Read, Nanos::ZERO);
         let b = c.breakdown();
-        assert_eq!(b.component("flash_array") + b.component("flash_channel"), c.finished_at);
+        assert_eq!(
+            b.component("flash_array") + b.component("flash_channel"),
+            c.finished_at
+        );
     }
 
     #[test]

@@ -448,7 +448,8 @@ mod tests {
         // Write the working set several times over: forces GC on tiny geometry.
         for round in 0..6 {
             for lpn in 0..working_set {
-                ftl.write(lpn).unwrap_or_else(|e| panic!("round {round} lpn {lpn}: {e}"));
+                ftl.write(lpn)
+                    .unwrap_or_else(|e| panic!("round {round} lpn {lpn}: {e}"));
             }
         }
         assert!(ftl.stats().gc_runs > 0, "expected GC to run");

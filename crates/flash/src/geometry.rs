@@ -89,7 +89,9 @@ impl FlashGeometry {
     /// Total number of dies in the device.
     #[must_use]
     pub fn total_dies(&self) -> u64 {
-        u64::from(self.channels) * u64::from(self.packages_per_channel) * u64::from(self.dies_per_package)
+        u64::from(self.channels)
+            * u64::from(self.packages_per_channel)
+            * u64::from(self.dies_per_package)
     }
 
     /// Total number of planes in the device.

@@ -40,7 +40,9 @@ pub mod ftl;
 pub mod geometry;
 pub mod timing;
 
-pub use device::{IoCompletion, PowerLossReport, SsdConfig, SsdDevice, SsdError, SsdStats, LBA_SIZE};
+pub use device::{
+    IoCompletion, PowerLossReport, SsdConfig, SsdDevice, SsdError, SsdStats, LBA_SIZE,
+};
 pub use dram::{DramOutcome, DramStats, InternalDram};
 pub use fil::{Fil, FilCompletion};
 pub use ftl::{Ftl, FtlError, FtlStats, WriteOutcome};

@@ -156,7 +156,10 @@ mod tests {
         let ch = Ddr4Channel::new(Ddr4Config::ddr4_2666());
         let t = ch.service_time(4096);
         // 4096 B / 20 GB/s = 204.8 ns + 14 ns access.
-        assert!(t >= Nanos::from_nanos(210) && t <= Nanos::from_nanos(230), "{t}");
+        assert!(
+            t >= Nanos::from_nanos(210) && t <= Nanos::from_nanos(230),
+            "{t}"
+        );
     }
 
     #[test]

@@ -28,4 +28,6 @@ pub mod register;
 
 pub use ddr4::{Ddr4Channel, Ddr4Config, Transfer};
 pub use pcie::{PcieConfig, PcieGeneration, PcieLink};
-pub use register::{BusMaster, LockError, LockRegister, RegisterInterface, RegisterInterfaceConfig};
+pub use register::{
+    BusMaster, LockError, LockRegister, RegisterInterface, RegisterInterfaceConfig,
+};

@@ -160,7 +160,10 @@ mod tests {
     fn four_kb_takes_over_a_microsecond() {
         let link = PcieLink::new(PcieConfig::gen3_x4());
         let t = link.service_time(4096);
-        assert!(t > Nanos::from_nanos(1_200) && t < Nanos::from_nanos(1_600), "{t}");
+        assert!(
+            t > Nanos::from_nanos(1_200) && t < Nanos::from_nanos(1_600),
+            "{t}"
+        );
     }
 
     #[test]

@@ -219,9 +219,15 @@ mod tests {
     #[test]
     fn releasing_unheld_lock_is_an_error() {
         let mut lock = LockRegister::new();
-        assert_eq!(lock.release(BusMaster::HamsController), Err(LockError::NotHeld));
+        assert_eq!(
+            lock.release(BusMaster::HamsController),
+            Err(LockError::NotHeld)
+        );
         lock.acquire(BusMaster::HamsController).unwrap();
-        assert_eq!(lock.release(BusMaster::NvmeController), Err(LockError::NotHeld));
+        assert_eq!(
+            lock.release(BusMaster::NvmeController),
+            Err(LockError::NotHeld)
+        );
     }
 
     #[test]

@@ -221,7 +221,10 @@ mod tests {
         let page = dimm.access_latency(4096);
         assert!(page > small);
         // 4 KB at 17 GB/s is ~240 ns plus 30 ns array latency.
-        assert!(page > Nanos::from_nanos(200) && page < Nanos::from_nanos(400), "{page}");
+        assert!(
+            page > Nanos::from_nanos(200) && page < Nanos::from_nanos(400),
+            "{page}"
+        );
         assert_eq!(dimm.access_latency(0), Nanos::ZERO);
     }
 
@@ -250,7 +253,10 @@ mod tests {
     fn backup_takes_tens_of_seconds_for_8gb() {
         let mut dimm = Nvdimm::new(NvdimmConfig::hpe_8gb());
         let backup = dimm.power_fail();
-        assert!(backup.as_secs_f64() > 10.0 && backup.as_secs_f64() < 60.0, "{backup}");
+        assert!(
+            backup.as_secs_f64() > 10.0 && backup.as_secs_f64() < 60.0,
+            "{backup}"
+        );
         assert_eq!(dimm.power_state(), NvdimmPowerState::BackedUp);
         let restore = dimm.power_restore();
         assert!(restore < backup);

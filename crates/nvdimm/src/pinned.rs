@@ -54,7 +54,11 @@ impl PinnedRegionLayout {
     /// Total bytes the pinned region occupies.
     #[must_use]
     pub fn total_bytes(&self) -> u64 {
-        self.sq_bytes + self.cq_bytes + self.prp_pool_bytes + self.msi_table_bytes + self.wait_queue_bytes
+        self.sq_bytes
+            + self.cq_bytes
+            + self.prp_pool_bytes
+            + self.msi_table_bytes
+            + self.wait_queue_bytes
     }
 
     /// Number of page-sized clone slots available in the PRP pool.

@@ -40,7 +40,9 @@ impl PrpList {
     /// An empty list (used by data-less commands such as Flush).
     #[must_use]
     pub fn empty() -> Self {
-        PrpList { entries: Vec::new() }
+        PrpList {
+            entries: Vec::new(),
+        }
     }
 
     /// A list holding a single pointer.

@@ -192,7 +192,10 @@ mod tests {
         c.access(2, false);
         c.access(3, false);
         c.access(1, false); // refresh 1; LRU is now 2
-        assert_eq!(c.access(4, false), CacheOutcome::MissEvictClean { victim: 2 });
+        assert_eq!(
+            c.access(4, false),
+            CacheOutcome::MissEvictClean { victim: 2 }
+        );
         assert!(c.contains(1));
         assert!(!c.contains(2));
     }
@@ -201,7 +204,10 @@ mod tests {
     fn dirty_evictions_are_reported() {
         let mut c = LruPageCache::new(1);
         c.access(10, true);
-        assert_eq!(c.access(11, false), CacheOutcome::MissEvictDirty { victim: 10 });
+        assert_eq!(
+            c.access(11, false),
+            CacheOutcome::MissEvictDirty { victim: 10 }
+        );
         assert_eq!(c.stats().dirty_evictions, 1);
     }
 

@@ -165,7 +165,11 @@ impl Platform for MmapPlatform {
             "nvdimm",
             self.dram_bytes_accessed as f64 * self.power.nvdimm_access_nj_per_byte / 1e9,
         );
-        e.add_power("internal_dram", self.power.ssd_dram_background_watts, elapsed);
+        e.add_power(
+            "internal_dram",
+            self.power.ssd_dram_background_watts,
+            elapsed,
+        );
         let dram_bytes = self.ssd.dram_stats().accesses * 4096;
         e.add(
             "internal_dram",
@@ -207,7 +211,11 @@ mod tests {
     fn fault_then_hit() {
         let mut p = MmapPlatform::new("mmap", SsdConfig::tiny_for_tests(), 1 << 20);
         let fault = p.access(&acc(0, false), Nanos::ZERO);
-        assert!(fault.os_time >= Nanos::from_micros(10), "os {}", fault.os_time);
+        assert!(
+            fault.os_time >= Nanos::from_micros(10),
+            "os {}",
+            fault.os_time
+        );
         let hit = p.access(&acc(64, false), fault.finished_at);
         assert_eq!(hit.os_time, Nanos::ZERO);
         assert!(hit.latency(fault.finished_at) < Nanos::from_micros(1));

@@ -240,7 +240,11 @@ impl MultiResource {
         if self.units.is_empty() {
             return 0.0;
         }
-        self.units.iter().map(|u| u.utilization(horizon)).sum::<f64>() / self.units.len() as f64
+        self.units
+            .iter()
+            .map(|u| u.utilization(horizon))
+            .sum::<f64>()
+            / self.units.len() as f64
     }
 
     /// Resets every unit in the pool.

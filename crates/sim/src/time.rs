@@ -31,7 +31,9 @@ use serde::{Deserialize, Serialize};
 /// assert!(znand_program > znand_read);
 /// assert_eq!((znand_read + znand_program).as_nanos(), 103_000);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Nanos(u64);
 
 impl Nanos {
@@ -300,7 +302,10 @@ mod tests {
     fn arithmetic_saturates() {
         assert_eq!(Nanos::MAX + Nanos::from_nanos(1), Nanos::MAX);
         assert_eq!(Nanos::ZERO - Nanos::from_nanos(1), Nanos::ZERO);
-        assert_eq!(Nanos::from_nanos(10) - Nanos::from_nanos(3), Nanos::from_nanos(7));
+        assert_eq!(
+            Nanos::from_nanos(10) - Nanos::from_nanos(3),
+            Nanos::from_nanos(7)
+        );
         assert_eq!(Nanos::from_nanos(10) * 3, Nanos::from_nanos(30));
         assert_eq!(Nanos::from_nanos(10) / 4, Nanos::from_nanos(2));
     }

@@ -105,7 +105,10 @@ mod tests {
     #[test]
     fn labels_cover_all_corners() {
         let labels: Vec<String> = FioJob::figure5_jobs(1).iter().map(FioJob::label).collect();
-        assert_eq!(labels, vec!["Seq Read", "Seq Write", "Rand Read", "Rand Write"]);
+        assert_eq!(
+            labels,
+            vec!["Seq Read", "Seq Write", "Rand Read", "Rand Write"]
+        );
     }
 
     #[test]

@@ -127,9 +127,21 @@ impl WorkloadSpec {
             pattern,
         };
         vec![
-            spec("seqRd", 67_000_000_000, 0.28, 0.43, AccessPattern::Sequential),
+            spec(
+                "seqRd",
+                67_000_000_000,
+                0.28,
+                0.43,
+                AccessPattern::Sequential,
+            ),
             spec("rndRd", 69_000_000_000, 0.27, 0.37, AccessPattern::Random),
-            spec("seqWr", 67_000_000_000, 0.28, 0.43, AccessPattern::Sequential),
+            spec(
+                "seqWr",
+                67_000_000_000,
+                0.28,
+                0.43,
+                AccessPattern::Sequential,
+            ),
             spec("rndWr", 69_000_000_000, 0.27, 0.37, AccessPattern::Random),
         ]
     }
@@ -153,9 +165,21 @@ impl WorkloadSpec {
             pattern,
         };
         vec![
-            spec("seqSel", 213_000_000_000, 0.26, 0.20, AccessPattern::Sequential),
+            spec(
+                "seqSel",
+                213_000_000_000,
+                0.26,
+                0.20,
+                AccessPattern::Sequential,
+            ),
             spec("rndSel", 213_000_000_000, 0.26, 0.20, hotspot),
-            spec("seqIns", 40_000_000_000, 0.25, 0.21, AccessPattern::Sequential),
+            spec(
+                "seqIns",
+                40_000_000_000,
+                0.25,
+                0.21,
+                AccessPattern::Sequential,
+            ),
             spec("rndIns", 44_000_000_000, 0.25, 0.21, hotspot),
             spec("update", 244_000_000_000, 0.26, 0.20, hotspot),
         ]
@@ -302,7 +326,9 @@ impl Iterator for TraceGenerator {
         }
         self.remaining -= 1;
         let addr = self.next_addr();
-        let is_write = self.rng.gen_bool(self.spec.write_fraction().clamp(0.0, 1.0));
+        let is_write = self
+            .rng
+            .gen_bool(self.spec.write_fraction().clamp(0.0, 1.0));
         Some(Access {
             addr,
             size: self.spec.access_bytes,
@@ -365,7 +391,9 @@ mod tests {
 
     #[test]
     fn sequential_trace_is_monotonic_with_wraparound() {
-        let spec = WorkloadSpec::by_name("seqRd").unwrap().with_dataset_bytes(64 * 4096);
+        let spec = WorkloadSpec::by_name("seqRd")
+            .unwrap()
+            .with_dataset_bytes(64 * 4096);
         let trace: Vec<Access> = TraceGenerator::new(spec, 1, 64).collect();
         for pair in trace.windows(2) {
             assert!(pair[1].addr > pair[0].addr || pair[1].addr == 0);
@@ -374,7 +402,9 @@ mod tests {
 
     #[test]
     fn traces_are_reproducible_per_seed() {
-        let spec = WorkloadSpec::by_name("rndRd").unwrap().with_dataset_bytes(1 << 22);
+        let spec = WorkloadSpec::by_name("rndRd")
+            .unwrap()
+            .with_dataset_bytes(1 << 22);
         let a: Vec<Access> = TraceGenerator::new(spec, 7, 500).collect();
         let b: Vec<Access> = TraceGenerator::new(spec, 7, 500).collect();
         let c: Vec<Access> = TraceGenerator::new(spec, 8, 500).collect();
@@ -394,7 +424,9 @@ mod tests {
 
     #[test]
     fn hotspot_pattern_concentrates_accesses() {
-        let spec = WorkloadSpec::by_name("rndSel").unwrap().with_dataset_bytes(1 << 24);
+        let spec = WorkloadSpec::by_name("rndSel")
+            .unwrap()
+            .with_dataset_bytes(1 << 24);
         let trace: Vec<Access> = TraceGenerator::new(spec, 11, 5000).collect();
         let hot_boundary = (spec.dataset_bytes as f64 * 0.2) as u64;
         let hot = trace.iter().filter(|a| a.addr < hot_boundary).count();
@@ -407,7 +439,9 @@ mod tests {
 
     #[test]
     fn generator_reports_exact_length() {
-        let spec = WorkloadSpec::by_name("KMN").unwrap().with_dataset_bytes(1 << 20);
+        let spec = WorkloadSpec::by_name("KMN")
+            .unwrap()
+            .with_dataset_bytes(1 << 20);
         let g = TraceGenerator::new(spec, 5, 123);
         assert_eq!(g.len(), 123);
         assert_eq!(g.count(), 123);

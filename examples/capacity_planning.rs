@@ -20,10 +20,14 @@ fn main() {
     println!("NVDIMM cache: {} MiB", nvdimm_bytes >> 20);
     println!();
     println!("--- working set sweep (hams-TE) ---");
-    println!("{:>18} {:>12} {:>10}", "dataset / cache", "ops/s", "hit rate");
+    println!(
+        "{:>18} {:>12} {:>10}",
+        "dataset / cache", "ops/s", "hit rate"
+    );
     for multiple in [1u64, 2, 4, 8, 16] {
         let spec = base.with_dataset_bytes(nvdimm_bytes * multiple);
-        let mut platform = HamsPlatform::scaled(AttachMode::Tight, PersistMode::Extend, nvdimm_bytes);
+        let mut platform =
+            HamsPlatform::scaled(AttachMode::Tight, PersistMode::Extend, nvdimm_bytes);
         // Run the pre-scaled spec directly: the profile's dataset scaling is
         // bypassed by passing an already-scaled spec with divisor semantics.
         let m = run_workload(

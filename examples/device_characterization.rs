@@ -58,8 +58,7 @@ fn main() {
                 // Precondition: make the exercised region durable so reads
                 // actually touch the flash array.
                 for p in 0..(span / 4096).min(2048) {
-                    let cmd =
-                        NvmeCommand::write(1, p, 4096, PrpList::single(0)).with_fua(true);
+                    let cmd = NvmeCommand::write(1, p, 4096, PrpList::single(0)).with_fua(true);
                     let _ = ssd.service(&cmd, Nanos::ZERO);
                 }
                 let mut job = FioJob::four_kib(FioPattern::Random, is_write, depth);

@@ -36,7 +36,11 @@ fn main() {
                 m.pages_per_sec / 1000.0,
                 m.ipc,
                 m.hit_rate.unwrap_or(0.0) * 100.0,
-                if platform.is_persistent() { "yes" } else { "no" },
+                if platform.is_persistent() {
+                    "yes"
+                } else {
+                    "no"
+                },
             );
         }
         println!();

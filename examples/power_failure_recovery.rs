@@ -22,14 +22,20 @@ fn main() {
         now = result.finished_at;
         written.push(hams.page_of(addr));
     }
-    println!("wrote {pages_to_write} MoS pages; {} evictions issued", hams.stats().evictions);
+    println!(
+        "wrote {pages_to_write} MoS pages; {} evictions issued",
+        hams.stats().evictions
+    );
 
     // Pull the plug.
     let event = hams.power_fail(now);
     println!();
     println!("power failure at {now}:");
     println!("  NVDIMM backup duration  : {}", event.nvdimm_backup);
-    println!("  SSD dirty pages flushed : {}", event.ssd.flushed_pages.len());
+    println!(
+        "  SSD dirty pages flushed : {}",
+        event.ssd.flushed_pages.len()
+    );
     println!("  journal-tagged commands : {}", event.incomplete_commands);
 
     // Power returns: scan the pinned SQ region and re-issue what never finished.
@@ -47,7 +53,10 @@ fn main() {
         .collect();
     if lost.is_empty() {
         println!();
-        println!("all {} written pages survived the power failure", written.len());
+        println!(
+            "all {} written pages survived the power failure",
+            written.len()
+        );
     } else {
         println!();
         println!("LOST PAGES (this would be a bug): {lost:?}");

@@ -12,7 +12,10 @@ fn main() {
     let config = HamsConfig::tiny_for_tests(AttachMode::Tight, PersistMode::Extend);
     let mut hams = HamsController::new(config);
 
-    println!("MoS capacity      : {} GiB", hams.mos_capacity_bytes() >> 30);
+    println!(
+        "MoS capacity      : {} GiB",
+        hams.mos_capacity_bytes() >> 30
+    );
     println!("NVDIMM cache sets : {}", hams.cache_sets());
     println!();
 

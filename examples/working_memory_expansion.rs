@@ -25,7 +25,11 @@ fn main() {
     let mut hams = HamsController::new(config);
     let cache_bytes = 16u64 << 20;
 
-    println!("NVDIMM cache: {} MiB, MoS capacity: {} GiB", cache_bytes >> 20, hams.mos_capacity_bytes() >> 30);
+    println!(
+        "NVDIMM cache: {} MiB, MoS capacity: {} GiB",
+        cache_bytes >> 20,
+        hams.mos_capacity_bytes() >> 30
+    );
     println!();
     println!(
         "{:>16} {:>12} {:>14} {:>12}",

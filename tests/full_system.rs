@@ -24,17 +24,27 @@ fn metrics_are_internally_consistent_for_every_platform() {
         assert_eq!(m.platform, kind.label());
         assert_eq!(m.workload, "update");
         assert_eq!(m.accesses, scale.accesses as u64);
-        assert!(m.instructions >= m.accesses, "{}: fewer instructions than accesses", kind.label());
+        assert!(
+            m.instructions >= m.accesses,
+            "{}: fewer instructions than accesses",
+            kind.label()
+        );
         assert!(m.total_time > Nanos::ZERO);
         // The execution breakdown must cover the whole run.
         let breakdown_total = m.exec_breakdown.total();
         assert!(
-            breakdown_total >= m.total_time.scale(0.95) && breakdown_total <= m.total_time.scale(1.05),
+            breakdown_total >= m.total_time.scale(0.95)
+                && breakdown_total <= m.total_time.scale(1.05),
             "{}: breakdown {breakdown_total} vs total {}",
             kind.label(),
             m.total_time
         );
-        assert!(m.ipc > 0.0 && m.ipc < 4.0, "{}: implausible IPC {}", kind.label(), m.ipc);
+        assert!(
+            m.ipc > 0.0 && m.ipc < 4.0,
+            "{}: implausible IPC {}",
+            kind.label(),
+            m.ipc
+        );
         assert!(m.energy.total_joules() > 0.0);
         if let Some(hit) = m.hit_rate {
             assert!((0.0..=1.0).contains(&hit));
