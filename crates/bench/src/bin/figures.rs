@@ -24,7 +24,9 @@ fn main() {
     let scale = figures_scale();
     let micro_rodinia = ["seqRd", "rndRd", "seqWr", "rndWr", "BFS", "KMN", "NN"];
     let sqlite = ["seqSel", "rndSel", "seqIns", "rndIns", "update"];
-    let nine = ["rndRd", "rndWr", "seqRd", "seqWr", "rndIns", "seqIns", "update", "rndSel", "seqSel"];
+    let nine = [
+        "rndRd", "rndWr", "seqRd", "seqWr", "rndIns", "seqIns", "update", "rndSel", "seqSel",
+    ];
 
     for id in selected {
         match id {
@@ -66,14 +68,19 @@ fn main() {
             "fig5" => {
                 let (ddr_r, ddr_w, ull_r, ull_w) = fig05a_4kb_access();
                 println!("=== Figure 5a: 4KB access latency (us) ===");
-                println!("DDR4 read={ddr_r:.2} write={ddr_w:.2}  ULL read={ull_r:.2} write={ull_w:.2}\n");
+                println!(
+                    "DDR4 read={ddr_r:.2} write={ddr_w:.2}  ULL read={ull_r:.2} write={ull_w:.2}\n"
+                );
                 let rows = fig05_device_characterization(&[1, 2, 4, 8, 16, 32], 600);
                 print_rows("Figure 5b/5c: latency and bandwidth vs I/O depth", &rows);
             }
             "fig6" => {
                 let rows = fig06_mmf_performance(
                     &scale,
-                    &["seqRd", "rndRd", "seqWr", "rndWr", "seqSel", "rndSel", "seqIns", "rndIns", "update"],
+                    &[
+                        "seqRd", "rndRd", "seqWr", "rndWr", "seqSel", "rndSel", "seqIns", "rndIns",
+                        "update",
+                    ],
                 );
                 print_rows("Figure 6: MMF system performance per SSD", &rows);
             }
@@ -85,16 +92,27 @@ fn main() {
                 print_rows("Figure 7b: bypass IPC", &fig07b_bypass_ipc(&scale, &nine));
             }
             "fig10" => {
-                print_rows("Figure 10a: DMA overhead", &fig10_dma_overhead(&scale, &nine));
+                print_rows(
+                    "Figure 10a: DMA overhead",
+                    &fig10_dma_overhead(&scale, &nine),
+                );
             }
             "fig16" => {
                 let rows = fig16_application_performance(
                     &scale,
                     &PlatformKind::all(),
-                    &micro_rodinia.iter().chain(sqlite.iter()).copied().collect::<Vec<_>>(),
+                    &micro_rodinia
+                        .iter()
+                        .chain(sqlite.iter())
+                        .copied()
+                        .collect::<Vec<_>>(),
                 );
                 print_rows("Figure 16: application performance", &rows);
             }
+            // Figures 17–19 loop workloads serially on purpose: the
+            // run_matrix call inside each figure function already fans its
+            // platforms out, and nesting parallel_map would multiply worker
+            // threads past the HAMS_THREADS cap.
             "fig17" => {
                 for w in micro_rodinia.iter().chain(sqlite.iter()) {
                     print_rows(
@@ -113,16 +131,33 @@ fn main() {
             }
             "fig19" => {
                 for w in micro_rodinia.iter().chain(sqlite.iter()) {
-                    print_rows(&format!("Figure 19: energy breakdown ({w})"), &fig19_energy(&scale, w));
+                    print_rows(
+                        &format!("Figure 19: energy breakdown ({w})"),
+                        &fig19_energy(&scale, w),
+                    );
                 }
             }
             "fig20" => {
                 for w in &sqlite {
                     print_rows(
                         &format!("Figure 20a: page-size sensitivity ({w})"),
-                        &fig20a_page_sizes(&scale, w, &[4096, 16 * 1024, 64 * 1024, 128 * 1024, 256 * 1024, 1024 * 1024]),
+                        &fig20a_page_sizes(
+                            &scale,
+                            w,
+                            &[
+                                4096,
+                                16 * 1024,
+                                64 * 1024,
+                                128 * 1024,
+                                256 * 1024,
+                                1024 * 1024,
+                            ],
+                        ),
                     );
-                    print_rows(&format!("Figure 20b: 4x footprint ({w})"), &fig20b_large_footprint(&scale, w));
+                    print_rows(
+                        &format!("Figure 20b: 4x footprint ({w})"),
+                        &fig20b_large_footprint(&scale, w),
+                    );
                 }
             }
             other => eprintln!("unknown figure id: {other}"),

@@ -18,8 +18,10 @@ use hams_flash::{SsdConfig, SsdDevice};
 use hams_interconnect::{Ddr4Channel, Ddr4Config};
 use hams_nvme::{NvmeCommand, PrpList};
 use hams_platforms::{
-    run_workload, HamsPlatform, MmapPlatform, PlatformKind, RunMetrics, ScaleProfile,
+    run_grid, run_matrix, run_workload, HamsPlatform, MmapPlatform, PlatformKind, RunMetrics,
+    ScaleProfile,
 };
+use hams_sim::parallel_map;
 use hams_sim::Nanos;
 use hams_workloads::{FioJob, FioPattern, WorkloadClass, WorkloadSpec};
 
@@ -123,7 +125,12 @@ fn replay_fio(ssd: &mut SsdDevice, job: &FioJob, requests: usize, seed: u64) -> 
 fn precondition(ssd: &mut SsdDevice, span_bytes: u64, request_bytes: u64) {
     let pages = (span_bytes / request_bytes).min(4096);
     for p in 0..pages {
-        let cmd = NvmeCommand::write(1, p * request_bytes / 4096, request_bytes, PrpList::single(0));
+        let cmd = NvmeCommand::write(
+            1,
+            p * request_bytes / 4096,
+            request_bytes,
+            PrpList::single(0),
+        );
         let _ = ssd.service(&cmd.with_fua(true), Nanos::ZERO);
     }
 }
@@ -131,9 +138,15 @@ fn precondition(ssd: &mut SsdDevice, span_bytes: u64, request_bytes: u64) {
 /// Fig. 5b/5c: latency and bandwidth of ULL-Flash and a conventional NVMe SSD
 /// for the four fio corners across queue depths.
 #[must_use]
-pub fn fig05_device_characterization(depths: &[usize], requests: usize) -> Vec<DeviceCharacterizationRow> {
+pub fn fig05_device_characterization(
+    depths: &[usize],
+    requests: usize,
+) -> Vec<DeviceCharacterizationRow> {
     let mut rows = Vec::new();
-    for (device, config) in [("ULL SSD", SsdConfig::ull_flash()), ("NVMe SSD", SsdConfig::nvme_750())] {
+    for (device, config) in [
+        ("ULL SSD", SsdConfig::ull_flash()),
+        ("NVMe SSD", SsdConfig::nvme_750()),
+    ] {
         for &depth in depths {
             for job in FioJob::figure5_jobs(depth) {
                 let mut job = job;
@@ -218,29 +231,30 @@ pub fn fig06_mmf_performance(scale: &ScaleProfile, workloads: &[&str]) -> Vec<Mm
         ("NVMe SSD", SsdConfig::nvme_750()),
         ("ULL-Flash", SsdConfig::ull_flash()),
     ];
-    let mut rows = Vec::new();
-    for (ssd_name, ssd_cfg) in ssds {
-        for name in workloads {
-            let Some(spec) = WorkloadSpec::by_name(name) else {
-                continue;
-            };
-            let mut platform = MmapPlatform::new("mmap", ssd_cfg, scale.cache_bytes());
-            let m = run_workload(&mut platform, spec, scale);
-            let secs = m.total_time.as_secs_f64().max(1e-12);
-            let bytes = m.accesses * spec.access_bytes;
-            rows.push(MmfRow {
-                ssd: ssd_name.to_owned(),
-                workload: (*name).to_owned(),
-                bandwidth_mb_s: bytes as f64 / secs / 1e6,
-                op_latency_us: if m.ops_per_sec > 0.0 {
-                    1e6 / m.ops_per_sec
-                } else {
-                    0.0
-                },
-            });
+    let cells: Vec<(&str, SsdConfig, &str, WorkloadSpec)> = ssds
+        .iter()
+        .flat_map(|(ssd_name, ssd_cfg)| {
+            workloads.iter().filter_map(move |name| {
+                WorkloadSpec::by_name(name).map(|spec| (*ssd_name, *ssd_cfg, *name, spec))
+            })
+        })
+        .collect();
+    parallel_map(&cells, |(ssd_name, ssd_cfg, name, spec)| {
+        let mut platform = MmapPlatform::new("mmap", *ssd_cfg, scale.cache_bytes());
+        let m = run_workload(&mut platform, *spec, scale);
+        let secs = m.total_time.as_secs_f64().max(1e-12);
+        let bytes = m.accesses * spec.access_bytes;
+        MmfRow {
+            ssd: (*ssd_name).to_owned(),
+            workload: (*name).to_owned(),
+            bandwidth_mb_s: bytes as f64 / secs / 1e6,
+            op_latency_us: if m.ops_per_sec > 0.0 {
+                1e6 / m.ops_per_sec
+            } else {
+                0.0
+            },
         }
-    }
-    rows
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -283,7 +297,10 @@ impl fmt::Display for SoftwareOverheadRow {
 /// Fig. 7a: execution-time breakdown of the MMF system and its degradation
 /// against an NVDIMM-only (oracle) system.
 #[must_use]
-pub fn fig07a_software_overheads(scale: &ScaleProfile, workloads: &[&str]) -> Vec<SoftwareOverheadRow> {
+pub fn fig07a_software_overheads(
+    scale: &ScaleProfile,
+    workloads: &[&str],
+) -> Vec<SoftwareOverheadRow> {
     // The "os" component of the runner lumps mmap and I/O-stack time; split it
     // by the cost model's proportions.
     let mmf = hams_host::MmfCostModel::linux_4_9();
@@ -373,7 +390,11 @@ pub struct DmaOverheadRow {
 
 impl fmt::Display for DmaOverheadRow {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{:<8} dma-fraction={:.3}", self.workload, self.dma_fraction)
+        write!(
+            f,
+            "{:<8} dma-fraction={:.3}",
+            self.workload, self.dma_fraction
+        )
     }
 }
 
@@ -433,27 +454,32 @@ pub fn fig16_application_performance(
     kinds: &[PlatformKind],
     workloads: &[&str],
 ) -> Vec<ApplicationPerfRow> {
-    let mut rows = Vec::new();
-    for name in workloads {
-        let Some(spec) = WorkloadSpec::by_name(name) else {
-            continue;
-        };
-        for kind in kinds {
-            let mut platform = kind.build(scale);
-            let m = run_workload(platform.as_mut(), spec, scale);
+    let specs: Vec<WorkloadSpec> = workloads
+        .iter()
+        .filter_map(|name| WorkloadSpec::by_name(name))
+        .collect();
+    // One independent, seeded simulation per (workload, platform) cell, fanned
+    // out across cores; results are byte-identical to the serial loop.
+    let grid = run_grid(kinds, &specs, scale);
+    grid.into_iter()
+        .zip(
+            specs
+                .iter()
+                .flat_map(|spec| kinds.iter().map(move |k| (spec, k))),
+        )
+        .map(|(m, (spec, kind))| {
             let (throughput, unit) = match spec.class {
                 WorkloadClass::Sqlite => (m.paper_throughput(spec.class), "ops/s"),
                 _ => (m.paper_throughput(spec.class), "K pages/s"),
             };
-            rows.push(ApplicationPerfRow {
+            ApplicationPerfRow {
                 platform: kind.label().to_owned(),
-                workload: (*name).to_owned(),
+                workload: spec.name.to_owned(),
                 throughput,
                 unit,
-            });
-        }
-    }
-    rows
+            }
+        })
+        .collect()
 }
 
 // ---------------------------------------------------------------------------
@@ -515,12 +541,11 @@ pub fn fig17_execution_breakdown(scale: &ScaleProfile, workload: &str) -> Vec<Br
     let Some(spec) = WorkloadSpec::by_name(workload) else {
         return Vec::new();
     };
-    let results: Vec<(String, RunMetrics)> = PlatformKind::breakdown_set()
+    let kinds = PlatformKind::breakdown_set();
+    let results: Vec<(String, RunMetrics)> = kinds
         .iter()
-        .map(|k| {
-            let mut p = k.build(scale);
-            (k.label().to_owned(), run_workload(p.as_mut(), spec, scale))
-        })
+        .map(|k| k.label().to_owned())
+        .zip(run_matrix(&kinds, spec, scale))
         .collect();
     normalized_rows(
         &results,
@@ -528,7 +553,12 @@ pub fn fig17_execution_breakdown(scale: &ScaleProfile, workload: &str) -> Vec<Br
         |m| {
             ["os", "ssd", "app"]
                 .iter()
-                .map(|c| ((*c).to_owned(), m.exec_breakdown.component(c).as_nanos() as f64))
+                .map(|c| {
+                    (
+                        (*c).to_owned(),
+                        m.exec_breakdown.component(c).as_nanos() as f64,
+                    )
+                })
                 .collect()
         },
         |m| m.exec_breakdown.total().as_nanos() as f64,
@@ -542,12 +572,11 @@ pub fn fig18_memory_delay(scale: &ScaleProfile, workload: &str) -> Vec<Breakdown
     let Some(spec) = WorkloadSpec::by_name(workload) else {
         return Vec::new();
     };
-    let results: Vec<(String, RunMetrics)> = PlatformKind::hams_set()
+    let kinds = PlatformKind::hams_set();
+    let results: Vec<(String, RunMetrics)> = kinds
         .iter()
-        .map(|k| {
-            let mut p = k.build(scale);
-            (k.label().to_owned(), run_workload(p.as_mut(), spec, scale))
-        })
+        .map(|k| k.label().to_owned())
+        .zip(run_matrix(&kinds, spec, scale))
         .collect();
     normalized_rows(
         &results,
@@ -555,7 +584,12 @@ pub fn fig18_memory_delay(scale: &ScaleProfile, workload: &str) -> Vec<Breakdown
         |m| {
             ["nvdimm", "dma", "ssd"]
                 .iter()
-                .map(|c| ((*c).to_owned(), m.memory_delay.component(c).as_nanos() as f64))
+                .map(|c| {
+                    (
+                        (*c).to_owned(),
+                        m.memory_delay.component(c).as_nanos() as f64,
+                    )
+                })
                 .collect()
         },
         |m| m.memory_delay.total().as_nanos() as f64,
@@ -569,12 +603,11 @@ pub fn fig19_energy(scale: &ScaleProfile, workload: &str) -> Vec<BreakdownRow> {
     let Some(spec) = WorkloadSpec::by_name(workload) else {
         return Vec::new();
     };
-    let results: Vec<(String, RunMetrics)> = PlatformKind::breakdown_set()
+    let kinds = PlatformKind::breakdown_set();
+    let results: Vec<(String, RunMetrics)> = kinds
         .iter()
-        .map(|k| {
-            let mut p = k.build(scale);
-            (k.label().to_owned(), run_workload(p.as_mut(), spec, scale))
-        })
+        .map(|k| k.label().to_owned())
+        .zip(run_matrix(&kinds, spec, scale))
         .collect();
     normalized_rows(
         &results,
@@ -618,7 +651,11 @@ impl fmt::Display for PageSizeRow {
 
 /// Fig. 20a: hams-TE throughput across MoS page sizes.
 #[must_use]
-pub fn fig20a_page_sizes(scale: &ScaleProfile, workload: &str, page_sizes: &[u64]) -> Vec<PageSizeRow> {
+pub fn fig20a_page_sizes(
+    scale: &ScaleProfile,
+    workload: &str,
+    page_sizes: &[u64],
+) -> Vec<PageSizeRow> {
     let Some(spec) = WorkloadSpec::by_name(workload) else {
         return Vec::new();
     };
@@ -679,16 +716,18 @@ pub fn fig20b_large_footprint(scale: &ScaleProfile, workload: &str) -> Vec<Large
         return Vec::new();
     };
     let grown = spec.with_dataset_bytes(spec.dataset_bytes * 4);
-    [PlatformKind::Mmap, PlatformKind::HamsTE, PlatformKind::Oracle]
+    let kinds = [
+        PlatformKind::Mmap,
+        PlatformKind::HamsTE,
+        PlatformKind::Oracle,
+    ];
+    kinds
         .iter()
-        .map(|k| {
-            let mut p = k.build(scale);
-            let m = run_workload(p.as_mut(), grown, scale);
-            LargeFootprintRow {
-                platform: k.label().to_owned(),
-                workload: workload.to_owned(),
-                ops_per_sec: m.ops_per_sec,
-            }
+        .zip(run_matrix(&kinds, grown, scale))
+        .map(|(k, m)| LargeFootprintRow {
+            platform: k.label().to_owned(),
+            workload: workload.to_owned(),
+            ops_per_sec: m.ops_per_sec,
         })
         .collect()
 }
@@ -719,7 +758,11 @@ mod tests {
     fn fig05_ull_beats_nvme_on_latency_and_bandwidth() {
         let rows = fig05_device_characterization(&[1, 8], 200);
         let avg = |device: &str, metric: fn(&DeviceCharacterizationRow) -> f64| {
-            let xs: Vec<f64> = rows.iter().filter(|r| r.device == device).map(metric).collect();
+            let xs: Vec<f64> = rows
+                .iter()
+                .filter(|r| r.device == device)
+                .map(metric)
+                .collect();
             xs.iter().sum::<f64>() / xs.len() as f64
         };
         assert!(avg("ULL SSD", |r| r.avg_latency_us) < avg("NVMe SSD", |r| r.avg_latency_us));
@@ -730,8 +773,14 @@ mod tests {
     fn fig05a_ull_read_is_a_few_times_ddr4() {
         let (ddr_r, _, ull_r, ull_w) = fig05a_4kb_access();
         assert!(ull_r > ddr_r, "ULL read must be slower than DDR4");
-        assert!(ull_r < 20.0, "ULL 4KB read should stay in the ~10us range, was {ull_r}");
-        assert!(ull_w > 1.0, "buffered ULL write latency should still be >1us, was {ull_w}");
+        assert!(
+            ull_r < 20.0,
+            "ULL 4KB read should stay in the ~10us range, was {ull_r}"
+        );
+        assert!(
+            ull_w > 1.0,
+            "buffered ULL write latency should still be >1us, was {ull_w}"
+        );
     }
 
     #[test]
@@ -757,7 +806,10 @@ mod tests {
         assert!(r.degradation_vs_nvdimm_pct > 0.0);
 
         let ipc = fig07b_bypass_ipc(&scale, &["rndWr"]);
-        assert!(ipc[0].nvdimm_ipc > ipc[0].ull_ipc, "raw ULL bypass must hurt IPC");
+        assert!(
+            ipc[0].nvdimm_ipc > ipc[0].ull_ipc,
+            "raw ULL bypass must hurt IPC"
+        );
     }
 
     #[test]
@@ -795,7 +847,10 @@ mod tests {
             .iter()
             .map(|(_, v)| v)
             .sum();
-        assert!(te_total < 1.0, "hams-TE must use less energy than mmap, got {te_total}");
+        assert!(
+            te_total < 1.0,
+            "hams-TE must use less energy than mmap, got {te_total}"
+        );
     }
 
     #[test]

@@ -226,12 +226,40 @@ impl HamsController {
     ///
     /// Panics if `addr` lies beyond the MoS capacity.
     pub fn access(&mut self, addr: u64, is_write: bool, size: u64, now: Nanos) -> MosAccessResult {
+        let mut breakdown = LatencyBreakdown::new();
+        let (finished_at, hit) = self.access_into(addr, is_write, size, now, &mut breakdown);
+        self.stats.delay.merge(&breakdown);
+        MosAccessResult {
+            finished_at,
+            hit,
+            breakdown,
+        }
+    }
+
+    /// [`Self::access`] for batch serving: the critical-path delay breakdown
+    /// accumulates into the caller-owned `breakdown` instead of a fresh
+    /// per-access map, and the caller folds it into the controller's
+    /// aggregate stats once per batch via [`Self::merge_delay`]. Simulated
+    /// timing is identical to [`Self::access`]; only the host-side
+    /// bookkeeping (one breakdown map per batch rather than two per access)
+    /// is amortized. Returns `(finished_at, hit)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` lies beyond the MoS capacity.
+    pub fn access_into(
+        &mut self,
+        addr: u64,
+        is_write: bool,
+        size: u64,
+        now: Nanos,
+        breakdown: &mut LatencyBreakdown,
+    ) -> (Nanos, bool) {
         assert!(
             addr < self.mos_capacity_bytes(),
             "MoS address {addr:#x} beyond capacity"
         );
         let page = self.page_of(addr);
-        let mut breakdown = LatencyBreakdown::new();
         let mut t = now + self.config.controller_overhead;
         breakdown.add("hams", self.config.controller_overhead);
 
@@ -264,14 +292,14 @@ impl HamsController {
         match probe {
             TagProbe::Hit => {}
             TagProbe::MissEmpty => {
-                t = self.fill(page, is_write, t, &mut breakdown);
+                t = self.fill(page, is_write, t, breakdown);
             }
             TagProbe::MissClean { .. } => {
                 self.stats.clean_replacements += 1;
-                t = self.fill(page, is_write, t, &mut breakdown);
+                t = self.fill(page, is_write, t, breakdown);
             }
             TagProbe::MissDirty { victim_page } => {
-                let (slot_free_at, eviction_done) = self.evict(victim_page, t, &mut breakdown);
+                let (slot_free_at, eviction_done) = self.evict(victim_page, t, breakdown);
                 let fill_start = match self.config.persist {
                     // Persist mode: only one command in flight, so the fill
                     // waits for the eviction to reach the flash.
@@ -280,7 +308,7 @@ impl HamsController {
                     // data is safe in the PRP-pool clone.
                     PersistMode::Extend => slot_free_at,
                 };
-                t = self.fill(page, is_write, fill_start, &mut breakdown);
+                t = self.fill(page, is_write, fill_start, breakdown);
             }
         }
 
@@ -298,12 +326,14 @@ impl HamsController {
             self.tags.mark_dirty(page);
         }
 
-        self.stats.delay.merge(&breakdown);
-        MosAccessResult {
-            finished_at: t,
-            hit,
-            breakdown,
-        }
+        (t, hit)
+    }
+
+    /// Folds a batch-accumulated delay breakdown into the controller's
+    /// aggregate [`HamsStats::delay`]; the batch-serving counterpart of the
+    /// per-access merge [`Self::access`] performs.
+    pub fn merge_delay(&mut self, breakdown: &LatencyBreakdown) {
+        self.stats.delay.merge(breakdown);
     }
 
     /// First LBA of a MoS page.
@@ -359,7 +389,12 @@ impl HamsController {
     /// Evicts a dirty victim page. Returns `(slot_free_at, eviction_done)`:
     /// the cache slot becomes reusable once the clone is in the PRP pool;
     /// the data is durable on flash at `eviction_done`.
-    fn evict(&mut self, victim_page: u64, now: Nanos, breakdown: &mut LatencyBreakdown) -> (Nanos, Nanos) {
+    fn evict(
+        &mut self,
+        victim_page: u64,
+        now: Nanos,
+        breakdown: &mut LatencyBreakdown,
+    ) -> (Nanos, Nanos) {
         self.stats.evictions += 1;
         let page_bytes = self.config.mos_page_size;
         self.stats.eviction_bytes += page_bytes;
@@ -414,9 +449,10 @@ impl HamsController {
             .prp_pool
             .allocate(victim_page, eviction_done, now)
             .unwrap_or(0);
-        let nvdimm_clone_addr = self
-            .pinned
-            .prp_slot_address(slot as u64 % self.pinned.layout().prp_pool_slots(page_bytes).max(1), page_bytes);
+        let nvdimm_clone_addr = self.pinned.prp_slot_address(
+            slot as u64 % self.pinned.layout().prp_pool_slots(page_bytes).max(1),
+            page_bytes,
+        );
         let _ = self.engine.issue_write(
             victim_page,
             self.slba_of(victim_page),
@@ -436,7 +472,13 @@ impl HamsController {
     /// Fills `page` into its NVDIMM set. A write to a page that has never
     /// reached flash skips the fetch (write-allocate without fetch). Returns
     /// the time the data is available in NVDIMM.
-    fn fill(&mut self, page: u64, is_write: bool, now: Nanos, breakdown: &mut LatencyBreakdown) -> Nanos {
+    fn fill(
+        &mut self,
+        page: u64,
+        is_write: bool,
+        now: Nanos,
+        breakdown: &mut LatencyBreakdown,
+    ) -> Nanos {
         let page_bytes = self.config.mos_page_size;
         let start = match self.config.persist {
             PersistMode::Persist => now.max(self.persist_gate),
@@ -640,7 +682,10 @@ mod tests {
             let r = persist.access(i % span * stride, true, 64, t_p);
             t_p = r.finished_at;
         }
-        assert!(t_p > t_e, "persist ({t_p}) must be slower than extend ({t_e})");
+        assert!(
+            t_p > t_e,
+            "persist ({t_p}) must be slower than extend ({t_e})"
+        );
     }
 
     #[test]
@@ -710,9 +755,9 @@ mod tests {
         // flight. Recovery must re-issue exactly the journal-tagged commands.
         let before = h.engine_outstanding_for_tests();
         let event = h.power_fail(t);
-        assert_eq!(event.incomplete_commands <= before, true);
+        assert!(event.incomplete_commands <= before);
         let report = h.recover(t);
-        assert_eq!(report.reissued_pages.len() <= before, true);
+        assert!(report.reissued_pages.len() <= before);
         assert!(report.completed_at >= t);
     }
 

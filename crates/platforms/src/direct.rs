@@ -15,7 +15,7 @@ use hams_sim::Nanos;
 use hams_workloads::Access;
 
 use crate::cache::{CacheOutcome, LruPageCache};
-use crate::platform::{AccessOutcome, Platform};
+use crate::platform::{AccessOutcome, BatchOutcome, BatchRequest, Platform};
 
 const OS_PAGE: u64 = 4096;
 
@@ -139,6 +139,41 @@ impl Platform for FlatFlashPlatform {
         }
     }
 
+    /// Direct-attach batch path for `flatflash-P`: the host-cache branch is
+    /// resolved once per batch and every access goes straight to the MMIO
+    /// loop with a pre-sized outcome buffer. `flatflash-M` keeps the
+    /// per-access fallback — its host DRAM cache makes every access
+    /// branch-dependent anyway.
+    fn serve_batch(&mut self, batch: &[BatchRequest], start: Nanos) -> BatchOutcome {
+        let mut result = BatchOutcome::with_capacity(batch.len());
+        let mut t = start;
+        if self.host_cache.is_none() {
+            for request in batch {
+                let issued_at = t + request.compute;
+                let served = self.mmio_access(
+                    request.access.addr,
+                    request.access.size,
+                    request.access.is_write,
+                    issued_at,
+                );
+                result.outcomes.push(AccessOutcome {
+                    finished_at: served,
+                    os_time: Nanos::ZERO,
+                    ssd_time: served - issued_at,
+                    memory_time: Nanos::ZERO,
+                });
+                t = served;
+            }
+        } else {
+            for request in batch {
+                let outcome = self.access(&request.access, t + request.compute);
+                t = outcome.finished_at;
+                result.outcomes.push(outcome);
+            }
+        }
+        result
+    }
+
     fn device_energy(&self, elapsed: Nanos) -> EnergyAccount {
         let mut e = EnergyAccount::new();
         e.add_power("nvdimm", self.power.nvdimm_background_watts, elapsed);
@@ -146,7 +181,11 @@ impl Platform for FlatFlashPlatform {
             "nvdimm",
             self.dram_bytes_accessed as f64 * self.power.nvdimm_access_nj_per_byte / 1e9,
         );
-        e.add_power("internal_dram", self.power.ssd_dram_background_watts, elapsed);
+        e.add_power(
+            "internal_dram",
+            self.power.ssd_dram_background_watts,
+            elapsed,
+        );
         e.add(
             "internal_dram",
             (self.ssd.dram_stats().accesses * 4096) as f64 * self.power.ssd_dram_access_nj_per_byte
@@ -253,6 +292,36 @@ impl Platform for OptanePlatform {
             ssd_time: Nanos::ZERO,
             memory_time: finished - now,
         }
+    }
+
+    /// Direct-attach batch path for `optane-P`: the DRAM-cache branch is
+    /// resolved once per batch and every access streams through the media
+    /// model into a pre-sized outcome buffer. `optane-M` keeps the
+    /// per-access fallback.
+    fn serve_batch(&mut self, batch: &[BatchRequest], start: Nanos) -> BatchOutcome {
+        let mut result = BatchOutcome::with_capacity(batch.len());
+        let mut t = start;
+        if self.dram_cache.is_none() {
+            for request in batch {
+                let issued_at = t + request.compute;
+                let finished =
+                    self.media_access(request.access.size, request.access.is_write, issued_at);
+                result.outcomes.push(AccessOutcome {
+                    finished_at: finished,
+                    os_time: Nanos::ZERO,
+                    ssd_time: Nanos::ZERO,
+                    memory_time: finished - issued_at,
+                });
+                t = finished;
+            }
+        } else {
+            for request in batch {
+                let outcome = self.access(&request.access, t + request.compute);
+                t = outcome.finished_at;
+                result.outcomes.push(outcome);
+            }
+        }
+        result
     }
 
     fn device_energy(&self, elapsed: Nanos) -> EnergyAccount {
@@ -365,7 +434,11 @@ impl Platform for NvdimmCPlatform {
             "nvdimm",
             self.dram_bytes_accessed as f64 * self.power.nvdimm_access_nj_per_byte / 1e9,
         );
-        e.add_power("internal_dram", self.power.ssd_dram_background_watts, elapsed);
+        e.add_power(
+            "internal_dram",
+            self.power.ssd_dram_background_watts,
+            elapsed,
+        );
         e.add("znand", znand_energy(&self.power, &self.ssd));
         e
     }
@@ -420,6 +493,33 @@ impl Platform for OraclePlatform {
             ssd_time: Nanos::ZERO,
             memory_time: served - now,
         }
+    }
+
+    /// Batch path: the energy byte counter is accumulated once per batch;
+    /// each access still takes its own DDR4 grant so contention timing is
+    /// identical to the per-access path.
+    fn serve_batch(&mut self, batch: &[BatchRequest], start: Nanos) -> BatchOutcome {
+        let mut result = BatchOutcome::with_capacity(batch.len());
+        let mut t = start;
+        let mut bytes = 0u64;
+        for request in batch {
+            let issued_at = t + request.compute;
+            bytes += request.access.size;
+            let served = self
+                .ddr
+                .transfer(request.access.size, issued_at)
+                .finished_at
+                + Nanos::from_nanos(30);
+            result.outcomes.push(AccessOutcome {
+                finished_at: served,
+                os_time: Nanos::ZERO,
+                ssd_time: Nanos::ZERO,
+                memory_time: served - issued_at,
+            });
+            t = served;
+        }
+        self.bytes_accessed += bytes;
+        result
     }
 
     fn device_energy(&self, elapsed: Nanos) -> EnergyAccount {
@@ -482,7 +582,9 @@ mod tests {
     #[test]
     fn optane_p_fine_grained_access_wastes_bandwidth() {
         let mut p = OptanePlatform::app_direct();
-        let small = p.access(&acc(0, false, 64), Nanos::ZERO).latency(Nanos::ZERO);
+        let small = p
+            .access(&acc(0, false, 64), Nanos::ZERO)
+            .latency(Nanos::ZERO);
         let t1 = Nanos::from_millis(1);
         let block = p.access(&acc(4096, false, 256), t1).latency(t1);
         // A 64 B request costs the same as a 256 B one: the internal block.

@@ -7,7 +7,7 @@ use hams_nvdimm::{NvdimmConfig, PinnedRegionLayout};
 use hams_sim::{LatencyBreakdown, Nanos};
 use hams_workloads::Access;
 
-use crate::platform::{AccessOutcome, Platform};
+use crate::platform::{AccessOutcome, BatchOutcome, BatchRequest, Platform};
 
 /// A HAMS system under test.
 ///
@@ -113,13 +113,48 @@ impl Platform for HamsPlatform {
     fn access(&mut self, access: &Access, now: Nanos) -> AccessOutcome {
         let capacity = self.controller.mos_capacity_bytes();
         let addr = access.addr % capacity.max(1);
-        let result = self.controller.access(addr, access.is_write, access.size, now);
+        let result = self
+            .controller
+            .access(addr, access.is_write, access.size, now);
         AccessOutcome {
             finished_at: result.finished_at,
             os_time: Nanos::ZERO,
             ssd_time: Nanos::ZERO,
             memory_time: result.finished_at - now,
         }
+    }
+
+    /// Hardware-automated batch path: the MoS capacity lookup, the outcome
+    /// buffer and the delay-breakdown scratch map are established once per
+    /// batch, and the per-access breakdown maps of [`HamsController::access`]
+    /// (plus their per-access merge into the aggregate stats) collapse into a
+    /// single batch-end merge. Simulated timing is identical to the
+    /// per-access path by the [`Platform::serve_batch`] contract.
+    fn serve_batch(&mut self, batch: &[BatchRequest], start: Nanos) -> BatchOutcome {
+        let capacity = self.controller.mos_capacity_bytes().max(1);
+        let mut scratch = LatencyBreakdown::new();
+        let mut result = BatchOutcome::with_capacity(batch.len());
+        let mut t = start;
+        for request in batch {
+            let issued_at = t + request.compute;
+            let addr = request.access.addr % capacity;
+            let (finished_at, _hit) = self.controller.access_into(
+                addr,
+                request.access.is_write,
+                request.access.size,
+                issued_at,
+                &mut scratch,
+            );
+            result.outcomes.push(AccessOutcome {
+                finished_at,
+                os_time: Nanos::ZERO,
+                ssd_time: Nanos::ZERO,
+                memory_time: finished_at - issued_at,
+            });
+            t = finished_at;
+        }
+        self.controller.merge_delay(&scratch);
+        result
     }
 
     fn memory_delay(&self) -> LatencyBreakdown {
@@ -136,7 +171,11 @@ impl Platform for HamsPlatform {
         );
         let ssd = self.controller.ssd();
         if ssd.has_internal_dram() {
-            e.add_power("internal_dram", self.power.ssd_dram_background_watts, elapsed);
+            e.add_power(
+                "internal_dram",
+                self.power.ssd_dram_background_watts,
+                elapsed,
+            );
             e.add(
                 "internal_dram",
                 (ssd.dram_stats().accesses * 4096) as f64 * self.power.ssd_dram_access_nj_per_byte
@@ -210,6 +249,40 @@ mod tests {
         let d = p.memory_delay();
         assert!(d.component("nvdimm") > Nanos::ZERO);
         assert!(d.component("ssd") > Nanos::ZERO);
+    }
+
+    #[test]
+    fn batch_override_matches_per_access_path_including_delay_stats() {
+        let batch: Vec<BatchRequest> = (0..256u64)
+            .map(|i| BatchRequest {
+                access: acc(i * 4096 % (64 * 4096), i % 3 == 0),
+                compute: Nanos::from_nanos(i % 11 * 7),
+            })
+            .collect();
+        let start = Nanos::from_micros(1);
+
+        let mut reference = HamsPlatform::scaled(AttachMode::Loose, PersistMode::Persist, 4 << 20);
+        let mut expected = Vec::new();
+        let mut t = start;
+        for request in &batch {
+            let o = reference.access(&request.access, t + request.compute);
+            t = o.finished_at;
+            expected.push(o);
+        }
+
+        let mut batched = HamsPlatform::scaled(AttachMode::Loose, PersistMode::Persist, 4 << 20);
+        let result = batched.serve_batch(&batch, start);
+
+        assert_eq!(result.outcomes, expected);
+        assert_eq!(batched.memory_delay(), reference.memory_delay());
+        assert_eq!(
+            batched.controller().stats().hits,
+            reference.controller().stats().hits
+        );
+        assert_eq!(
+            batched.controller().stats().misses,
+            reference.controller().stats().misses
+        );
     }
 
     #[test]

@@ -2,10 +2,20 @@
 //!
 //! This crate assembles the substrates (flash, NVMe, interconnect, NVDIMM,
 //! host, energy) and the HAMS controller into the eleven systems the paper
-//! evaluates, and provides [`run_workload`] / [`run_matrix`] to execute
-//! Table III workloads on them and collect every reported metric
-//! (throughput, IPC, execution-time breakdown, memory-delay breakdown,
-//! energy breakdown, hit rates).
+//! evaluates, and provides the experiment engine that executes Table III
+//! workloads on them and collects every reported metric (throughput, IPC,
+//! execution-time breakdown, memory-delay breakdown, energy breakdown, hit
+//! rates):
+//!
+//! * [`PlatformRegistry`] — named, boxed platform constructors; the eleven
+//!   paper systems are pre-registered and harnesses can add their own,
+//! * [`Platform::serve_batch`] — the batched serving path; hardware-automated
+//!   platforms override it to amortize per-access host-side setup while
+//!   producing metrics byte-identical to the per-access loop,
+//! * [`run_workload`] / [`run_matrix`] / [`run_grid`] — single-cell, one
+//!   workload × many platforms, and full-grid execution; the grid fans cells
+//!   out across CPU cores with per-run seeded RNGs, so parallel results are
+//!   byte-identical to [`run_grid_serial`].
 //!
 //! # Example
 //!
@@ -28,6 +38,7 @@ pub mod direct;
 pub mod hams;
 pub mod mmap;
 pub mod platform;
+pub mod registry;
 pub mod runner;
 pub mod summary;
 
@@ -35,6 +46,12 @@ pub use cache::{CacheOutcome, CacheStats, LruPageCache};
 pub use direct::{FlatFlashPlatform, NvdimmCPlatform, OptanePlatform, OraclePlatform};
 pub use hams::HamsPlatform;
 pub use mmap::MmapPlatform;
-pub use platform::{AccessOutcome, Platform};
-pub use runner::{run_matrix, run_workload, PlatformKind, RunMetrics, ScaleProfile, ACCESSES_PER_SQL_OP};
-pub use summary::{feature_table, headline_claims, paper_config, FeatureRow, HeadlineClaims, PaperConfig};
+pub use platform::{AccessOutcome, BatchOutcome, BatchRequest, Platform};
+pub use registry::{standard_registry, PlatformCtor, PlatformRegistry};
+pub use runner::{
+    run_grid, run_grid_serial, run_matrix, run_workload, run_workload_batched, run_workload_serial,
+    PlatformKind, RunMetrics, ScaleProfile, ACCESSES_PER_SQL_OP, DEFAULT_BATCH_SIZE,
+};
+pub use summary::{
+    feature_table, headline_claims, paper_config, FeatureRow, HeadlineClaims, PaperConfig,
+};

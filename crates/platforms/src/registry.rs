@@ -1,0 +1,247 @@
+//! The platform registry: named, boxed platform constructors.
+//!
+//! The seed code built platforms through a hard-coded `match` in the runner,
+//! so adding a platform meant editing the runner itself. The registry inverts
+//! that: every platform is a `(label, constructor)` entry, the standard
+//! eleven systems of §VI-A are pre-registered in figure order, and
+//! experiment harnesses (including out-of-tree ones) can register additional
+//! systems and run them through the same grid machinery.
+//!
+//! # Example
+//!
+//! ```
+//! use hams_platforms::{OraclePlatform, PlatformRegistry, ScaleProfile};
+//!
+//! let mut registry = PlatformRegistry::standard();
+//! registry.register("oracle-2x", |_scale| Box::new(OraclePlatform::new()));
+//! let scale = ScaleProfile::test_tiny();
+//! let mut platform = registry.build("oracle-2x", &scale).unwrap();
+//! assert_eq!(platform.name(), "oracle");
+//! assert_eq!(registry.len(), 12);
+//! ```
+
+use std::sync::OnceLock;
+
+use hams_core::{AttachMode, PersistMode};
+use hams_flash::SsdConfig;
+
+use crate::direct::{FlatFlashPlatform, NvdimmCPlatform, OptanePlatform, OraclePlatform};
+use crate::hams::HamsPlatform;
+use crate::mmap::MmapPlatform;
+use crate::platform::Platform;
+use crate::runner::ScaleProfile;
+
+/// A boxed platform constructor: builds a fresh system sized by a
+/// [`ScaleProfile`]. `Send + Sync` so registries can be shared across the
+/// parallel grid's worker threads.
+pub type PlatformCtor = Box<dyn Fn(&ScaleProfile) -> Box<dyn Platform> + Send + Sync>;
+
+/// An ordered collection of named platform constructors.
+pub struct PlatformRegistry {
+    entries: Vec<(String, PlatformCtor)>,
+}
+
+impl std::fmt::Debug for PlatformRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PlatformRegistry")
+            .field("labels", &self.labels().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl PlatformRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        PlatformRegistry {
+            entries: Vec::new(),
+        }
+    }
+
+    /// The eleven platforms of §VI-A, registered in the order the paper's
+    /// figures list them.
+    #[must_use]
+    pub fn standard() -> Self {
+        let mut registry = PlatformRegistry::new();
+        let scaled_ull = |scale: &ScaleProfile| {
+            let mut cfg = SsdConfig::ull_flash();
+            cfg.dram_capacity_bytes = scale.ssd_dram_bytes();
+            cfg
+        };
+        registry.register("mmap", move |scale| {
+            Box::new(MmapPlatform::new(
+                "mmap",
+                scaled_ull(scale),
+                scale.cache_bytes(),
+            ))
+        });
+        registry.register("flatflash-P", |scale| {
+            Box::new(FlatFlashPlatform::persistent().with_ssd_dram_bytes(scale.ssd_dram_bytes()))
+        });
+        registry.register("flatflash-M", |scale| {
+            Box::new(
+                FlatFlashPlatform::memory_cached(scale.cache_bytes())
+                    .with_ssd_dram_bytes(scale.ssd_dram_bytes()),
+            )
+        });
+        registry.register("hams-LP", |scale| {
+            Box::new(HamsPlatform::scaled(
+                AttachMode::Loose,
+                PersistMode::Persist,
+                scale.cache_bytes(),
+            ))
+        });
+        registry.register("hams-LE", |scale| {
+            Box::new(HamsPlatform::scaled(
+                AttachMode::Loose,
+                PersistMode::Extend,
+                scale.cache_bytes(),
+            ))
+        });
+        registry.register("nvdimm-C", |scale| {
+            Box::new(
+                NvdimmCPlatform::new(scale.cache_bytes())
+                    .with_ssd_dram_bytes(scale.ssd_dram_bytes()),
+            )
+        });
+        registry.register("optane-P", |_scale| Box::new(OptanePlatform::app_direct()));
+        registry.register("optane-M", |scale| {
+            Box::new(OptanePlatform::memory_mode(scale.cache_bytes()))
+        });
+        registry.register("hams-TP", |scale| {
+            Box::new(HamsPlatform::scaled(
+                AttachMode::Tight,
+                PersistMode::Persist,
+                scale.cache_bytes(),
+            ))
+        });
+        registry.register("hams-TE", |scale| {
+            Box::new(HamsPlatform::scaled(
+                AttachMode::Tight,
+                PersistMode::Extend,
+                scale.cache_bytes(),
+            ))
+        });
+        registry.register("oracle", |_scale| Box::new(OraclePlatform::new()));
+        registry
+    }
+
+    /// Registers (or replaces) the constructor for `label`, preserving the
+    /// original position when replacing.
+    pub fn register<F>(&mut self, label: impl Into<String>, ctor: F)
+    where
+        F: Fn(&ScaleProfile) -> Box<dyn Platform> + Send + Sync + 'static,
+    {
+        let label = label.into();
+        let boxed: PlatformCtor = Box::new(ctor);
+        if let Some(entry) = self.entries.iter_mut().find(|(l, _)| *l == label) {
+            entry.1 = boxed;
+        } else {
+            self.entries.push((label, boxed));
+        }
+    }
+
+    /// Builds a fresh platform for `label`, or `None` if it is unregistered.
+    #[must_use]
+    pub fn build(&self, label: &str, scale: &ScaleProfile) -> Option<Box<dyn Platform>> {
+        self.entries
+            .iter()
+            .find(|(l, _)| l == label)
+            .map(|(_, ctor)| ctor(scale))
+    }
+
+    /// Registered labels, in registration order.
+    pub fn labels(&self) -> impl Iterator<Item = &str> {
+        self.entries.iter().map(|(l, _)| l.as_str())
+    }
+
+    /// Whether `label` is registered.
+    #[must_use]
+    pub fn contains(&self, label: &str) -> bool {
+        self.entries.iter().any(|(l, _)| l == label)
+    }
+
+    /// Number of registered platforms.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl Default for PlatformRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The shared instance of [`PlatformRegistry::standard`] used by
+/// [`PlatformKind::build`](crate::PlatformKind::build) and the grid helpers.
+#[must_use]
+pub fn standard_registry() -> &'static PlatformRegistry {
+    static REGISTRY: OnceLock<PlatformRegistry> = OnceLock::new();
+    REGISTRY.get_or_init(PlatformRegistry::standard)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::PlatformKind;
+
+    #[test]
+    fn standard_registry_matches_the_paper_order() {
+        let registry = PlatformRegistry::standard();
+        let labels: Vec<&str> = registry.labels().collect();
+        let expected: Vec<&'static str> = PlatformKind::all()
+            .iter()
+            .map(PlatformKind::label)
+            .collect();
+        assert_eq!(labels, expected);
+        assert_eq!(registry.len(), 11);
+        assert!(!registry.is_empty());
+    }
+
+    #[test]
+    fn built_platforms_report_their_label_as_name() {
+        let registry = PlatformRegistry::standard();
+        let scale = ScaleProfile::test_tiny();
+        for kind in PlatformKind::all() {
+            let platform = registry
+                .build(kind.label(), &scale)
+                .unwrap_or_else(|| panic!("{} not registered", kind.label()));
+            assert_eq!(platform.name(), kind.label());
+        }
+    }
+
+    #[test]
+    fn unknown_labels_build_nothing() {
+        let registry = PlatformRegistry::standard();
+        assert!(registry
+            .build("hams-XX", &ScaleProfile::test_tiny())
+            .is_none());
+        assert!(!registry.contains("hams-XX"));
+    }
+
+    #[test]
+    fn register_replaces_in_place() {
+        let mut registry = PlatformRegistry::standard();
+        let before: Vec<String> = registry.labels().map(str::to_owned).collect();
+        registry.register("oracle", |_| Box::new(OraclePlatform::new()));
+        let after: Vec<String> = registry.labels().map(str::to_owned).collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn custom_platforms_extend_the_grid() {
+        let mut registry = PlatformRegistry::new();
+        registry.register("just-oracle", |_| Box::new(OraclePlatform::new()));
+        assert_eq!(registry.len(), 1);
+        let scale = ScaleProfile::test_tiny();
+        assert!(registry.build("just-oracle", &scale).is_some());
+    }
+}

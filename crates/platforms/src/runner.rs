@@ -1,18 +1,14 @@
 //! The experiment runner: executes a Table III workload on a platform and
 //! produces every metric the paper's figures report.
 
-use hams_core::{AttachMode, PersistMode};
 use hams_energy::{EnergyAccount, PowerParams};
-use hams_flash::SsdConfig;
 use hams_host::{CpuConfig, CpuModel};
-use hams_sim::{LatencyBreakdown, Nanos};
+use hams_sim::{parallel_map, LatencyBreakdown, Nanos};
 use hams_workloads::{TraceGenerator, WorkloadClass, WorkloadSpec};
 use serde::{Deserialize, Serialize};
 
-use crate::direct::{FlatFlashPlatform, NvdimmCPlatform, OptanePlatform, OraclePlatform};
-use crate::hams::HamsPlatform;
-use crate::mmap::MmapPlatform;
-use crate::platform::Platform;
+use crate::platform::{BatchRequest, Platform};
+use crate::registry::{standard_registry, PlatformRegistry};
 
 /// Number of MoS accesses that constitute one SQLite "operation" when
 /// converting access throughput into the ops/s metric of Fig. 16b.
@@ -205,112 +201,239 @@ impl PlatformKind {
     }
 
     /// Builds the platform with caches sized by `scale`.
+    ///
+    /// Construction is delegated to the shared
+    /// [`standard_registry`](crate::registry::standard_registry); the
+    /// registry — not this enum — is the extension point for new systems.
     #[must_use]
     pub fn build(&self, scale: &ScaleProfile) -> Box<dyn Platform> {
-        let cache = scale.cache_bytes();
-        let ssd_dram = scale.ssd_dram_bytes();
-        let scaled_ull = || {
-            let mut cfg = SsdConfig::ull_flash();
-            cfg.dram_capacity_bytes = ssd_dram;
-            cfg
-        };
-        match self {
-            PlatformKind::Mmap => Box::new(MmapPlatform::new("mmap", scaled_ull(), cache)),
-            PlatformKind::FlatFlashP => {
-                Box::new(FlatFlashPlatform::persistent().with_ssd_dram_bytes(ssd_dram))
-            }
-            PlatformKind::FlatFlashM => {
-                Box::new(FlatFlashPlatform::memory_cached(cache).with_ssd_dram_bytes(ssd_dram))
-            }
-            PlatformKind::NvdimmC => Box::new(NvdimmCPlatform::new(cache).with_ssd_dram_bytes(ssd_dram)),
-            PlatformKind::OptaneP => Box::new(OptanePlatform::app_direct()),
-            PlatformKind::OptaneM => Box::new(OptanePlatform::memory_mode(cache)),
-            PlatformKind::HamsLP => Box::new(HamsPlatform::scaled(
-                AttachMode::Loose,
-                PersistMode::Persist,
-                cache,
-            )),
-            PlatformKind::HamsLE => Box::new(HamsPlatform::scaled(
-                AttachMode::Loose,
-                PersistMode::Extend,
-                cache,
-            )),
-            PlatformKind::HamsTP => Box::new(HamsPlatform::scaled(
-                AttachMode::Tight,
-                PersistMode::Persist,
-                cache,
-            )),
-            PlatformKind::HamsTE => Box::new(HamsPlatform::scaled(
-                AttachMode::Tight,
-                PersistMode::Extend,
-                cache,
-            )),
-            PlatformKind::Oracle => Box::new(OraclePlatform::new()),
+        standard_registry()
+            .build(self.label(), scale)
+            .expect("every PlatformKind label is pre-registered")
+    }
+}
+
+/// Number of accesses handed to [`Platform::serve_batch`] per call by
+/// [`run_workload`]. Large enough to amortize per-batch setup, small enough
+/// that the request buffer stays cache-resident.
+pub const DEFAULT_BATCH_SIZE: usize = 256;
+
+/// Shared metric-folding state for the serial and batched serving paths.
+struct MetricsFold {
+    cpu: CpuModel,
+    exec: LatencyBreakdown,
+    accesses: u64,
+    now: Nanos,
+}
+
+impl MetricsFold {
+    fn new() -> Self {
+        MetricsFold {
+            cpu: CpuModel::new(CpuConfig::paper_default()),
+            exec: LatencyBreakdown::new(),
+            accesses: 0,
+            now: Nanos::ZERO,
+        }
+    }
+
+    /// Accounts one served access: the compute phase that preceded it and
+    /// the stall its outcome caused. `outcome` must come from an access
+    /// issued at `self.now + compute`.
+    fn fold(&mut self, compute: Nanos, outcome: &crate::platform::AccessOutcome) {
+        self.accesses += 1;
+        self.exec.add("app", compute);
+        let issued_at = self.now + compute;
+        let stall = outcome.latency(issued_at);
+        self.cpu.stall(stall);
+        self.exec.add("os", outcome.os_time);
+        self.exec.add("ssd", outcome.ssd_time);
+        self.exec.add(
+            "app",
+            stall.saturating_sub(outcome.os_time + outcome.ssd_time),
+        );
+        self.now = outcome.finished_at;
+    }
+
+    /// Finalizes the run into the paper's metrics.
+    fn finish(
+        self,
+        platform: &dyn Platform,
+        spec: WorkloadSpec,
+        scaled: WorkloadSpec,
+    ) -> RunMetrics {
+        let MetricsFold {
+            cpu,
+            exec,
+            accesses,
+            now: t,
+        } = self;
+        let power = PowerParams::paper_default();
+        let mut energy = platform.device_energy(t);
+        energy.add_power("cpu", power.cpu_active_watts, cpu.compute_time());
+        energy.add_power("cpu", power.cpu_idle_watts, cpu.stall_time());
+
+        let secs = t.as_secs_f64().max(1e-12);
+        let bytes_touched = accesses * scaled.access_bytes;
+        let pages_per_sec = bytes_touched as f64 / 4096.0 / secs;
+        let ops_per_sec = accesses as f64 / ACCESSES_PER_SQL_OP as f64 / secs;
+
+        RunMetrics {
+            platform: platform.name().to_owned(),
+            workload: spec.name.to_owned(),
+            accesses,
+            instructions: cpu.instructions(),
+            total_time: t,
+            exec_breakdown: exec,
+            memory_delay: platform.memory_delay(),
+            energy,
+            ipc: cpu.ipc(),
+            pages_per_sec,
+            ops_per_sec,
+            hit_rate: platform.hit_rate(),
         }
     }
 }
 
 /// Runs one workload on one platform and gathers metrics.
-pub fn run_workload(platform: &mut dyn Platform, spec: WorkloadSpec, scale: &ScaleProfile) -> RunMetrics {
-    let scaled = scale.scale_spec(spec);
-    let mut cpu = CpuModel::new(CpuConfig::paper_default());
-    let power = PowerParams::paper_default();
-    let mut t = Nanos::ZERO;
-    let mut exec = LatencyBreakdown::new();
-    let mut accesses = 0u64;
-
-    for access in TraceGenerator::new(scaled, scale.seed, scale.accesses) {
-        accesses += 1;
-        // Compute phase between memory accesses.
-        let compute = cpu.retire(access.compute_instructions + 1);
-        exec.add("app", compute);
-        t += compute;
-        // Memory access.
-        let outcome = platform.access(&access, t);
-        let stall = outcome.latency(t);
-        cpu.stall(stall);
-        exec.add("os", outcome.os_time);
-        exec.add("ssd", outcome.ssd_time);
-        exec.add("app", stall.saturating_sub(outcome.os_time + outcome.ssd_time));
-        t = outcome.finished_at;
-    }
-
-    let mut energy = platform.device_energy(t);
-    energy.add_power("cpu", power.cpu_active_watts, cpu.compute_time());
-    energy.add_power("cpu", power.cpu_idle_watts, cpu.stall_time());
-
-    let secs = t.as_secs_f64().max(1e-12);
-    let bytes_touched = accesses * scaled.access_bytes;
-    let pages_per_sec = bytes_touched as f64 / 4096.0 / secs;
-    let ops_per_sec = accesses as f64 / ACCESSES_PER_SQL_OP as f64 / secs;
-
-    RunMetrics {
-        platform: platform.name().to_owned(),
-        workload: spec.name.to_owned(),
-        accesses,
-        instructions: cpu.instructions(),
-        total_time: t,
-        exec_breakdown: exec,
-        memory_delay: platform.memory_delay(),
-        energy,
-        ipc: cpu.ipc(),
-        pages_per_sec,
-        ops_per_sec,
-        hit_rate: platform.hit_rate(),
-    }
+///
+/// The trace is served through [`Platform::serve_batch`] in chunks of
+/// [`DEFAULT_BATCH_SIZE`], which produces metrics byte-identical to the
+/// per-access reference path ([`run_workload_serial`]) while letting
+/// hardware-automated platforms amortize per-access setup.
+pub fn run_workload(
+    platform: &mut dyn Platform,
+    spec: WorkloadSpec,
+    scale: &ScaleProfile,
+) -> RunMetrics {
+    run_workload_batched(platform, spec, scale, DEFAULT_BATCH_SIZE)
 }
 
-/// Runs one workload across a set of platforms.
+/// [`run_workload`] with an explicit batch size (`0` is treated as `1`).
+pub fn run_workload_batched(
+    platform: &mut dyn Platform,
+    spec: WorkloadSpec,
+    scale: &ScaleProfile,
+    batch_size: usize,
+) -> RunMetrics {
+    let batch_size = batch_size.max(1);
+    let scaled = scale.scale_spec(spec);
+    let mut fold = MetricsFold::new();
+    let mut trace = TraceGenerator::new(scaled, scale.seed, scale.accesses);
+    // A batch can never outgrow the trace, so cap the buffer reservation.
+    let mut batch: Vec<BatchRequest> = Vec::with_capacity(batch_size.min(scale.accesses));
+
+    loop {
+        batch.clear();
+        while batch.len() < batch_size {
+            let Some(access) = trace.next() else { break };
+            // Compute phase between memory accesses, priced by the runner's
+            // CPU model so platforms never see instruction counts.
+            let compute = fold.cpu.retire(access.compute_instructions + 1);
+            batch.push(BatchRequest { access, compute });
+        }
+        if batch.is_empty() {
+            break;
+        }
+        let result = platform.serve_batch(&batch, fold.now);
+        assert_eq!(
+            result.outcomes.len(),
+            batch.len(),
+            "{} returned {} outcomes for a batch of {}",
+            platform.name(),
+            result.outcomes.len(),
+            batch.len()
+        );
+        for (request, outcome) in batch.iter().zip(&result.outcomes) {
+            fold.fold(request.compute, outcome);
+        }
+    }
+
+    fold.finish(platform, spec, scaled)
+}
+
+/// The per-access reference path: one [`Platform::access`] call per trace
+/// entry, no batching. [`run_workload`] must match this byte-for-byte.
+pub fn run_workload_serial(
+    platform: &mut dyn Platform,
+    spec: WorkloadSpec,
+    scale: &ScaleProfile,
+) -> RunMetrics {
+    let scaled = scale.scale_spec(spec);
+    let mut fold = MetricsFold::new();
+
+    for access in TraceGenerator::new(scaled, scale.seed, scale.accesses) {
+        let compute = fold.cpu.retire(access.compute_instructions + 1);
+        let outcome = platform.access(&access, fold.now + compute);
+        fold.fold(compute, &outcome);
+    }
+
+    fold.finish(platform, spec, scaled)
+}
+
+/// Runs one workload across a set of platforms, in parallel (one fully
+/// independent simulation per platform). Results keep the order of `kinds`.
 pub fn run_matrix(
     kinds: &[PlatformKind],
     spec: WorkloadSpec,
     scale: &ScaleProfile,
 ) -> Vec<RunMetrics> {
-    kinds
+    run_grid(kinds, &[spec], scale)
+}
+
+/// Runs the full platform × workload grid in parallel.
+///
+/// Every cell is an independent simulation: its own platform instance, CPU
+/// model and seeded trace generator, so the results are byte-identical to
+/// [`run_grid_serial`] regardless of thread count or scheduling. Results are
+/// ordered workload-major — all platforms for `specs[0]`, then `specs[1]`,
+/// … — matching how the paper's figures group their bars.
+pub fn run_grid(
+    kinds: &[PlatformKind],
+    specs: &[WorkloadSpec],
+    scale: &ScaleProfile,
+) -> Vec<RunMetrics> {
+    let labels: Vec<&str> = kinds.iter().map(PlatformKind::label).collect();
+    run_grid_with(standard_registry(), &labels, specs, scale)
+}
+
+/// [`run_grid`] over an arbitrary [`PlatformRegistry`]: platforms are built
+/// by label, so custom systems registered by a harness run through the same
+/// parallel grid machinery as the standard eleven.
+///
+/// # Panics
+///
+/// Panics if any label in `labels` is not registered.
+pub fn run_grid_with(
+    registry: &PlatformRegistry,
+    labels: &[&str],
+    specs: &[WorkloadSpec],
+    scale: &ScaleProfile,
+) -> Vec<RunMetrics> {
+    let cells: Vec<(WorkloadSpec, &str)> = specs
         .iter()
-        .map(|k| {
-            let mut platform = k.build(scale);
-            run_workload(platform.as_mut(), spec, scale)
+        .flat_map(|spec| labels.iter().map(move |label| (*spec, *label)))
+        .collect();
+    parallel_map(&cells, |(spec, label)| {
+        let mut platform = registry
+            .build(label, scale)
+            .unwrap_or_else(|| panic!("platform {label:?} is not registered"));
+        run_workload(platform.as_mut(), *spec, scale)
+    })
+}
+
+/// The serial reference for [`run_grid`]: same cells, same order, one thread.
+pub fn run_grid_serial(
+    kinds: &[PlatformKind],
+    specs: &[WorkloadSpec],
+    scale: &ScaleProfile,
+) -> Vec<RunMetrics> {
+    specs
+        .iter()
+        .flat_map(|spec| {
+            kinds.iter().map(|kind| {
+                let mut platform = kind.build(scale);
+                run_workload(platform.as_mut(), *spec, scale)
+            })
         })
         .collect()
 }
@@ -336,7 +459,11 @@ mod tests {
                 let mut platform = kind.build(&scale);
                 let m = run_workload(platform.as_mut(), spec, &scale);
                 assert_eq!(m.accesses, scale.accesses as u64);
-                assert!(m.total_time > Nanos::ZERO, "{name} on {} took no time", kind.label());
+                assert!(
+                    m.total_time > Nanos::ZERO,
+                    "{name} on {} took no time",
+                    kind.label()
+                );
                 assert!(m.pages_per_sec > 0.0);
                 assert!(m.energy.total_joules() > 0.0);
             }
@@ -369,7 +496,11 @@ mod tests {
         let scale = quick_scale();
         let spec = WorkloadSpec::by_name("seqRd").unwrap();
         let results = run_matrix(
-            &[PlatformKind::Mmap, PlatformKind::HamsTE, PlatformKind::Oracle],
+            &[
+                PlatformKind::Mmap,
+                PlatformKind::HamsTE,
+                PlatformKind::Oracle,
+            ],
             spec,
             &scale,
         );
@@ -414,6 +545,94 @@ mod tests {
         let full_ratio = spec.dataset_bytes as f64 / (8.0 * 1024.0 * 1024.0 * 1024.0);
         let scaled_ratio = scaled.dataset_bytes as f64 / scale.cache_bytes() as f64;
         assert!((full_ratio - scaled_ratio).abs() < 0.05 * full_ratio.max(scaled_ratio));
+    }
+
+    #[test]
+    fn batched_serving_is_byte_identical_to_serial_for_every_platform() {
+        let scale = quick_scale();
+        let spec = WorkloadSpec::by_name("rndWr").unwrap();
+        for kind in PlatformKind::all() {
+            let mut serial = kind.build(&scale);
+            let mut batched = kind.build(&scale);
+            let s = run_workload_serial(serial.as_mut(), spec, &scale);
+            let b = run_workload(batched.as_mut(), spec, &scale);
+            assert_eq!(s, b, "{} diverged between serial and batched", kind.label());
+        }
+    }
+
+    #[test]
+    fn batch_size_does_not_change_metrics() {
+        let scale = quick_scale();
+        let spec = WorkloadSpec::by_name("KMN").unwrap();
+        let reference = {
+            let mut p = PlatformKind::HamsTE.build(&scale);
+            run_workload_batched(p.as_mut(), spec, &scale, 1)
+        };
+        for batch_size in [0, 7, 64, 100_000] {
+            let mut p = PlatformKind::HamsTE.build(&scale);
+            let m = run_workload_batched(p.as_mut(), spec, &scale, batch_size);
+            assert_eq!(reference, m, "batch size {batch_size} diverged");
+        }
+    }
+
+    #[test]
+    fn parallel_grid_is_byte_identical_to_serial_grid() {
+        let scale = quick_scale();
+        let kinds = PlatformKind::all();
+        let specs: Vec<WorkloadSpec> = ["rndRd", "seqIns"]
+            .iter()
+            .map(|n| WorkloadSpec::by_name(n).unwrap())
+            .collect();
+        let parallel = run_grid(&kinds, &specs, &scale);
+        let serial = run_grid_serial(&kinds, &specs, &scale);
+        assert_eq!(parallel.len(), kinds.len() * specs.len());
+        assert_eq!(parallel, serial);
+    }
+
+    #[test]
+    fn custom_registry_platforms_run_through_the_grid() {
+        use crate::direct::OraclePlatform;
+        let mut registry = PlatformRegistry::standard();
+        registry.register("oracle-2x", |_scale| Box::new(OraclePlatform::new()));
+        let scale = quick_scale();
+        let specs = [WorkloadSpec::by_name("rndRd").unwrap()];
+        let results = run_grid_with(&registry, &["mmap", "oracle-2x"], &specs, &scale);
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].platform, "mmap");
+        assert_eq!(results[1].platform, "oracle");
+        assert!(results[1].pages_per_sec > results[0].pages_per_sec);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not registered")]
+    fn unknown_label_in_grid_panics_with_the_label() {
+        let scale = quick_scale();
+        let specs = [WorkloadSpec::by_name("rndRd").unwrap()];
+        let _ = run_grid_with(standard_registry(), &["hams-XX"], &specs, &scale);
+    }
+
+    #[test]
+    fn grid_results_are_workload_major_in_figure_order() {
+        let scale = quick_scale();
+        let kinds = [PlatformKind::Mmap, PlatformKind::Oracle];
+        let specs: Vec<WorkloadSpec> = ["rndRd", "rndWr"]
+            .iter()
+            .map(|n| WorkloadSpec::by_name(n).unwrap())
+            .collect();
+        let grid = run_grid(&kinds, &specs, &scale);
+        let labels: Vec<(&str, &str)> = grid
+            .iter()
+            .map(|m| (m.workload.as_str(), m.platform.as_str()))
+            .collect();
+        assert_eq!(
+            labels,
+            vec![
+                ("rndRd", "mmap"),
+                ("rndRd", "oracle"),
+                ("rndWr", "mmap"),
+                ("rndWr", "oracle"),
+            ]
+        );
     }
 
     #[test]

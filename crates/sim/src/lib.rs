@@ -35,12 +35,14 @@
 #![warn(missing_debug_implementations)]
 
 pub mod event;
+pub mod par;
 pub mod resource;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
 pub use event::{EventQueue, ScheduledEvent};
+pub use par::parallel_map;
 pub use resource::{Grant, MultiResource, Resource};
 pub use stats::{Counter, Histogram, LatencyBreakdown, RunningStats};
 pub use time::{Nanos, SimClock};

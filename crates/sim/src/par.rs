@@ -1,0 +1,133 @@
+//! Deterministic fork–join parallelism for embarrassingly parallel
+//! experiment grids.
+//!
+//! The experiment runner executes many independent (platform, workload)
+//! simulations; each one is seeded and self-contained, so they can run on
+//! different OS threads without any effect on the simulated results. This
+//! module provides the one primitive that needs: [`parallel_map`], an
+//! order-preserving map over a slice using scoped threads. It exists in-tree
+//! because the build environment has no crates-registry access (`rayon` would
+//! otherwise be the natural choice); the API is deliberately tiny so a later
+//! swap to `rayon` is a one-line change at each call site.
+//!
+//! # Determinism
+//!
+//! `parallel_map(items, f)` returns exactly `items.iter().map(f).collect()`
+//! — same values, same order — as long as `f` is a pure function of its
+//! argument. Work is claimed from an atomic counter, so thread scheduling
+//! affects only which thread computes which element, never the result.
+//!
+//! # Example
+//!
+//! ```
+//! let squares = hams_sim::par::parallel_map(&[1u64, 2, 3, 4], |x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Upper bound on worker threads, honouring the `HAMS_THREADS` environment
+/// variable (0 or unset = one worker per available core).
+#[must_use]
+pub fn max_workers() -> usize {
+    let from_env = std::env::var("HAMS_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(0);
+    if from_env > 0 {
+        return from_env;
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Maps `f` over `items` on a pool of scoped threads, preserving input
+/// order in the output.
+///
+/// Equivalent to `items.iter().map(f).collect()` for any `f` that is a pure
+/// function of its argument (see the module docs on determinism). Panics in
+/// `f` propagate to the caller once all workers have stopped.
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = max_workers().min(n);
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            let f = &f;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n || tx.send((i, f(&items[i]))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        for (i, r) in rx {
+            out[i] = Some(r);
+        }
+        // A hole is only possible when a worker panicked mid-item, and the
+        // scope re-raises that panic on join, so the expect never fires in
+        // a run that returns.
+        out.into_iter()
+            .map(|slot| slot.expect("worker delivered every index"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_serial_map_in_value_and_order() {
+        let items: Vec<u64> = (0..1_000).collect();
+        let serial: Vec<u64> = items.iter().map(|x| x.wrapping_mul(2654435761)).collect();
+        let parallel = parallel_map(&items, |x| x.wrapping_mul(2654435761));
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(parallel_map(&empty, |x| *x).is_empty());
+        assert_eq!(parallel_map(&[7u32], |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn repeated_runs_are_identical() {
+        let items: Vec<u64> = (0..64).collect();
+        let a = parallel_map(&items, |x| x * x);
+        let b = parallel_map(&items, |x| x * x);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic]
+    fn worker_panics_propagate() {
+        let items: Vec<u64> = (0..16).collect();
+        let _ = parallel_map(&items, |x| {
+            assert!(*x != 9, "boom");
+            *x
+        });
+    }
+
+    #[test]
+    fn max_workers_is_positive() {
+        assert!(max_workers() >= 1);
+    }
+}

@@ -1,0 +1,110 @@
+//! Orderings the paper's evaluation establishes and every refactor must
+//! preserve: extend-mode HAMS beats the software-managed `mmap` baseline on
+//! random-read latency, persist mode pays its ordered-persistency
+//! serialization relative to extend mode, and the all-DRAM `oracle`
+//! lower-bounds everyone's latency (equivalently, upper-bounds throughput).
+
+use hams::platforms::{run_grid, PlatformKind, RunMetrics, ScaleProfile};
+use hams::workloads::WorkloadSpec;
+
+fn scale() -> ScaleProfile {
+    ScaleProfile {
+        capacity_divisor: 1024,
+        accesses: 5_000,
+        seed: 17,
+    }
+}
+
+/// Mean stall latency per access in nanoseconds.
+fn mean_latency_ns(m: &RunMetrics) -> f64 {
+    m.total_time.as_nanos() as f64 / m.accesses as f64
+}
+
+#[test]
+fn extend_mode_hams_beats_mmap_on_random_read_latency() {
+    let spec = WorkloadSpec::by_name("rndRd").unwrap();
+    let kinds = [
+        PlatformKind::Mmap,
+        PlatformKind::HamsLE,
+        PlatformKind::HamsTE,
+    ];
+    let results = run_grid(&kinds, &[spec], &scale());
+    let mmap = mean_latency_ns(&results[0]);
+    for hams in &results[1..] {
+        let latency = mean_latency_ns(hams);
+        assert!(
+            latency < mmap,
+            "{} random-read latency ({latency:.0} ns) should beat mmap ({mmap:.0} ns)",
+            hams.platform
+        );
+    }
+}
+
+#[test]
+fn persist_mode_pays_for_ordered_persistency_with_latency() {
+    // Persist mode keeps a single command in flight (every fill waits for the
+    // persist gate), so it trades random-access latency for crash
+    // consistency; extend mode runs the same hardware path unserialized.
+    // This ordering is a property of the model the paper describes, and it
+    // must survive refactors of the serving path.
+    let spec = WorkloadSpec::by_name("rndRd").unwrap();
+    let kinds = [
+        PlatformKind::HamsLP,
+        PlatformKind::HamsLE,
+        PlatformKind::HamsTP,
+        PlatformKind::HamsTE,
+    ];
+    let results = run_grid(&kinds, &[spec], &scale());
+    let (lp, le, tp, te) = (
+        mean_latency_ns(&results[0]),
+        mean_latency_ns(&results[1]),
+        mean_latency_ns(&results[2]),
+        mean_latency_ns(&results[3]),
+    );
+    assert!(
+        lp > le,
+        "hams-LP ({lp:.0} ns) should trail hams-LE ({le:.0} ns)"
+    );
+    assert!(
+        tp > te,
+        "hams-TP ({tp:.0} ns) should trail hams-TE ({te:.0} ns)"
+    );
+}
+
+#[test]
+fn oracle_is_the_latency_lower_bound_across_all_platforms() {
+    for workload in ["rndRd", "rndWr", "KMN"] {
+        let spec = WorkloadSpec::by_name(workload).unwrap();
+        let results = run_grid(&PlatformKind::all(), &[spec], &scale());
+        let oracle = results
+            .iter()
+            .find(|m| m.platform == "oracle")
+            .expect("oracle ran");
+        let bound = mean_latency_ns(oracle);
+        for m in &results {
+            // Tiny tolerance for the shared 30 ns DRAM tail all platforms pay.
+            assert!(
+                mean_latency_ns(m) >= bound * 0.99,
+                "{} ({:.0} ns) undercut the oracle ({bound:.0} ns) on {workload}",
+                m.platform,
+                mean_latency_ns(m)
+            );
+        }
+    }
+}
+
+#[test]
+fn tight_integration_is_no_slower_than_loose_on_random_writes() {
+    let spec = WorkloadSpec::by_name("rndWr").unwrap();
+    let results = run_grid(
+        &[PlatformKind::HamsLE, PlatformKind::HamsTE],
+        &[spec],
+        &scale(),
+    );
+    assert!(
+        mean_latency_ns(&results[1]) <= mean_latency_ns(&results[0]) * 1.02,
+        "hams-TE ({:.0} ns) should not trail hams-LE ({:.0} ns)",
+        mean_latency_ns(&results[1]),
+        mean_latency_ns(&results[0])
+    );
+}
