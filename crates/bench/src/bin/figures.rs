@@ -3,7 +3,9 @@
 //!
 //! Usage: `cargo run -p hams-bench --release --bin figures [-- <id> ...]`
 //! where `<id>` is one of `table1 table2 table3 fig5 fig6 fig7 fig10 fig16
-//! fig17 fig18 fig19 fig20`; with no arguments every artefact is produced.
+//! fig17 fig18 fig19 fig20 fig21`; with no arguments every artefact is
+//! produced (`fig21` is this reproduction's NVMe queue-count sensitivity
+//! study, not a figure of the original paper).
 
 use hams_bench::*;
 use hams_platforms::{feature_table, paper_config, PlatformKind};
@@ -11,7 +13,7 @@ use hams_workloads::WorkloadSpec;
 
 const ALL: &[&str] = &[
     "table1", "table2", "table3", "fig5", "fig6", "fig7", "fig10", "fig16", "fig17", "fig18",
-    "fig19", "fig20",
+    "fig19", "fig20", "fig21",
 ];
 
 fn main() {
@@ -157,6 +159,14 @@ fn main() {
                     print_rows(
                         &format!("Figure 20b: 4x footprint ({w})"),
                         &fig20b_large_footprint(&scale, w),
+                    );
+                }
+            }
+            "fig21" => {
+                for w in ["rndRd", "rndWr", "seqRd"] {
+                    print_rows(
+                        &format!("Figure 21: NVMe queue-count sensitivity ({w})"),
+                        &fig21_queue_sensitivity(&scale, w, &[1, 2, 4, 8]),
                     );
                 }
             }

@@ -18,7 +18,8 @@ use hams_flash::{SsdConfig, SsdDevice};
 use hams_interconnect::{Ddr4Channel, Ddr4Config};
 use hams_nvme::{NvmeCommand, PrpList};
 use hams_platforms::{
-    run_grid, run_matrix, run_workload, HamsPlatform, MmapPlatform, PlatformKind, RunMetrics,
+    queue_sweep_label, register_hams_queue_sweep, run_grid, run_grid_with, run_matrix,
+    run_workload, HamsPlatform, MmapPlatform, PlatformKind, PlatformRegistry, RunMetrics,
     ScaleProfile,
 };
 use hams_sim::parallel_map;
@@ -732,6 +733,65 @@ pub fn fig20b_large_footprint(scale: &ScaleProfile, workload: &str) -> Vec<Large
         .collect()
 }
 
+/// One point of the queue-count sensitivity figure: hams-TE throughput and
+/// mean access latency at an NVMe queue-pair count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueueSensitivityRow {
+    /// Workload name.
+    pub workload: String,
+    /// Number of NVMe submission/completion queue pairs.
+    pub queues: u16,
+    /// Mean end-to-end access latency in microseconds.
+    pub mean_latency_us: f64,
+    /// Throughput in K pages per second.
+    pub kpages_per_sec: f64,
+}
+
+impl fmt::Display for QueueSensitivityRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<8} queues={:<2} mean-lat={:>8}us {:>10} Kpages/s",
+            self.workload,
+            self.queues,
+            cell(self.mean_latency_us),
+            cell(self.kpages_per_sec)
+        )
+    }
+}
+
+/// Queue-count sensitivity of hams-TE: the `hams-TE-q{n}` registry entries
+/// (32 KB MoS pages, striped fills, MSI coalescing) swept over
+/// `queue_counts` on one workload through the parallel grid. More queues
+/// let the controller stripe each page fill across more submission rings,
+/// overlapping the device firmware walks, so mean latency falls until the
+/// flash channels saturate.
+#[must_use]
+pub fn fig21_queue_sensitivity(
+    scale: &ScaleProfile,
+    workload: &str,
+    queue_counts: &[u16],
+) -> Vec<QueueSensitivityRow> {
+    let Some(spec) = WorkloadSpec::by_name(workload) else {
+        return Vec::new();
+    };
+    let mut registry = PlatformRegistry::standard();
+    register_hams_queue_sweep(&mut registry, queue_counts);
+    let labels: Vec<String> = queue_counts.iter().map(|&n| queue_sweep_label(n)).collect();
+    let label_refs: Vec<&str> = labels.iter().map(String::as_str).collect();
+    let results = run_grid_with(&registry, &label_refs, &[spec], scale);
+    queue_counts
+        .iter()
+        .zip(results)
+        .map(|(&queues, m)| QueueSensitivityRow {
+            workload: workload.to_owned(),
+            queues,
+            mean_latency_us: m.total_time.as_micros_f64() / m.accesses.max(1) as f64,
+            kpages_per_sec: m.pages_per_sec / 1_000.0,
+        })
+        .collect()
+}
+
 /// Prints any row type list under a header (used by the `figures` binary and
 /// the benches so each bench also regenerates its figure's series).
 pub fn print_rows<T: fmt::Display>(header: &str, rows: &[T]) {
@@ -868,6 +928,24 @@ mod tests {
                 .unwrap_or(0.0)
         };
         assert!(dma("hams-TE") < dma("hams-LE"));
+    }
+
+    #[test]
+    fn fig21_more_queues_strictly_cut_random_read_latency() {
+        let scale = ScaleProfile {
+            capacity_divisor: 2048,
+            accesses: 2_500,
+            seed: 9,
+        };
+        let rows = fig21_queue_sensitivity(&scale, "rndRd", &[1, 4]);
+        assert_eq!(rows.len(), 2);
+        assert!(
+            rows[1].mean_latency_us < rows[0].mean_latency_us,
+            "4 queues ({:.2}us) must beat 1 queue ({:.2}us)",
+            rows[1].mean_latency_us,
+            rows[0].mean_latency_us
+        );
+        assert!(rows[1].kpages_per_sec > rows[0].kpages_per_sec);
     }
 
     #[test]

@@ -3,6 +3,7 @@
 
 use hams_flash::SsdConfig;
 use hams_nvdimm::{NvdimmConfig, PinnedRegionLayout};
+use hams_nvme::QueueConfig;
 use hams_sim::Nanos;
 use serde::{Deserialize, Serialize};
 
@@ -48,8 +49,12 @@ pub struct HamsConfig {
     pub ssd: SsdConfig,
     /// Layout of the pinned, MMU-invisible metadata region.
     pub pinned: PinnedRegionLayout,
-    /// Depth of the single I/O queue pair managed by the NVMe engine.
-    pub queue_depth: usize,
+    /// Shape of the NVMe submission path managed by the in-controller
+    /// engine: queue-pair count, per-ring depth and MSI coalescing.
+    /// [`QueueConfig::single`] reproduces the original single-queue engine
+    /// byte for byte; multi-queue shapes stripe fills across pairs (extend
+    /// mode only — persist mode keeps at most one command outstanding).
+    pub queues: QueueConfig,
     /// Fixed latency of the HAMS cache-logic pipeline per request (tag
     /// compare, command composition).
     pub controller_overhead: Nanos,
@@ -71,7 +76,7 @@ impl HamsConfig {
             nvdimm: NvdimmConfig::hpe_8gb(),
             ssd: SsdConfig::ull_flash_supercap(),
             pinned: PinnedRegionLayout::paper_default(),
-            queue_depth: 1024,
+            queues: QueueConfig::single(),
             controller_overhead: Nanos::from_nanos(20),
             pcie_command_overhead: Nanos::from_nanos(600),
         }
@@ -122,10 +127,18 @@ impl HamsConfig {
             },
             ssd,
             pinned: PinnedRegionLayout::tiny_for_tests(),
-            queue_depth: 64,
+            queues: QueueConfig::single().with_depth(64),
             controller_overhead: Nanos::from_nanos(20),
             pcie_command_overhead: Nanos::from_nanos(600),
         }
+    }
+
+    /// Changes the NVMe queue shape (builder style): queue count, ring depth
+    /// and MSI coalescing, as swept by the queue-count sensitivity figure.
+    #[must_use]
+    pub fn with_queues(mut self, queues: QueueConfig) -> Self {
+        self.queues = queues;
+        self
     }
 
     /// Changes the MoS page size (builder style), as swept by Fig. 20a.
@@ -170,6 +183,14 @@ mod tests {
             HamsConfig::loose(PersistMode::Extend).mos_page_size,
             128 * 1024
         );
+    }
+
+    #[test]
+    fn queue_builder_swaps_the_submission_shape() {
+        assert!(HamsConfig::loose(PersistMode::Extend).queues.is_single());
+        let c = HamsConfig::tight(PersistMode::Extend).with_queues(QueueConfig::striped(4));
+        assert_eq!(c.queues.num_queues, 4);
+        assert_eq!(c.queues.coalescing.threshold, 4);
     }
 
     #[test]

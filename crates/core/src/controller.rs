@@ -166,7 +166,7 @@ impl HamsController {
             pcie: PcieLink::new(PcieConfig::gen3_x4()),
             reg_iface: RegisterInterface::new(RegisterInterfaceConfig::ddr4_2666()),
             lock: LockRegister::new(),
-            engine: NvmeEngine::new(config.queue_depth),
+            engine: NvmeEngine::with_config(config.queues),
             prp_pool: PrpPool::new(prp_slots),
             persist_gate: Nanos::ZERO,
             stats: HamsStats::default(),
@@ -336,6 +336,23 @@ impl HamsController {
         self.stats.delay.merge(breakdown);
     }
 
+    /// Reconfigures the NVMe submission path (queue count, ring depth, MSI
+    /// coalescing). Meant to be called before traffic is served: the engine
+    /// is rebuilt, so any in-flight journal state is discarded.
+    /// [`hams_nvme::QueueConfig::single`] restores the original single-queue
+    /// behaviour exactly.
+    pub fn set_queue_config(&mut self, queues: hams_nvme::QueueConfig) {
+        self.config.queues = queues;
+        self.engine = NvmeEngine::with_config(queues);
+    }
+
+    /// Read access to the in-controller NVMe engine (queue shape, journal
+    /// and MSI-coalescing counters).
+    #[must_use]
+    pub fn engine(&self) -> &NvmeEngine {
+        &self.engine
+    }
+
     /// First LBA of a MoS page.
     fn slba_of(&self, page: u64) -> u64 {
         page * self.config.mos_page_size / LBA_SIZE
@@ -469,9 +486,29 @@ impl HamsController {
         (clone_done, eviction_done)
     }
 
+    /// Number of stripe commands a fill is split into: one per queue pair,
+    /// bounded by the page's LBA count. Persist mode keeps at most one NVMe
+    /// command outstanding (§IV-B), so it never stripes.
+    fn fill_stripes(&self, page_bytes: u64) -> u64 {
+        match self.config.persist {
+            PersistMode::Persist => 1,
+            PersistMode::Extend => u64::from(self.config.queues.num_queues)
+                .min(page_bytes / LBA_SIZE)
+                .max(1),
+        }
+    }
+
     /// Fills `page` into its NVDIMM set. A write to a page that has never
     /// reached flash skips the fetch (write-allocate without fetch). Returns
     /// the time the data is available in NVDIMM.
+    ///
+    /// With a multi-queue [`hams_nvme::QueueConfig`], the fill is striped
+    /// into one read command per queue pair: the device services the stripes
+    /// concurrently (its firmware walks each command's sub-requests
+    /// independently) and the completion interrupts coalesce through the
+    /// engine's MSI model, so the page is ready when the interrupt covering
+    /// the last stripe arrives. [`hams_nvme::QueueConfig::single`] takes the
+    /// original single-command path, byte for byte.
     fn fill(
         &mut self,
         page: u64,
@@ -489,7 +526,7 @@ impl HamsController {
             // Nothing to fetch: the page has never been written to flash, or
             // the access overwrites it entirely; claim the slot directly.
             start
-        } else {
+        } else if self.fill_stripes(page_bytes) <= 1 {
             self.stats.fill_bytes += page_bytes;
             let submitted = self.submit_command(start, breakdown);
             let cmd = NvmeCommand::read(
@@ -514,6 +551,58 @@ impl HamsController {
                 self.nvdimm_addr_of(page),
                 transferred + array,
             );
+            transferred + array
+        } else {
+            self.stats.fill_bytes += page_bytes;
+            let stripes = self.fill_stripes(page_bytes);
+            let base_slba = self.slba_of(page);
+            let base_addr = self.nvdimm_addr_of(page);
+            // One stripe command per queue pair over the page's LBA range.
+            let ranges = hams_nvme::stripe_ranges(page_bytes / LBA_SIZE, stripes);
+            let mut segments: Vec<(u16, u64, u64)> = Vec::with_capacity(ranges.len());
+            let mut completions: Vec<Nanos> = Vec::with_capacity(ranges.len());
+            let mut submit_t = start;
+            for (s, (lba_offset, count)) in ranges.into_iter().enumerate() {
+                let slba = base_slba + lba_offset;
+                let length = count * LBA_SIZE;
+                // Doorbell writes serialize over the command interface; each
+                // stripe's service starts as soon as its own doorbell lands.
+                submit_t = self.submit_command(submit_t, breakdown);
+                let cmd = NvmeCommand::read(
+                    1,
+                    slba,
+                    length,
+                    hams_nvme::PrpList::for_transfer(
+                        base_addr + lba_offset * LBA_SIZE,
+                        length,
+                        4096,
+                    ),
+                );
+                let completion = self
+                    .ssd
+                    .service(&cmd, submit_t)
+                    .expect("fill stripe within device capacity");
+                completions.push(completion.finished_at);
+                segments.push((s as u16, slba, length));
+            }
+            // The cache logic learns of the fill through the coalesced MSI
+            // covering the last stripe completion.
+            let delivered = self.engine.deliver_times(&completions);
+            let flash_ready = delivered.last().copied().unwrap_or(submit_t).max(submit_t);
+            breakdown.add("ssd", flash_ready - submit_t);
+            let transferred = self.transfer_page(flash_ready, breakdown);
+            let array = self.nvdimm.write(page_bytes);
+            breakdown.add("nvdimm", array);
+            for (queue, slba, length) in segments {
+                let _ = self.engine.issue_read_on(
+                    queue,
+                    page,
+                    slba,
+                    length,
+                    base_addr + (slba - base_slba) * LBA_SIZE,
+                    transferred + array,
+                );
+            }
             transferred + array
         };
 
@@ -558,6 +647,10 @@ impl HamsController {
     pub fn power_fail(&mut self, now: Nanos) -> PowerFailureEvent {
         self.engine.retire_due(now);
         let incomplete = self.engine.journaled_incomplete(now).len();
+        // Completions scheduled for after the failure died with the power;
+        // without this, a later retire_due would post success CQ entries
+        // (and count completions) for commands recovery re-issues.
+        self.engine.drop_in_flight_completions();
         PowerFailureEvent {
             nvdimm_backup: self.nvdimm.power_fail(),
             ssd: self.ssd.power_fail(now),
@@ -573,7 +666,7 @@ impl HamsController {
         let pending = self.engine.journaled_incomplete(now);
         let mut completed_at = restore_done;
         let mut reissued_pages = Vec::with_capacity(pending.len());
-        let mut cids = Vec::with_capacity(pending.len());
+        let mut ids = Vec::with_capacity(pending.len());
         for tracked in &pending {
             // Recovery forces the re-issued request onto the flash medium so
             // the recovered data is durable even if the device has a volatile
@@ -585,9 +678,9 @@ impl HamsController {
                 .expect("re-issued command must fit the device");
             completed_at = completed_at.max(completion.finished_at);
             reissued_pages.push(tracked.mos_page);
-            cids.push(tracked.command.cid);
+            ids.push(tracked.id);
         }
-        self.engine.mark_recovered(&cids);
+        self.engine.mark_recovered(&ids);
         reissued_pages.sort_unstable();
         reissued_pages.dedup();
         RecoveryReport {
@@ -767,6 +860,61 @@ mod tests {
         let mut h = controller(AttachMode::Loose, PersistMode::Extend);
         let far = h.mos_capacity_bytes();
         let _ = h.access(far, false, 64, Nanos::ZERO);
+    }
+
+    #[test]
+    fn striped_fills_beat_the_single_queue_on_multi_lba_pages() {
+        use hams_nvme::QueueConfig;
+        let base = HamsConfig::tiny_for_tests(AttachMode::Loose, PersistMode::Extend)
+            .with_mos_page_size(64 * 1024);
+        let mut single = HamsController::new(base);
+        let mut striped = HamsController::new(base.with_queues(QueueConfig::striped(4)));
+        assert_eq!(striped.engine().num_queues(), 4);
+        let page = base.mos_page_size;
+        let mut t_single = Nanos::ZERO;
+        let mut t_striped = Nanos::ZERO;
+        // A cold read stream: every access misses and pays a full page fill.
+        // First write the pages so the fills actually touch flash.
+        for i in 0..64u64 {
+            t_single = single.access(i * page, true, 64, t_single).finished_at;
+            t_striped = striped.access(i * page, true, 64, t_striped).finished_at;
+        }
+        let span = single.cache_sets() as u64 + 8;
+        for i in 0..200u64 {
+            let addr = (i % span) * page;
+            t_single = single.access(addr, false, 64, t_single).finished_at;
+            t_striped = striped.access(addr, false, 64, t_striped).finished_at;
+        }
+        assert!(
+            t_striped < t_single,
+            "4-queue striped fills ({t_striped}) must beat single queue ({t_single})"
+        );
+        assert!(
+            striped.engine().coalescer_stats().interrupts
+                < striped.engine().coalescer_stats().completions,
+            "stripe completions should coalesce into fewer interrupts"
+        );
+    }
+
+    #[test]
+    fn persist_mode_never_stripes_fills() {
+        use hams_nvme::QueueConfig;
+        let config = HamsConfig::tiny_for_tests(AttachMode::Loose, PersistMode::Persist)
+            .with_mos_page_size(64 * 1024)
+            .with_queues(QueueConfig::striped(4));
+        let h = HamsController::new(config);
+        assert_eq!(
+            h.fill_stripes(config.mos_page_size),
+            1,
+            "persist mode keeps at most one command outstanding"
+        );
+    }
+
+    #[test]
+    fn single_queue_stripe_count_is_one_regardless_of_page_size() {
+        let h = controller(AttachMode::Tight, PersistMode::Extend);
+        assert_eq!(h.fill_stripes(4096), 1);
+        assert_eq!(h.fill_stripes(128 * 1024), 1);
     }
 
     #[test]

@@ -6,17 +6,28 @@
 //! it when the completion interrupt arrives, and — because the queues live in
 //! the pinned NVDIMM region — can be scanned after a power failure to find the
 //! commands that never completed (§V-C, Fig. 15).
+//!
+//! The engine manages a [`QueueSet`] of N submission/completion pairs.
+//! Independent fills are striped across the pairs (the paper's multi-queue
+//! submission) and their completion interrupts coalesce through an
+//! [`MsiCoalescer`]; [`QueueConfig::single`] reproduces the original
+//! single-queue engine exactly.
 
 use std::collections::HashMap;
 
-use hams_nvme::{MsiTable, NvmeCommand, NvmeOpcode, NvmeStatus, PrpList, QueueError, QueuePair};
-use hams_sim::Nanos;
+use hams_nvme::{
+    CommandId, MsiCoalescer, MsiCoalescerStats, MsiTable, NvmeCommand, NvmeOpcode, NvmeStatus,
+    PrpList, QueueConfig, QueueError, QueueSet,
+};
+use hams_sim::{CompletionSource, Nanos};
 use serde::{Deserialize, Serialize};
 
 /// One command tracked by the engine, with the HAMS-side metadata the cache
 /// logic needs.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TrackedCommand {
+    /// Fully-qualified identifier (queue pair + per-queue cid).
+    pub id: CommandId,
     /// The command as it sits in the submission queue.
     pub command: NvmeCommand,
     /// MoS page the command fills or evicts.
@@ -47,19 +58,22 @@ pub struct EngineStats {
 /// use hams_sim::Nanos;
 ///
 /// let mut engine = NvmeEngine::new(64);
-/// let cid = engine
+/// let id = engine
 ///     .issue_write(7, 0x1c0, 4096, 0xF000, false, Nanos::from_micros(5))
 ///     .unwrap();
 /// assert_eq!(engine.journaled_incomplete(Nanos::ZERO).len(), 1);
 /// engine.retire_due(Nanos::from_micros(5));
 /// assert!(engine.journaled_incomplete(Nanos::from_micros(5)).is_empty());
-/// let _ = cid;
+/// let _ = id;
 /// ```
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct NvmeEngine {
-    queue: QueuePair,
+    config: QueueConfig,
+    queues: QueueSet,
     msi: MsiTable,
-    tracked: HashMap<u16, TrackedCommand>,
+    coalescer: MsiCoalescer,
+    completions: CompletionSource<CommandId>,
+    tracked: HashMap<CommandId, TrackedCommand>,
     stats: EngineStats,
 }
 
@@ -67,12 +81,33 @@ impl NvmeEngine {
     /// Creates an engine with a single queue pair of the given depth.
     #[must_use]
     pub fn new(queue_depth: usize) -> Self {
+        Self::with_config(QueueConfig::single().with_depth(queue_depth))
+    }
+
+    /// Creates an engine with the queue shape described by `config`.
+    #[must_use]
+    pub fn with_config(config: QueueConfig) -> Self {
         NvmeEngine {
-            queue: QueuePair::new(0, queue_depth),
+            queues: QueueSet::from_config(config),
             msi: MsiTable::new(),
+            coalescer: MsiCoalescer::new(config.coalescing),
+            completions: CompletionSource::new(),
             tracked: HashMap::new(),
             stats: EngineStats::default(),
+            config,
         }
+    }
+
+    /// The queue shape in force.
+    #[must_use]
+    pub fn config(&self) -> QueueConfig {
+        self.config
+    }
+
+    /// Number of queue pairs managed.
+    #[must_use]
+    pub fn num_queues(&self) -> u16 {
+        self.queues.num_queues()
     }
 
     /// Engine counters.
@@ -81,15 +116,27 @@ impl NvmeEngine {
         &self.stats
     }
 
+    /// MSI coalescing counters (interrupts posted, completions covered).
+    #[must_use]
+    pub fn coalescer_stats(&self) -> MsiCoalescerStats {
+        self.coalescer.stats()
+    }
+
     /// Number of commands issued but not yet retired.
     #[must_use]
     pub fn outstanding(&self) -> usize {
         self.tracked.len()
     }
 
+    /// The queue pair a MoS page's commands stripe onto.
+    #[must_use]
+    pub fn queue_for_page(&self, mos_page: u64) -> u16 {
+        self.queues.queue_for(mos_page)
+    }
+
     /// Issues a fill (read) command for `mos_page`, whose data lands at
     /// NVDIMM address `nvdimm_addr` and whose device service completes at
-    /// `completes_at`.
+    /// `completes_at`. The command is striped onto the page's queue pair.
     ///
     /// # Errors
     ///
@@ -101,7 +148,33 @@ impl NvmeEngine {
         length: u64,
         nvdimm_addr: u64,
         completes_at: Nanos,
-    ) -> Result<u16, QueueError> {
+    ) -> Result<CommandId, QueueError> {
+        self.issue_read_on(
+            self.queue_for_page(mos_page),
+            mos_page,
+            slba,
+            length,
+            nvdimm_addr,
+            completes_at,
+        )
+    }
+
+    /// [`Self::issue_read`] on an explicit queue pair — the striped-fill path,
+    /// where the controller spreads one MoS page's stripe commands across
+    /// the whole set.
+    ///
+    /// # Errors
+    ///
+    /// Propagates queue-full errors from the submission queue.
+    pub fn issue_read_on(
+        &mut self,
+        queue: u16,
+        mos_page: u64,
+        slba: u64,
+        length: u64,
+        nvdimm_addr: u64,
+        completes_at: Nanos,
+    ) -> Result<CommandId, QueueError> {
         let cmd = NvmeCommand::read(
             1,
             slba,
@@ -109,7 +182,7 @@ impl NvmeEngine {
             PrpList::for_transfer(nvdimm_addr, length, 4096),
         )
         .with_journal_tag(true);
-        self.issue(cmd, mos_page, completes_at)
+        self.issue(queue, cmd, mos_page, completes_at)
     }
 
     /// Issues an eviction (write) command for `mos_page` reading its data from
@@ -126,7 +199,7 @@ impl NvmeEngine {
         nvdimm_addr: u64,
         fua: bool,
         completes_at: Nanos,
-    ) -> Result<u16, QueueError> {
+    ) -> Result<CommandId, QueueError> {
         let cmd = NvmeCommand::write(
             1,
             slba,
@@ -135,56 +208,64 @@ impl NvmeEngine {
         )
         .with_fua(fua)
         .with_journal_tag(true);
-        self.issue(cmd, mos_page, completes_at)
+        self.issue(self.queue_for_page(mos_page), cmd, mos_page, completes_at)
     }
 
     fn issue(
         &mut self,
+        queue: u16,
         cmd: NvmeCommand,
         mos_page: u64,
         completes_at: Nanos,
-    ) -> Result<u16, QueueError> {
+    ) -> Result<CommandId, QueueError> {
         match cmd.opcode {
             NvmeOpcode::Read => self.stats.reads_issued += 1,
             NvmeOpcode::Write => self.stats.writes_issued += 1,
             NvmeOpcode::Flush => {}
         }
-        let cid = self.queue.submit(cmd)?;
+        let id = self.queues.submit_on(queue, cmd)?;
         // The device fetches the command immediately in this model.
         let fetched = self
-            .queue
-            .fetch_next()
+            .queues
+            .fetch_next(queue)
             .expect("command just submitted must be fetchable");
+        self.completions.schedule(completes_at, id);
         self.tracked.insert(
-            cid,
+            id,
             TrackedCommand {
+                id,
                 command: fetched,
                 mos_page,
                 completes_at,
             },
         );
-        Ok(cid)
+        Ok(id)
     }
 
-    /// Processes every completion whose device service has finished by `now`:
-    /// posts the CQ entry, raises and consumes the MSI, clears the journal
-    /// tag and removes the command from the outstanding set. Returns the MoS
-    /// pages whose commands retired.
+    /// Delivery times of one burst of stripe completions under the engine's
+    /// MSI coalescing policy, in ascending completion order. The controller
+    /// uses this to know when the interrupt covering a fill's last stripe
+    /// reaches the cache logic.
+    pub fn deliver_times(&mut self, completions: &[Nanos]) -> Vec<Nanos> {
+        self.coalescer.deliver(completions)
+    }
+
+    /// Processes every completion whose device service has finished by `now`,
+    /// in global completion order across all queues: posts the CQ entry,
+    /// raises and consumes the MSI, clears the journal tag and removes the
+    /// command from the outstanding set. Returns the MoS pages whose
+    /// commands retired.
     pub fn retire_due(&mut self, now: Nanos) -> Vec<u64> {
-        let due: Vec<u16> = self
-            .tracked
-            .iter()
-            .filter(|(_, t)| t.completes_at <= now)
-            .map(|(&cid, _)| cid)
-            .collect();
+        let due = self.completions.drain_due(now);
         let mut pages = Vec::with_capacity(due.len());
-        for cid in due {
-            if self.queue.complete(cid, NvmeStatus::Success).is_ok() {
-                self.msi.raise(0);
+        for event in due {
+            let id = event.payload;
+            if self.queues.complete(id, NvmeStatus::Success).is_ok() {
+                self.msi.raise(id.queue);
                 let _ = self.msi.consume();
-                let _ = self.queue.reap();
+                let _ = self.queues.reap(id.queue);
             }
-            if let Some(t) = self.tracked.remove(&cid) {
+            if let Some(t) = self.tracked.remove(&id) {
                 pages.push(t.mos_page);
             }
             self.stats.completions += 1;
@@ -195,7 +276,8 @@ impl NvmeEngine {
 
     /// Commands whose journal tag is still set at `now` — exactly what the
     /// recovery scan of §V-C finds in the pinned SQ region after a power
-    /// failure.
+    /// failure. Ordered by (queue, cid) so the multi-queue scan is
+    /// deterministic.
     #[must_use]
     pub fn journaled_incomplete(&self, now: Nanos) -> Vec<TrackedCommand> {
         let mut v: Vec<TrackedCommand> = self
@@ -204,25 +286,35 @@ impl NvmeEngine {
             .filter(|t| t.completes_at > now && t.command.journal_tag)
             .cloned()
             .collect();
-        v.sort_by_key(|t| t.command.cid);
+        v.sort_by_key(|t| t.id);
         v
+    }
+
+    /// Drops every pending completion event: a power failure kills in-flight
+    /// device work, so completions scheduled for after the failure must
+    /// never be drained as normal successes. Recovery goes through the
+    /// journal-tag scan ([`Self::journaled_incomplete`]), which reads the
+    /// tracked commands, not the completion stream.
+    pub fn drop_in_flight_completions(&mut self) {
+        self.completions.clear();
+        self.msi.clear();
     }
 
     /// Marks a set of commands as recovered (re-issued after power
     /// restoration) and retires them.
-    pub fn mark_recovered(&mut self, cids: &[u16]) {
-        for cid in cids {
-            if self.tracked.remove(cid).is_some() {
+    pub fn mark_recovered(&mut self, ids: &[CommandId]) {
+        for id in ids {
+            if self.tracked.remove(id).is_some() {
                 self.stats.recovered += 1;
             }
         }
     }
 
-    /// Returns `true` when no command is in flight and the SQ/CQ tail pointers
-    /// coincide — the paper's quiescence condition.
+    /// Returns `true` when no command is in flight and every queue pair's
+    /// tail pointers coincide — the paper's quiescence condition.
     #[must_use]
     pub fn is_quiescent(&self) -> bool {
-        self.tracked.is_empty() && self.queue.is_quiescent()
+        self.tracked.is_empty() && self.queues.is_quiescent()
     }
 }
 
@@ -270,12 +362,12 @@ mod tests {
     #[test]
     fn mark_recovered_counts_and_clears() {
         let mut e = NvmeEngine::new(16);
-        let cid = e
+        let id = e
             .issue_write(9, 0, 4096, 0x1000, true, Nanos::from_micros(100))
             .unwrap();
         let pending = e.journaled_incomplete(Nanos::ZERO);
         assert_eq!(pending.len(), 1);
-        e.mark_recovered(&[cid]);
+        e.mark_recovered(&[id]);
         assert_eq!(e.stats().recovered, 1);
         assert_eq!(e.outstanding(), 0);
     }
@@ -297,5 +389,75 @@ mod tests {
         // submission succeeds; the queue depth bounds *unfetched* entries.
         assert!(e.issue_read(2, 0, 4096, 0, Nanos::from_secs(1)).is_ok());
         assert_eq!(e.outstanding(), 2);
+    }
+
+    #[test]
+    fn dropped_completions_are_never_drained_as_successes() {
+        let mut e = NvmeEngine::new(8);
+        e.issue_write(1, 0, 4096, 0x1000, false, Nanos::from_micros(100))
+            .unwrap();
+        // Power fails at 50 µs: the in-flight completion dies with it, and
+        // recovery re-issues the journaled command.
+        let pending = e.journaled_incomplete(Nanos::from_micros(50));
+        assert_eq!(pending.len(), 1);
+        e.drop_in_flight_completions();
+        e.mark_recovered(&[pending[0].id]);
+        // Time passing the original completion must not retire anything —
+        // the command was recovered, not completed.
+        assert!(e.retire_due(Nanos::from_micros(200)).is_empty());
+        assert_eq!(e.stats().completions, 0);
+        assert_eq!(e.stats().recovered, 1);
+    }
+
+    #[test]
+    fn multi_queue_engine_stripes_pages_across_pairs() {
+        let mut e = NvmeEngine::with_config(QueueConfig::striped(4).with_depth(16));
+        assert_eq!(e.num_queues(), 4);
+        let a = e.issue_read(0, 0, 4096, 0, Nanos::from_micros(1)).unwrap();
+        let b = e.issue_read(1, 8, 4096, 0, Nanos::from_micros(2)).unwrap();
+        let c = e.issue_read(5, 16, 4096, 0, Nanos::from_micros(3)).unwrap();
+        assert_eq!(a.queue, 0);
+        assert_eq!(b.queue, 1);
+        assert_eq!(c.queue, 1, "page 5 stripes onto queue 5 % 4");
+        assert_eq!(e.outstanding(), 3);
+        let retired = e.retire_due(Nanos::from_micros(3));
+        assert_eq!(retired, vec![0, 1, 5]);
+        assert!(e.is_quiescent());
+    }
+
+    #[test]
+    fn explicit_queue_reads_land_where_directed() {
+        let mut e = NvmeEngine::with_config(QueueConfig::striped(2).with_depth(8));
+        let id = e
+            .issue_read_on(1, 0, 0, 4096, 0, Nanos::from_micros(1))
+            .unwrap();
+        assert_eq!(id.queue, 1);
+        let pending = e.journaled_incomplete(Nanos::ZERO);
+        assert_eq!(pending[0].id, id);
+    }
+
+    #[test]
+    fn deliver_times_follow_the_coalescing_policy() {
+        let mut e = NvmeEngine::with_config(QueueConfig::striped(2));
+        let d = e.deliver_times(&[Nanos::from_micros(3), Nanos::from_micros(1)]);
+        // Threshold 2: one interrupt covers both, posted at the later time.
+        assert_eq!(d, vec![Nanos::from_micros(3); 2]);
+        assert_eq!(e.coalescer_stats().interrupts, 1);
+        assert_eq!(e.coalescer_stats().completions, 2);
+    }
+
+    #[test]
+    fn multi_queue_journal_scan_orders_by_queue_then_cid() {
+        let mut e = NvmeEngine::with_config(QueueConfig::striped(2).with_depth(8));
+        // Pages 1 and 3 both stripe onto queue 1; page 2 onto queue 0.
+        e.issue_write(1, 0, 4096, 0, false, Nanos::from_secs(1))
+            .unwrap();
+        e.issue_write(2, 8, 4096, 0, false, Nanos::from_secs(1))
+            .unwrap();
+        e.issue_write(3, 16, 4096, 0, false, Nanos::from_secs(1))
+            .unwrap();
+        let pending = e.journaled_incomplete(Nanos::ZERO);
+        let order: Vec<u64> = pending.iter().map(|t| t.mos_page).collect();
+        assert_eq!(order, vec![2, 1, 3]);
     }
 }

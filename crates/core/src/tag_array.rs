@@ -337,6 +337,81 @@ mod tests {
         assert_eq!(t.busy_until(0, Nanos::ZERO), None);
     }
 
+    // Busy/wait-queue edge cases: groundwork for sharding the tag array,
+    // where these per-set hazards become per-shard and must not change
+    // meaning. The busy bit belongs to the *set*, not the page — a conflict
+    // on an in-flight line must wait even though it targets a different tag.
+
+    #[test]
+    fn conflicting_page_waits_on_a_busy_set_it_does_not_own() {
+        let mut t = MosTagArray::new(4);
+        t.fill(3);
+        t.set_busy(3, Nanos::from_micros(10));
+        // Page 7 maps to the same set as page 3 but carries a different tag;
+        // its fill must park behind the in-flight operation.
+        assert_eq!(t.index_of(7), t.index_of(3));
+        assert_eq!(
+            t.busy_until(7, Nanos::from_micros(2)),
+            Some(Nanos::from_micros(10))
+        );
+        assert_eq!(t.stats().busy_waits, 1);
+        // After the wait the probe sees the clean resident victim.
+        assert_eq!(t.busy_until(7, Nanos::from_micros(10)), None);
+        assert_eq!(t.probe(7), TagProbe::MissClean { victim_page: 3 });
+    }
+
+    #[test]
+    fn eviction_replacing_a_set_with_a_pending_fill_resets_busy_state() {
+        let mut t = MosTagArray::new(4);
+        t.fill(1);
+        t.mark_dirty(1);
+        t.set_busy(1, Nanos::from_micros(50));
+        // A conflicting fill lands while the old operation is still pending:
+        // install replaces tag, dirty *and* busy state atomically.
+        t.fill(5);
+        assert_eq!(t.resident_page(1), Some(5));
+        assert!(!t.entry(1).busy, "fill must clear the stale busy bit");
+        assert!(!t.entry(1).dirty, "fill must clear the stale dirty bit");
+        assert_eq!(t.busy_until(5, Nanos::ZERO), None);
+        // The new occupant can immediately go busy for its own fill.
+        t.set_busy(5, Nanos::from_micros(7));
+        assert_eq!(t.busy_until(5, Nanos::ZERO), Some(Nanos::from_micros(7)));
+    }
+
+    #[test]
+    fn busy_window_boundary_is_exclusive_and_self_clears() {
+        let mut t = MosTagArray::new(2);
+        t.set_busy(0, Nanos::from_micros(5));
+        // Exactly at the completion time the operation has finished: no wait,
+        // and the bit self-clears without an explicit clear_busy.
+        assert_eq!(t.busy_until(0, Nanos::from_micros(5)), None);
+        assert!(!t.entry(0).busy);
+        assert_eq!(t.stats().busy_waits, 0, "boundary probe is not a wait");
+    }
+
+    #[test]
+    fn invalidate_during_pending_fill_drops_the_busy_bit() {
+        let mut t = MosTagArray::new(4);
+        t.fill(2);
+        t.set_busy(2, Nanos::from_micros(100));
+        t.invalidate(2);
+        assert_eq!(t.probe(2), TagProbe::MissEmpty);
+        assert_eq!(t.busy_until(2, Nanos::ZERO), None);
+    }
+
+    #[test]
+    fn mark_clean_on_a_replaced_page_is_a_no_op() {
+        let mut t = MosTagArray::new(4);
+        t.fill(1);
+        t.mark_dirty(1);
+        t.fill(5); // replaces page 1 in set 1
+        t.mark_dirty(5);
+        // Page 1's eviction completes late; its mark_clean must not touch the
+        // new occupant's dirty bit.
+        t.mark_clean(1);
+        assert!(t.entry(1).dirty, "stale mark_clean must not affect page 5");
+    }
+
     #[test]
     fn dirty_and_resident_iterators() {
         let mut t = MosTagArray::new(8);

@@ -57,6 +57,32 @@ impl NvmeStatus {
     }
 }
 
+/// Fully-qualified identifier of an outstanding command: the queue pair it
+/// was submitted on plus the per-queue command identifier. `cid`s are only
+/// unique within one queue pair, so everything that tracks commands across a
+/// [`QueueSet`](crate::QueueSet) keys on this pair instead.
+///
+/// Ordering is `(queue, cid)` lexicographic, which keeps multi-queue scans
+/// (e.g. the power-failure journal walk) deterministic and, for a single
+/// queue, identical to the old cid-only order.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct CommandId {
+    /// Queue pair the command was submitted on.
+    pub queue: u16,
+    /// Command identifier within that queue pair.
+    pub cid: u16,
+}
+
+impl CommandId {
+    /// Builds an identifier from its parts.
+    #[must_use]
+    pub fn new(queue: u16, cid: u16) -> Self {
+        CommandId { queue, cid }
+    }
+}
+
 /// A single 64-byte NVMe command as manipulated by the HAMS NVMe engine.
 ///
 /// The `cid` (command identifier) is assigned by the submission queue when the

@@ -14,7 +14,11 @@
 //!   reserved area ([`command`]),
 //! * PRP lists describing where in host memory (NVDIMM, for HAMS) the data for
 //!   a command lives ([`prp`]),
-//! * message-signalled interrupts delivered on completion ([`msi`]).
+//! * message-signalled interrupts delivered on completion, plus the MSI
+//!   coalescing model (threshold + timeout aggregation) ([`msi`]),
+//! * multi-queue submission: a [`QueueSet`] of N pairs with
+//!   [`CommandId`]-keyed tracking, configured by a [`QueueConfig`]
+//!   ([`queue`]).
 //!
 //! # Example
 //!
@@ -40,7 +44,10 @@ pub mod msi;
 pub mod prp;
 pub mod queue;
 
-pub use command::{NvmeCommand, NvmeOpcode, NvmeStatus};
-pub use msi::{MsiTable, MsiVector};
+pub use command::{CommandId, NvmeCommand, NvmeOpcode, NvmeStatus};
+pub use msi::{MsiCoalescer, MsiCoalescerStats, MsiCoalescing, MsiTable, MsiVector};
 pub use prp::{PrpEntry, PrpList};
-pub use queue::{CompletionEntry, CompletionQueue, QueueError, QueuePair, SubmissionQueue};
+pub use queue::{
+    stripe_ranges, CompletionEntry, CompletionQueue, QueueConfig, QueueError, QueuePair, QueueSet,
+    SubmissionQueue,
+};

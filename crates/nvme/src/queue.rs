@@ -9,9 +9,11 @@
 use std::collections::VecDeque;
 use std::fmt;
 
+use hams_sim::Nanos;
 use serde::{Deserialize, Serialize};
 
-use crate::command::{NvmeCommand, NvmeStatus};
+use crate::command::{CommandId, NvmeCommand, NvmeStatus};
+use crate::msi::MsiCoalescing;
 
 /// Errors produced by queue operations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -366,6 +368,260 @@ impl QueuePair {
     }
 }
 
+/// Shape of the NVMe submission path: how many I/O queue pairs the engine
+/// manages, how deep each ring is, and how completions coalesce into MSIs.
+///
+/// [`QueueConfig::single`] reproduces the original single-queue engine
+/// exactly (one pair, immediate interrupts); [`QueueConfig::striped`] is the
+/// paper's hardware-automated multi-queue submission, where independent
+/// flash fills are striped across queue pairs and their completion
+/// interrupts are coalesced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueueConfig {
+    /// Number of I/O submission/completion queue pairs.
+    pub num_queues: u16,
+    /// Entry capacity of each submission and completion ring.
+    pub queue_depth: usize,
+    /// MSI coalescing policy applied to completion interrupts.
+    pub coalescing: MsiCoalescing,
+}
+
+impl QueueConfig {
+    /// The single-queue fallback: one pair, 1024 entries, no coalescing.
+    /// Behaviourally identical to the engine before multi-queue existed.
+    #[must_use]
+    pub fn single() -> Self {
+        QueueConfig {
+            num_queues: 1,
+            queue_depth: 1024,
+            coalescing: MsiCoalescing::immediate(),
+        }
+    }
+
+    /// `num_queues` pairs with completions coalesced up to one interrupt per
+    /// stripe set (threshold = queue count, 8 µs aggregation timer).
+    #[must_use]
+    pub fn striped(num_queues: u16) -> Self {
+        let n = num_queues.max(1);
+        QueueConfig {
+            num_queues: n,
+            queue_depth: 1024,
+            coalescing: if n == 1 {
+                MsiCoalescing::immediate()
+            } else {
+                MsiCoalescing::batched(u32::from(n), Nanos::from_micros(8))
+            },
+        }
+    }
+
+    /// Changes the per-ring depth (builder style).
+    #[must_use]
+    pub fn with_depth(mut self, depth: usize) -> Self {
+        self.queue_depth = depth;
+        self
+    }
+
+    /// Changes the coalescing policy (builder style).
+    #[must_use]
+    pub fn with_coalescing(mut self, coalescing: MsiCoalescing) -> Self {
+        self.coalescing = coalescing;
+        self
+    }
+
+    /// Whether this is the single-queue fallback shape.
+    #[must_use]
+    pub fn is_single(&self) -> bool {
+        self.num_queues <= 1
+    }
+}
+
+impl Default for QueueConfig {
+    fn default() -> Self {
+        Self::single()
+    }
+}
+
+/// A set of N submission/completion queue pairs — the multi-queue NVMe
+/// interface the HAMS engine stripes independent fills across.
+///
+/// Queue identifiers are dense (`0..num_queues`), and commands are globally
+/// identified by [`CommandId`] (queue, cid) pairs.
+///
+/// # Example
+///
+/// ```
+/// use hams_nvme::{NvmeCommand, NvmeStatus, PrpList, QueueSet};
+///
+/// let mut set = QueueSet::new(4, 64);
+/// let q = set.queue_for(7); // deterministic striping by key
+/// let id = set
+///     .submit_on(q, NvmeCommand::read(1, 0x80, 4096, PrpList::single(0)))
+///     .unwrap();
+/// let fetched = set.fetch_next(q).unwrap();
+/// assert_eq!(fetched.cid, id.cid);
+/// set.complete(id, NvmeStatus::Success).unwrap();
+/// assert_eq!(set.reap(q).unwrap().cid, id.cid);
+/// assert!(set.is_quiescent());
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QueueSet {
+    queues: Vec<QueuePair>,
+}
+
+impl QueueSet {
+    /// Creates `num_queues` pairs, each with `depth` entries per ring.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_queues` is zero (a queue-less NVMe engine cannot issue
+    /// commands) or `depth` is outside the NVMe ring bounds.
+    #[must_use]
+    pub fn new(num_queues: u16, depth: usize) -> Self {
+        assert!(num_queues > 0, "a QueueSet needs at least one queue pair");
+        QueueSet {
+            queues: (0..num_queues)
+                .map(|id| QueuePair::new(id, depth))
+                .collect(),
+        }
+    }
+
+    /// Builds the set described by a [`QueueConfig`].
+    #[must_use]
+    pub fn from_config(config: QueueConfig) -> Self {
+        Self::new(config.num_queues.max(1), config.queue_depth)
+    }
+
+    /// Number of queue pairs.
+    #[must_use]
+    pub fn num_queues(&self) -> u16 {
+        self.queues.len() as u16
+    }
+
+    /// The queue pair a striping key (MoS page number, stripe index, …) maps
+    /// to: keys are distributed round-robin across the set.
+    #[must_use]
+    pub fn queue_for(&self, key: u64) -> u16 {
+        (key % self.queues.len() as u64) as u16
+    }
+
+    /// Read access to one queue pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queue` is out of range.
+    #[must_use]
+    pub fn queue(&self, queue: u16) -> &QueuePair {
+        &self.queues[queue as usize]
+    }
+
+    /// Iterates over the queue pairs in identifier order.
+    pub fn iter(&self) -> impl Iterator<Item = &QueuePair> {
+        self.queues.iter()
+    }
+
+    /// Host side: submits `cmd` on `queue` (rings its doorbell) and returns
+    /// the fully-qualified command identifier.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueError::SubmissionQueueFull`] when that ring is full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queue` is out of range.
+    pub fn submit_on(&mut self, queue: u16, cmd: NvmeCommand) -> Result<CommandId, QueueError> {
+        let cid = self.queues[queue as usize].submit(cmd)?;
+        Ok(CommandId { queue, cid })
+    }
+
+    /// Device side: fetches the next doorbell-visible command on `queue`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queue` is out of range.
+    pub fn fetch_next(&mut self, queue: u16) -> Option<NvmeCommand> {
+        self.queues[queue as usize].fetch_next()
+    }
+
+    /// Device side: completes an outstanding command.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`QueueError`] from the owning queue pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the identifier's queue is out of range.
+    pub fn complete(&mut self, id: CommandId, status: NvmeStatus) -> Result<(), QueueError> {
+        self.queues[id.queue as usize].complete(id.cid, status)
+    }
+
+    /// Host side: reaps the next completion on `queue`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queue` is out of range.
+    pub fn reap(&mut self, queue: u16) -> Option<CompletionEntry> {
+        self.queues[queue as usize].reap()
+    }
+
+    /// Total commands fetched but not completed, across all queues.
+    #[must_use]
+    pub fn total_outstanding(&self) -> usize {
+        self.queues.iter().map(QueuePair::outstanding).sum()
+    }
+
+    /// Everything a power failure would leave unfinished, tagged with the
+    /// queue it sits on, in (queue, submission) order.
+    #[must_use]
+    pub fn unfinished(&self) -> Vec<(u16, NvmeCommand)> {
+        self.queues
+            .iter()
+            .flat_map(|qp| qp.unfinished().into_iter().map(move |c| (qp.id, c)))
+            .collect()
+    }
+
+    /// Returns `true` when every queue pair is quiescent.
+    #[must_use]
+    pub fn is_quiescent(&self) -> bool {
+        self.queues.iter().all(QueuePair::is_quiescent)
+    }
+}
+
+/// Partitions `lbas` logical blocks into at most `lanes` contiguous stripe
+/// ranges `(start_lba, lba_count)`, in address order. The first
+/// `lbas % lanes` stripes carry one extra block, so the split is as even as
+/// possible; `lanes` is clamped to `1..=lbas`. This is the one LBA-split
+/// rule every multi-queue submitter (the HAMS fill path, the FlatFlash
+/// MMIO path) shares, so a change to the partitioning cannot diverge
+/// between them.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(
+///     hams_nvme::stripe_ranges(10, 4),
+///     vec![(0, 3), (3, 3), (6, 2), (8, 2)]
+/// );
+/// ```
+#[must_use]
+pub fn stripe_ranges(lbas: u64, lanes: u64) -> Vec<(u64, u64)> {
+    if lbas == 0 {
+        return Vec::new();
+    }
+    let lanes = lanes.clamp(1, lbas);
+    let per = lbas / lanes;
+    let extra = lbas % lanes;
+    let mut ranges = Vec::with_capacity(lanes as usize);
+    let mut next = 0u64;
+    for lane in 0..lanes {
+        let count = per + u64::from(lane < extra);
+        ranges.push((next, count));
+        next += count;
+    }
+    ranges
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -497,5 +753,79 @@ mod tests {
     #[should_panic(expected = "invalid SQ capacity")]
     fn zero_capacity_sq_panics() {
         let _ = SubmissionQueue::new(0);
+    }
+
+    #[test]
+    fn queue_set_stripes_keys_round_robin() {
+        let set = QueueSet::new(4, 16);
+        assert_eq!(set.num_queues(), 4);
+        assert_eq!(set.queue_for(0), 0);
+        assert_eq!(set.queue_for(5), 1);
+        assert_eq!(set.queue_for(7), 3);
+        assert_eq!(set.iter().count(), 4);
+    }
+
+    #[test]
+    fn queue_set_lifecycle_across_queues() {
+        let mut set = QueueSet::new(2, 8);
+        let a = set.submit_on(0, cmd(1)).unwrap();
+        let b = set.submit_on(1, cmd(2)).unwrap();
+        // cids restart per queue; the CommandId disambiguates.
+        assert_eq!(a.cid, b.cid);
+        assert_ne!(a, b);
+        assert!(set.fetch_next(0).is_some());
+        assert!(set.fetch_next(1).is_some());
+        assert_eq!(set.total_outstanding(), 2);
+        set.complete(a, NvmeStatus::Success).unwrap();
+        set.complete(b, NvmeStatus::Success).unwrap();
+        assert!(set.reap(0).is_some());
+        assert!(set.reap(1).is_some());
+        assert!(set.is_quiescent());
+    }
+
+    #[test]
+    fn queue_set_unfinished_reports_per_queue() {
+        let mut set = QueueSet::new(2, 8);
+        set.submit_on(0, cmd(1)).unwrap();
+        set.submit_on(1, cmd(2)).unwrap();
+        let _ = set.fetch_next(1);
+        let unfinished = set.unfinished();
+        assert_eq!(unfinished.len(), 2);
+        assert_eq!(unfinished[0].0, 0);
+        assert_eq!(unfinished[1].0, 1);
+        assert!(!set.is_quiescent());
+    }
+
+    #[test]
+    fn queue_set_from_config_honours_shape() {
+        let set = QueueSet::from_config(QueueConfig::striped(3).with_depth(32));
+        assert_eq!(set.num_queues(), 3);
+        assert_eq!(set.queue(2).submission().capacity(), 32);
+        assert!(QueueConfig::single().is_single());
+        assert!(!QueueConfig::striped(3).is_single());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one queue pair")]
+    fn empty_queue_set_panics() {
+        let _ = QueueSet::new(0, 8);
+    }
+
+    #[test]
+    fn stripe_ranges_cover_the_span_exactly_once() {
+        for lbas in 1u64..40 {
+            for lanes in 1u64..10 {
+                let ranges = stripe_ranges(lbas, lanes);
+                assert_eq!(ranges.len() as u64, lanes.min(lbas));
+                assert_eq!(ranges.iter().map(|(_, c)| c).sum::<u64>(), lbas);
+                let mut expected_start = 0;
+                for (start, count) in ranges {
+                    assert_eq!(start, expected_start, "ranges must be contiguous");
+                    assert!(count > 0, "no empty stripes");
+                    expected_start += count;
+                }
+            }
+        }
+        assert!(stripe_ranges(0, 4).is_empty());
     }
 }

@@ -1,6 +1,10 @@
-//! Property-based tests for the NVMe queue and PRP machinery.
+//! Property-based tests for the NVMe queue and PRP machinery, including the
+//! multi-queue [`QueueSet`] and the MSI coalescing model.
 
-use hams_nvme::{NvmeCommand, NvmeStatus, PrpList, QueuePair};
+use hams_nvme::{
+    CommandId, MsiCoalescer, MsiCoalescing, NvmeCommand, NvmeStatus, PrpList, QueuePair, QueueSet,
+};
+use hams_sim::Nanos;
 use proptest::prelude::*;
 
 proptest! {
@@ -82,6 +86,118 @@ proptest! {
         }
         while qp.reap().is_some() {}
         prop_assert!(qp.is_quiescent());
+    }
+
+    /// Multi-queue invariants under arbitrary interleavings of submit /
+    /// fetch / complete across a [`QueueSet`]: no submission is ever lost
+    /// (everything submitted is pending, outstanding or completed),
+    /// completions never exceed submissions, and every tail doorbell is
+    /// monotonically non-decreasing (rings are deep enough that pointers
+    /// never wrap within one case).
+    #[test]
+    fn queue_set_never_loses_submissions(
+        ops in proptest::collection::vec((0u8..3, 0u64..4), 1..180),
+    ) {
+        let num_queues = 4u16;
+        let mut set = QueueSet::new(num_queues, 256);
+        let mut submitted = 0usize;
+        let mut completed = 0usize;
+        let mut fetched: Vec<CommandId> = Vec::new();
+        let mut last_doorbell = vec![0u16; num_queues as usize];
+        for (op, key) in ops {
+            let queue = set.queue_for(key);
+            match op {
+                0 => {
+                    if set
+                        .submit_on(queue, NvmeCommand::read(1, key, 4096, PrpList::single(0)))
+                        .is_ok()
+                    {
+                        submitted += 1;
+                    }
+                }
+                1 => {
+                    if let Some(cmd) = set.fetch_next(queue) {
+                        fetched.push(CommandId::new(queue, cmd.cid));
+                    }
+                }
+                _ => {
+                    if let Some(id) = fetched.pop() {
+                        prop_assert!(set.complete(id, NvmeStatus::Success).is_ok());
+                        prop_assert!(set.reap(id.queue).is_some());
+                        completed += 1;
+                    }
+                }
+            }
+            // Doorbell monotonicity per queue.
+            for q in 0..num_queues {
+                let bell = set.queue(q).submission().doorbell();
+                prop_assert!(
+                    bell >= last_doorbell[q as usize],
+                    "doorbell on queue {q} went backwards"
+                );
+                last_doorbell[q as usize] = bell;
+            }
+            // Conservation: pending + outstanding + completed == submitted.
+            let pending: usize = (0..num_queues)
+                .map(|q| set.queue(q).submission().len())
+                .sum();
+            prop_assert_eq!(pending + set.total_outstanding() + completed, submitted);
+            prop_assert!(completed <= submitted);
+        }
+        // Drain everything; the set must reach quiescence.
+        for q in 0..num_queues {
+            while let Some(cmd) = set.fetch_next(q) {
+                fetched.push(CommandId::new(q, cmd.cid));
+            }
+        }
+        for id in fetched {
+            let _ = set.complete(id, NvmeStatus::Success);
+            let _ = set.reap(id.queue);
+        }
+        prop_assert!(set.is_quiescent());
+    }
+
+    /// MSI coalescing invariants for arbitrary completion bursts and
+    /// policies: every interrupt fires at or after its completion, within
+    /// the coalescing window (`threshold` reached or `timeout` expired — so
+    /// never more than `timeout` after the completion), delivery times are
+    /// monotone, and no more interrupts are posted than completions.
+    #[test]
+    fn msi_fires_within_threshold_plus_timeout(
+        gaps in proptest::collection::vec(0u64..5_000, 1..48),
+        threshold in 1u32..10,
+        timeout_ns in 0u64..20_000,
+    ) {
+        let timeout = Nanos::from_nanos(timeout_ns);
+        let mut coalescer = MsiCoalescer::new(MsiCoalescing::batched(threshold, timeout));
+        let mut completions = Vec::with_capacity(gaps.len());
+        let mut t = 0u64;
+        for g in gaps {
+            t += g;
+            completions.push(Nanos::from_nanos(t));
+        }
+        let delivered = coalescer.deliver(&completions);
+        prop_assert_eq!(delivered.len(), completions.len());
+        for (c, d) in completions.iter().zip(&delivered) {
+            prop_assert!(*d >= *c, "interrupt delivered before its completion");
+            prop_assert!(
+                *d - *c <= timeout,
+                "completion waited {} which exceeds the {} timer",
+                *d - *c,
+                timeout
+            );
+        }
+        for pair in delivered.windows(2) {
+            prop_assert!(pair[0] <= pair[1], "delivery order inverted");
+        }
+        let stats = coalescer.stats();
+        prop_assert_eq!(stats.completions, completions.len() as u64);
+        prop_assert!(stats.interrupts >= 1);
+        prop_assert!(stats.interrupts <= stats.completions);
+        // Each interrupt covers at most `threshold` completions.
+        let min_interrupts =
+            (completions.len() as u64).div_ceil(u64::from(threshold).min(completions.len() as u64));
+        prop_assert!(stats.interrupts >= min_interrupts);
     }
 
     /// Unfinished commands reported for recovery are exactly those submitted

@@ -4,6 +4,7 @@
 use hams_core::{AttachMode, HamsConfig, HamsController, PersistMode};
 use hams_energy::{EnergyAccount, PowerParams};
 use hams_nvdimm::{NvdimmConfig, PinnedRegionLayout};
+use hams_nvme::QueueConfig;
 use hams_sim::{LatencyBreakdown, Nanos};
 use hams_workloads::Access;
 
@@ -58,6 +59,22 @@ impl HamsPlatform {
     /// datasets exhibit the same hit/miss behaviour as the full-scale system.
     #[must_use]
     pub fn scaled(attach: AttachMode, persist: PersistMode, nvdimm_bytes: u64) -> Self {
+        Self::scaled_with(attach, persist, nvdimm_bytes, 4096, QueueConfig::single())
+    }
+
+    /// [`Self::scaled`] with an explicit MoS page size and NVMe queue shape —
+    /// the constructor behind the multi-queue registry entries. Striped
+    /// fills only pay off on pages spanning several LBAs, so the queue-count
+    /// sweep pairs a multi-LBA `mos_page_size` with a multi-queue
+    /// [`QueueConfig`].
+    #[must_use]
+    pub fn scaled_with(
+        attach: AttachMode,
+        persist: PersistMode,
+        nvdimm_bytes: u64,
+        mos_page_size: u64,
+        queues: QueueConfig,
+    ) -> Self {
         let base = match attach {
             AttachMode::Loose => HamsConfig::loose(persist),
             AttachMode::Tight => HamsConfig::tight(persist),
@@ -77,7 +94,8 @@ impl HamsPlatform {
             ssd,
             ..base
         }
-        .with_mos_page_size(4096);
+        .with_mos_page_size(mos_page_size)
+        .with_queues(queues);
         Self::from_config(config)
     }
 
@@ -155,6 +173,14 @@ impl Platform for HamsPlatform {
         }
         self.controller.merge_delay(&scratch);
         result
+    }
+
+    /// HAMS owns its NVMe engine, so every variant honours the queue shape.
+    /// Note that persist mode still serializes commands (one outstanding),
+    /// so striped fills only speed up the extend-mode variants.
+    fn configure_queues(&mut self, queues: QueueConfig) -> bool {
+        self.controller.set_queue_config(queues);
+        true
     }
 
     fn memory_delay(&self) -> LatencyBreakdown {
@@ -282,6 +308,76 @@ mod tests {
         assert_eq!(
             batched.controller().stats().misses,
             reference.controller().stats().misses
+        );
+    }
+
+    #[test]
+    fn multi_queue_batch_override_matches_the_per_access_path() {
+        let batch: Vec<BatchRequest> = (0..256u64)
+            .map(|i| BatchRequest {
+                access: acc(i * 32 * 1024 % (96 * 32 * 1024), i % 3 == 0),
+                compute: Nanos::from_nanos(i % 13 * 5),
+            })
+            .collect();
+        let start = Nanos::from_micros(1);
+        let build = || {
+            HamsPlatform::scaled_with(
+                AttachMode::Tight,
+                PersistMode::Extend,
+                4 << 20,
+                32 * 1024,
+                QueueConfig::striped(4),
+            )
+        };
+
+        let mut reference = build();
+        let mut expected = Vec::new();
+        let mut t = start;
+        for request in &batch {
+            let o = reference.access(&request.access, t + request.compute);
+            t = o.finished_at;
+            expected.push(o);
+        }
+
+        let mut batched = build();
+        let result = batched.serve_batch(&batch, start);
+        assert_eq!(result.outcomes, expected);
+        assert_eq!(batched.memory_delay(), reference.memory_delay());
+    }
+
+    #[test]
+    fn configure_queues_is_honoured_and_speeds_up_cold_reads() {
+        let single = HamsPlatform::scaled_with(
+            AttachMode::Tight,
+            PersistMode::Extend,
+            4 << 20,
+            32 * 1024,
+            QueueConfig::single(),
+        );
+        let mut striped = HamsPlatform::scaled_with(
+            AttachMode::Tight,
+            PersistMode::Extend,
+            4 << 20,
+            32 * 1024,
+            QueueConfig::single(),
+        );
+        assert!(striped.configure_queues(QueueConfig::striped(4)));
+        let mut single = single;
+        let mut t_s = Nanos::ZERO;
+        let mut t_m = Nanos::ZERO;
+        for i in 0..128u64 {
+            let a = acc(i * 32 * 1024, true);
+            t_s = single.access(&a, t_s).finished_at;
+            t_m = striped.access(&a, t_m).finished_at;
+        }
+        for i in 0..256u64 {
+            let a = acc(i % 160 * 32 * 1024, false);
+            t_s = single.access(&a, t_s).finished_at;
+            t_m = striped.access(&a, t_m).finished_at;
+        }
+        assert!(
+            t_m < t_s,
+            "multi-queue ({t_m}) must finish the miss stream before single queue ({t_s})"
         );
     }
 

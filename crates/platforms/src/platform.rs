@@ -6,6 +6,7 @@
 //! trait, so the runner and every figure harness are platform-agnostic.
 
 use hams_energy::EnergyAccount;
+use hams_nvme::QueueConfig;
 use hams_sim::{LatencyBreakdown, Nanos};
 use hams_workloads::Access;
 use serde::{Deserialize, Serialize};
@@ -117,6 +118,21 @@ pub trait Platform {
             result.outcomes.push(outcome);
         }
         result
+    }
+
+    /// Opts the platform into a multi-queue NVMe submission model: queue
+    /// count, ring depth and MSI coalescing. Returns `true` if the platform
+    /// honours the configuration.
+    ///
+    /// Hardware-automated platforms with an NVMe path (the HAMS variants,
+    /// `flatflash-P`, `optane-P`) override this; software-mediated and
+    /// queue-less platforms (`mmap`, `oracle`, the host-cached variants)
+    /// keep this single-queue fallback and return `false`. Call before
+    /// serving traffic — reconfiguring mid-run discards in-flight queue
+    /// state. [`QueueConfig::single`] restores the original behaviour
+    /// exactly, which is what the PR 1 byte-identical contract pins.
+    fn configure_queues(&mut self, _queues: QueueConfig) -> bool {
+        false
     }
 
     /// The platform's share of the memory-delay breakdown of Fig. 18

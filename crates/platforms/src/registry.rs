@@ -24,6 +24,7 @@ use std::sync::OnceLock;
 
 use hams_core::{AttachMode, PersistMode};
 use hams_flash::SsdConfig;
+use hams_nvme::QueueConfig;
 
 use crate::direct::{FlatFlashPlatform, NvdimmCPlatform, OptanePlatform, OraclePlatform};
 use crate::hams::HamsPlatform;
@@ -188,6 +189,44 @@ pub fn standard_registry() -> &'static PlatformRegistry {
     REGISTRY.get_or_init(PlatformRegistry::standard)
 }
 
+/// MoS page size used by the queue-count sweep entries. Striped fills split
+/// a page across queue pairs at LBA (4 KB) granularity, so the sweep uses a
+/// page spanning eight LBAs — small enough for scaled-down capacities,
+/// large enough that every queue count up to eight gets its own stripe.
+pub const QUEUE_SWEEP_PAGE_BYTES: u64 = 32 * 1024;
+
+/// The registry label of a queue-sweep entry: `hams-TE-q{n}`.
+#[must_use]
+pub fn queue_sweep_label(num_queues: u16) -> String {
+    format!("hams-TE-q{num_queues}")
+}
+
+/// Registers one `hams-TE-q{n}` entry per queue count: tightly-integrated,
+/// extend-mode HAMS with [`QUEUE_SWEEP_PAGE_BYTES`] MoS pages and `n` NVMe
+/// queue pairs (MSI coalescing threshold `n`, 8 µs timer). `q1` entries use
+/// [`QueueConfig::single`], so the sweep's baseline is the exact
+/// single-queue engine at the same page size. Together with
+/// [`run_grid_with`](crate::run_grid_with), this is what `hams-bench` uses
+/// to reproduce the queue-count sensitivity figure.
+pub fn register_hams_queue_sweep(registry: &mut PlatformRegistry, queue_counts: &[u16]) {
+    for &n in queue_counts {
+        registry.register(queue_sweep_label(n), move |scale: &ScaleProfile| {
+            let queues = if n <= 1 {
+                QueueConfig::single()
+            } else {
+                QueueConfig::striped(n)
+            };
+            Box::new(HamsPlatform::scaled_with(
+                AttachMode::Tight,
+                PersistMode::Extend,
+                scale.cache_bytes(),
+                QUEUE_SWEEP_PAGE_BYTES,
+                queues,
+            ))
+        });
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -234,6 +273,20 @@ mod tests {
         registry.register("oracle", |_| Box::new(OraclePlatform::new()));
         let after: Vec<String> = registry.labels().map(str::to_owned).collect();
         assert_eq!(before, after);
+    }
+
+    #[test]
+    fn queue_sweep_entries_register_and_build() {
+        let mut registry = PlatformRegistry::standard();
+        register_hams_queue_sweep(&mut registry, &[1, 2, 4, 8]);
+        assert_eq!(registry.len(), 15);
+        let scale = ScaleProfile::test_tiny();
+        for n in [1u16, 2, 4, 8] {
+            let platform = registry
+                .build(&queue_sweep_label(n), &scale)
+                .expect("sweep entry registered");
+            assert_eq!(platform.name(), "hams-TE");
+        }
     }
 
     #[test]

@@ -351,6 +351,39 @@ pub fn run_workload_batched(
     fold.finish(platform, spec, scaled)
 }
 
+/// [`run_workload`] with the platform opted into a multi-queue NVMe shape
+/// before any access is served. The pinned contract for multi-queue serving:
+/// this batched path must be byte-identical to
+/// [`run_workload_serial_mq`] with the same `queues`, at every batch size
+/// and `HAMS_THREADS` setting. Platforms without an NVMe queue model ignore
+/// the configuration and keep their single-queue behaviour, in which case
+/// both paths also still match the PR 1 single-queue reference
+/// ([`run_workload_serial`]).
+pub fn run_workload_mq(
+    platform: &mut dyn Platform,
+    spec: WorkloadSpec,
+    scale: &ScaleProfile,
+    queues: hams_nvme::QueueConfig,
+) -> RunMetrics {
+    platform.configure_queues(queues);
+    run_workload(platform, spec, scale)
+}
+
+/// The multi-queue serial reference: a single-threaded per-access loop over
+/// a platform opted into `queues`. Because striped fills and MSI coalescing
+/// legitimately change simulated latencies, multi-queue serving is *not*
+/// expected to match [`run_workload_serial`]; it is pinned against this
+/// loop instead (see `tests/multiqueue_equivalence.rs`).
+pub fn run_workload_serial_mq(
+    platform: &mut dyn Platform,
+    spec: WorkloadSpec,
+    scale: &ScaleProfile,
+    queues: hams_nvme::QueueConfig,
+) -> RunMetrics {
+    platform.configure_queues(queues);
+    run_workload_serial(platform, spec, scale)
+}
+
 /// The per-access reference path: one [`Platform::access`] call per trace
 /// entry, no batching. [`run_workload`] must match this byte-for-byte.
 pub fn run_workload_serial(

@@ -132,6 +132,88 @@ impl<T: Eq> EventQueue<T> {
     }
 }
 
+/// A time-ordered source of completion events feeding an interrupt model.
+///
+/// Device models (the flash firmware, the HAMS NVMe engine) schedule a
+/// completion when they accept work; the consumer drains everything due at
+/// the current simulated time in firing order. This is a thin, purpose-named
+/// wrapper over [`EventQueue`] that exists so multi-queue completion streams
+/// retire in one deterministic global order (time, then schedule order)
+/// rather than per-queue or hash-map order.
+///
+/// # Example
+///
+/// ```
+/// use hams_sim::{CompletionSource, Nanos};
+///
+/// let mut source = CompletionSource::new();
+/// source.schedule(Nanos::from_micros(5), "fill-a");
+/// source.schedule(Nanos::from_micros(2), "fill-b");
+/// let due = source.drain_due(Nanos::from_micros(3));
+/// assert_eq!(due.len(), 1);
+/// assert_eq!(due[0].payload, "fill-b");
+/// assert_eq!(source.next_at(), Some(Nanos::from_micros(5)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct CompletionSource<T: Eq> {
+    events: EventQueue<T>,
+}
+
+impl<T: Eq> Default for CompletionSource<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Eq> CompletionSource<T> {
+    /// Creates an empty source.
+    #[must_use]
+    pub fn new() -> Self {
+        CompletionSource {
+            events: EventQueue::new(),
+        }
+    }
+
+    /// Schedules a completion to fire at `at`.
+    pub fn schedule(&mut self, at: Nanos, payload: T) {
+        self.events.schedule(at, payload);
+    }
+
+    /// Removes and returns every completion due at or before `now`, in
+    /// firing order with FIFO tie-breaking.
+    pub fn drain_due(&mut self, now: Nanos) -> Vec<ScheduledEvent<T>> {
+        let mut due = Vec::new();
+        while let Some(e) = self.events.pop_due(now) {
+            due.push(e);
+        }
+        due
+    }
+
+    /// The firing time of the earliest pending completion.
+    #[must_use]
+    pub fn next_at(&self) -> Option<Nanos> {
+        self.events.peek_time()
+    }
+
+    /// Number of pending completions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Returns `true` if no completion is pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Drops all pending completions (a power failure kills in-flight work;
+    /// the journal-tag scan, not the completion stream, drives recovery).
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -165,6 +247,25 @@ mod tests {
         assert_eq!(q.pop_due(Nanos::from_nanos(10)).unwrap().payload, "a");
         assert_eq!(q.peek_time(), Some(Nanos::from_nanos(20)));
         assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn completion_source_drains_in_order_and_tracks_pending() {
+        let mut s = CompletionSource::new();
+        assert!(s.is_empty());
+        s.schedule(Nanos::from_nanos(30), 3u32);
+        s.schedule(Nanos::from_nanos(10), 1u32);
+        s.schedule(Nanos::from_nanos(10), 2u32);
+        assert_eq!(s.len(), 3);
+        let due: Vec<u32> = s
+            .drain_due(Nanos::from_nanos(10))
+            .into_iter()
+            .map(|e| e.payload)
+            .collect();
+        assert_eq!(due, vec![1, 2], "equal times must stay FIFO");
+        assert_eq!(s.next_at(), Some(Nanos::from_nanos(30)));
+        s.clear();
+        assert!(s.drain_due(Nanos::MAX).is_empty());
     }
 
     #[test]

@@ -41,7 +41,7 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 
-pub use event::{EventQueue, ScheduledEvent};
+pub use event::{CompletionSource, EventQueue, ScheduledEvent};
 pub use par::parallel_map;
 pub use resource::{Grant, MultiResource, Resource};
 pub use stats::{Counter, Histogram, LatencyBreakdown, RunningStats};

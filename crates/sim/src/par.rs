@@ -63,7 +63,7 @@ where
 
     let next = AtomicUsize::new(0);
     let (tx, rx) = mpsc::channel::<(usize, R)>();
-    std::thread::scope(|scope| {
+    let out: Vec<Option<R>> = std::thread::scope(|scope| {
         for _ in 0..workers {
             let tx = tx.clone();
             let next = &next;
@@ -80,13 +80,14 @@ where
         for (i, r) in rx {
             out[i] = Some(r);
         }
-        // A hole is only possible when a worker panicked mid-item, and the
-        // scope re-raises that panic on join, so the expect never fires in
-        // a run that returns.
-        out.into_iter()
-            .map(|slot| slot.expect("worker delivered every index"))
-            .collect()
-    })
+        out
+    });
+    // A hole is only possible when a worker panicked mid-item; the scope has
+    // already re-raised that panic (with the worker's own message) before
+    // this point, so the expect never fires.
+    out.into_iter()
+        .map(|slot| slot.expect("worker delivered every index"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -117,8 +118,8 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
-    fn worker_panics_propagate() {
+    #[should_panic(expected = "boom")]
+    fn worker_panics_propagate_with_their_own_message() {
         let items: Vec<u64> = (0..16).collect();
         let _ = parallel_map(&items, |x| {
             assert!(*x != 9, "boom");

@@ -1,0 +1,108 @@
+//! Golden-metrics snapshot: the 11 registered platforms on a small seeded
+//! grid, pinned against a checked-in JSON file.
+//!
+//! Every metric the runner produces is deterministic — seeded trace
+//! generators, integer nanosecond timing, fixed float evaluation order — so
+//! the snapshot is byte-exact regardless of thread count. A future refactor
+//! that silently shifts simulated results (timing model, stats accounting,
+//! trace generation) fails this test instead of slipping through.
+//!
+//! To bless an intentional change:
+//!
+//! ```text
+//! HAMS_BLESS=1 cargo test --test golden_metrics
+//! ```
+//!
+//! then commit the regenerated `tests/golden/metrics.json` together with the
+//! change that explains it.
+
+use std::fmt::Write as _;
+
+use hams::platforms::{run_grid, PlatformKind, RunMetrics, ScaleProfile};
+use hams::workloads::WorkloadSpec;
+
+const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/metrics.json");
+const WORKLOADS: [&str; 2] = ["rndRd", "update"];
+
+fn snapshot_scale() -> ScaleProfile {
+    ScaleProfile {
+        capacity_divisor: 4096,
+        accesses: 1_000,
+        seed: 17,
+    }
+}
+
+/// Renders the grid as pretty-printed JSON with a fixed field order. Floats
+/// use Rust's shortest-roundtrip formatting, which is exact and stable for
+/// deterministic inputs.
+fn render(grid: &[RunMetrics]) -> String {
+    let mut out = String::from("[\n");
+    for (i, m) in grid.iter().enumerate() {
+        let _ = write!(
+            out,
+            "  {{\n    \"platform\": \"{}\",\n    \"workload\": \"{}\",\n    \"accesses\": {},\n    \"instructions\": {},\n    \"total_time_ns\": {},\n",
+            m.platform,
+            m.workload,
+            m.accesses,
+            m.instructions,
+            m.total_time.as_nanos()
+        );
+        let _ = writeln!(
+            out,
+            "    \"exec_ns\": {{\"app\": {}, \"os\": {}, \"ssd\": {}}},",
+            m.exec_breakdown.component("app").as_nanos(),
+            m.exec_breakdown.component("os").as_nanos(),
+            m.exec_breakdown.component("ssd").as_nanos()
+        );
+        let _ = writeln!(
+            out,
+            "    \"memory_delay_ns\": {{\"nvdimm\": {}, \"dma\": {}, \"ssd\": {}, \"hams\": {}}},",
+            m.memory_delay.component("nvdimm").as_nanos(),
+            m.memory_delay.component("dma").as_nanos(),
+            m.memory_delay.component("ssd").as_nanos(),
+            m.memory_delay.component("hams").as_nanos()
+        );
+        let _ = write!(
+            out,
+            "    \"ipc\": {},\n    \"pages_per_sec\": {},\n    \"ops_per_sec\": {},\n",
+            m.ipc, m.pages_per_sec, m.ops_per_sec
+        );
+        let _ = write!(
+            out,
+            "    \"hit_rate\": {},\n    \"energy_joules\": {}\n  }}",
+            m.hit_rate
+                .map_or_else(|| "null".to_owned(), |h| h.to_string()),
+            m.energy.total_joules()
+        );
+        out.push_str(if i + 1 < grid.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("]\n");
+    out
+}
+
+#[test]
+fn golden_metrics_snapshot_is_stable() {
+    let scale = snapshot_scale();
+    let specs: Vec<WorkloadSpec> = WORKLOADS
+        .iter()
+        .map(|n| WorkloadSpec::by_name(n).unwrap())
+        .collect();
+    let grid = run_grid(&PlatformKind::all(), &specs, &scale);
+    assert_eq!(grid.len(), PlatformKind::all().len() * WORKLOADS.len());
+    let rendered = render(&grid);
+
+    if std::env::var("HAMS_BLESS").as_deref() == Ok("1") {
+        std::fs::write(GOLDEN_PATH, &rendered).expect("write golden metrics");
+        eprintln!("blessed {GOLDEN_PATH}");
+        return;
+    }
+
+    let expected = std::fs::read_to_string(GOLDEN_PATH).unwrap_or_else(|e| {
+        panic!("missing golden file {GOLDEN_PATH} ({e}); regenerate with HAMS_BLESS=1")
+    });
+    assert_eq!(
+        rendered, expected,
+        "simulated metrics shifted from the golden snapshot; if the change is \
+         intentional, regenerate with HAMS_BLESS=1 cargo test --test golden_metrics"
+    );
+}

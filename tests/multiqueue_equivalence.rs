@@ -1,0 +1,140 @@
+//! The multi-queue serving contract.
+//!
+//! Striped fills and MSI coalescing legitimately change simulated latencies,
+//! so multi-queue serving is *not* pinned against the PR 1 single-queue
+//! reference. Instead it gets its own golden reference: the single-threaded
+//! multi-queue per-access loop `run_workload_serial_mq`. The contract:
+//!
+//! 1. batched multi-queue serving (`run_workload_mq`, built on
+//!    `Platform::serve_batch`) is byte-identical to `run_workload_serial_mq`
+//!    for every opted-in platform, at every thread count (the CI matrix
+//!    runs this whole suite under `HAMS_THREADS` ∈ {1, 8}),
+//! 2. `QueueConfig::single()` remains byte-identical to the PR 1 per-access
+//!    reference (`run_workload_serial`) on *every* platform, and
+//! 3. multi-queue serving with more than one queue is strictly faster than
+//!    `QueueConfig::single()` on the random-read workload.
+
+use hams::platforms::{
+    queue_sweep_label, register_hams_queue_sweep, run_grid_with, run_workload_mq,
+    run_workload_serial, run_workload_serial_mq, PlatformKind, PlatformRegistry, QueueConfig,
+    ScaleProfile,
+};
+
+fn tiny() -> ScaleProfile {
+    ScaleProfile {
+        capacity_divisor: 4096,
+        accesses: 1_200,
+        seed: 23,
+    }
+}
+
+/// The platforms with an NVMe queue model ([`Platform::configure_queues`]
+/// returns `true`): every HAMS variant plus the direct-attach persistent
+/// baselines.
+const OPTED_IN: &[&str] = &[
+    "hams-LP",
+    "hams-LE",
+    "hams-TP",
+    "hams-TE",
+    "flatflash-P",
+    "optane-P",
+];
+
+#[test]
+fn batched_mq_serving_equals_the_serial_mq_reference() {
+    let scale = tiny();
+    let registry = PlatformRegistry::standard();
+    for workload in ["rndRd", "update"] {
+        let spec = hams::workloads::WorkloadSpec::by_name(workload).unwrap();
+        for label in OPTED_IN {
+            let mut serial = registry.build(label, &scale).unwrap();
+            let mut batched = registry.build(label, &scale).unwrap();
+            let queues = QueueConfig::striped(4);
+            let s = run_workload_serial_mq(serial.as_mut(), spec, &scale, queues);
+            let b = run_workload_mq(batched.as_mut(), spec, &scale, queues);
+            assert_eq!(
+                s, b,
+                "{label} on {workload}: batched multi-queue serving diverged from \
+                 run_workload_serial_mq"
+            );
+        }
+    }
+}
+
+#[test]
+fn single_queue_config_matches_the_pr1_serial_reference() {
+    let scale = tiny();
+    let spec = hams::workloads::WorkloadSpec::by_name("rndWr").unwrap();
+    for kind in PlatformKind::all() {
+        let mut reference = kind.build(&scale);
+        let mut configured = kind.build(&scale);
+        let r = run_workload_serial(reference.as_mut(), spec, &scale);
+        let c = run_workload_mq(configured.as_mut(), spec, &scale, QueueConfig::single());
+        assert_eq!(
+            r,
+            c,
+            "{}: QueueConfig::single() must reproduce the PR 1 reference byte for byte",
+            kind.label()
+        );
+    }
+}
+
+#[test]
+fn mq_grid_is_byte_identical_to_the_serial_reference() {
+    let scale = tiny();
+    let spec = hams::workloads::WorkloadSpec::by_name("rndRd").unwrap();
+    let mut registry = PlatformRegistry::standard();
+    register_hams_queue_sweep(&mut registry, &[1, 2, 4]);
+    let labels: Vec<String> = [1u16, 2, 4].iter().map(|&n| queue_sweep_label(n)).collect();
+    let label_refs: Vec<&str> = labels.iter().map(String::as_str).collect();
+
+    // Serial reference: each sweep cell through the per-access loop. The
+    // sweep entries carry their QueueConfig in the constructor, so this
+    // loop *is* run_workload_serial_mq for them.
+    let serial: Vec<_> = label_refs
+        .iter()
+        .map(|label| {
+            let mut platform = registry.build(label, &scale).unwrap();
+            run_workload_serial(platform.as_mut(), spec, &scale)
+        })
+        .collect();
+
+    // The parallel grid must match at every worker count. HAMS_THREADS is
+    // process-global (mutating it here would race sibling tests), so the
+    // sweep over worker counts lives in the CI matrix, which runs this
+    // whole suite under HAMS_THREADS=1 and HAMS_THREADS=8.
+    let grid = run_grid_with(&registry, &label_refs, &[spec], &scale);
+    assert_eq!(
+        grid, serial,
+        "multi-queue grid diverged from the serial reference"
+    );
+}
+
+#[test]
+fn multi_queue_strictly_beats_single_queue_on_random_reads() {
+    // A slightly larger run so the miss stream dominates; 32 KB MoS pages so
+    // fills span eight LBAs and can stripe.
+    let scale = ScaleProfile {
+        capacity_divisor: 2048,
+        accesses: 3_000,
+        seed: 11,
+    };
+    let spec = hams::workloads::WorkloadSpec::by_name("rndRd").unwrap();
+    let mut registry = PlatformRegistry::standard();
+    register_hams_queue_sweep(&mut registry, &[1, 4]);
+
+    let mut single = registry.build(&queue_sweep_label(1), &scale).unwrap();
+    let mut striped = registry.build(&queue_sweep_label(4), &scale).unwrap();
+    let s = run_workload_mq(single.as_mut(), spec, &scale, QueueConfig::single());
+    let m = run_workload_mq(striped.as_mut(), spec, &scale, QueueConfig::striped(4));
+
+    let mean = |metrics: &hams::platforms::RunMetrics| {
+        metrics.total_time.as_micros_f64() / metrics.accesses.max(1) as f64
+    };
+    assert!(
+        mean(&m) < mean(&s),
+        "4-queue mean access latency ({:.3}us) must be strictly below single-queue ({:.3}us)",
+        mean(&m),
+        mean(&s)
+    );
+}
