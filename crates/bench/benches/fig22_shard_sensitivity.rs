@@ -1,0 +1,33 @@
+//! Fig. 22 — sensitivity to the MoS tag-array shard count (this
+//! reproduction's study, not a figure of the original paper).
+//!
+//! The series is pinned flat by the shard-invariance contract: every shard
+//! count must report byte-identical simulated metrics, so the bench doubles
+//! as a contract check (`fig_shard_sensitivity` asserts the invariance).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hams_bench::{bench_scale, fig_shard_sensitivity, print_rows};
+
+const SHARD_COUNTS: &[u16] = &[1, 2, 4, 8];
+const WORKLOADS: &[&str] = &["rndRd", "rndWr", "update"];
+
+fn bench(c: &mut Criterion) {
+    let scale = bench_scale();
+    for w in WORKLOADS {
+        let rows = fig_shard_sensitivity(&scale, w, SHARD_COUNTS);
+        print_rows(
+            &format!("Figure 22: tag-array shard-count sensitivity ({w})"),
+            &rows,
+        );
+    }
+
+    let mut group = c.benchmark_group("fig22");
+    group.sample_size(10);
+    group.bench_function("shard_sweep_rndRd", |b| {
+        b.iter(|| fig_shard_sensitivity(&scale, "rndRd", &[1, 8]))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

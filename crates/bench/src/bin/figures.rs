@@ -3,9 +3,11 @@
 //!
 //! Usage: `cargo run -p hams-bench --release --bin figures [-- <id> ...]`
 //! where `<id>` is one of `table1 table2 table3 fig5 fig6 fig7 fig10 fig16
-//! fig17 fig18 fig19 fig20 fig21`; with no arguments every artefact is
+//! fig17 fig18 fig19 fig20 fig21 fig22`; with no arguments every artefact is
 //! produced (`fig21` is this reproduction's NVMe queue-count sensitivity
-//! study, not a figure of the original paper).
+//! study and `fig22` its tag-array shard-count study — the latter is pinned
+//! flat by the shard-invariance contract — neither is a figure of the
+//! original paper).
 
 use hams_bench::*;
 use hams_platforms::{feature_table, paper_config, PlatformKind};
@@ -13,7 +15,7 @@ use hams_workloads::WorkloadSpec;
 
 const ALL: &[&str] = &[
     "table1", "table2", "table3", "fig5", "fig6", "fig7", "fig10", "fig16", "fig17", "fig18",
-    "fig19", "fig20", "fig21",
+    "fig19", "fig20", "fig21", "fig22",
 ];
 
 fn main() {
@@ -167,6 +169,14 @@ fn main() {
                     print_rows(
                         &format!("Figure 21: NVMe queue-count sensitivity ({w})"),
                         &fig21_queue_sensitivity(&scale, w, &[1, 2, 4, 8]),
+                    );
+                }
+            }
+            "fig22" => {
+                for w in ["rndRd", "rndWr", "update"] {
+                    print_rows(
+                        &format!("Figure 22: tag-array shard-count sensitivity ({w})"),
+                        &fig_shard_sensitivity(&scale, w, &[1, 2, 4, 8]),
                     );
                 }
             }

@@ -7,6 +7,8 @@ use hams_nvme::QueueConfig;
 use hams_sim::Nanos;
 use serde::{Deserialize, Serialize};
 
+use crate::tag_array::ShardConfig;
+
 /// How ULL-Flash is attached to the HAMS controller.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum AttachMode {
@@ -55,6 +57,11 @@ pub struct HamsConfig {
     /// byte for byte; multi-queue shapes stripe fills across pairs (extend
     /// mode only — persist mode keeps at most one command outstanding).
     pub queues: QueueConfig,
+    /// Shape of the MoS tag directory: how many independent banks the sets
+    /// are partitioned into and the set→shard hash. Pure routing — by the
+    /// shard-invariance contract any shape produces byte-identical metrics,
+    /// and [`ShardConfig::single`] is the original monolithic array.
+    pub shards: ShardConfig,
     /// Fixed latency of the HAMS cache-logic pipeline per request (tag
     /// compare, command composition).
     pub controller_overhead: Nanos,
@@ -77,6 +84,7 @@ impl HamsConfig {
             ssd: SsdConfig::ull_flash_supercap(),
             pinned: PinnedRegionLayout::paper_default(),
             queues: QueueConfig::single(),
+            shards: ShardConfig::single(),
             controller_overhead: Nanos::from_nanos(20),
             pcie_command_overhead: Nanos::from_nanos(600),
         }
@@ -128,6 +136,7 @@ impl HamsConfig {
             ssd,
             pinned: PinnedRegionLayout::tiny_for_tests(),
             queues: QueueConfig::single().with_depth(64),
+            shards: ShardConfig::single(),
             controller_overhead: Nanos::from_nanos(20),
             pcie_command_overhead: Nanos::from_nanos(600),
         }
@@ -138,6 +147,15 @@ impl HamsConfig {
     #[must_use]
     pub fn with_queues(mut self, queues: QueueConfig) -> Self {
         self.queues = queues;
+        self
+    }
+
+    /// Changes the tag-directory shard shape (builder style), as swept by
+    /// the `hams-TE-s{n}` registry entries. Any shape is metrics-neutral by
+    /// the shard-invariance contract.
+    #[must_use]
+    pub fn with_shards(mut self, shards: ShardConfig) -> Self {
+        self.shards = shards;
         self
     }
 
@@ -191,6 +209,16 @@ mod tests {
         let c = HamsConfig::tight(PersistMode::Extend).with_queues(QueueConfig::striped(4));
         assert_eq!(c.queues.num_queues, 4);
         assert_eq!(c.queues.coalescing.threshold, 4);
+    }
+
+    #[test]
+    fn shard_builder_swaps_the_directory_shape() {
+        assert_eq!(
+            HamsConfig::loose(PersistMode::Extend).shards,
+            ShardConfig::single()
+        );
+        let c = HamsConfig::tight(PersistMode::Extend).with_shards(ShardConfig::interleaved(8));
+        assert_eq!(c.shards.count, 8);
     }
 
     #[test]

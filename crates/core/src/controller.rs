@@ -8,6 +8,9 @@
 //! Fig. 18. The controller implements:
 //!
 //! * the direct-mapped NVDIMM cache with tag/valid/dirty/busy bits (Fig. 11),
+//!   sharded into independent banks ([`ShardedTagArray`]) — HAMS has no
+//!   OS-side ordering point, so probes route straight to the owning bank and
+//!   no global structure serializes concurrent batch workers,
 //! * fill and eviction via the in-controller NVMe engine with journal tags,
 //! * hazard avoidance through PRP-pool cloning, the busy bit and the wait
 //!   queue (Fig. 13–14),
@@ -28,7 +31,7 @@ use serde::{Deserialize, Serialize};
 use crate::config::{AttachMode, HamsConfig, PersistMode};
 use crate::engine::NvmeEngine;
 use crate::prp_pool::PrpPool;
-use crate::tag_array::{MosTagArray, TagProbe};
+use crate::tag_array::{ShardConfig, ShardedTagArray, TagProbe};
 
 /// The result of one MoS access.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -129,7 +132,7 @@ pub struct RecoveryReport {
 #[derive(Debug)]
 pub struct HamsController {
     config: HamsConfig,
-    tags: MosTagArray,
+    tags: ShardedTagArray,
     nvdimm: Nvdimm,
     pinned: PinnedRegion,
     ssd: SsdDevice,
@@ -160,13 +163,13 @@ impl HamsController {
         assert!(num_sets > 0, "NVDIMM too small for even one MoS page");
         let prp_slots = (pinned.layout().prp_pool_slots(config.mos_page_size) as usize).max(1);
         HamsController {
-            tags: MosTagArray::new(num_sets),
+            tags: ShardedTagArray::with_config(num_sets, config.shards),
             ssd: SsdDevice::new(config.ssd),
             ddr: Ddr4Channel::new(Ddr4Config::ddr4_2666()),
             pcie: PcieLink::new(PcieConfig::gen3_x4()),
             reg_iface: RegisterInterface::new(RegisterInterfaceConfig::ddr4_2666()),
             lock: LockRegister::new(),
-            engine: NvmeEngine::with_config(config.queues),
+            engine: NvmeEngine::with_topology(config.queues, config.shards, num_sets as u64),
             prp_pool: PrpPool::new(prp_slots),
             persist_gate: Nanos::ZERO,
             stats: HamsStats::default(),
@@ -199,6 +202,24 @@ impl HamsController {
     #[must_use]
     pub fn cache_sets(&self) -> usize {
         self.tags.num_sets()
+    }
+
+    /// Number of independent tag-directory banks.
+    #[must_use]
+    pub fn num_shards(&self) -> u16 {
+        self.tags.num_shards()
+    }
+
+    /// The tag-directory shard shape in force.
+    #[must_use]
+    pub fn shard_config(&self) -> ShardConfig {
+        self.tags.shard_config()
+    }
+
+    /// The tag-directory bank owning the set that MoS page `page` maps to.
+    #[must_use]
+    pub fn shard_of_page(&self, page: u64) -> u16 {
+        self.tags.shard_of_page(page)
     }
 
     /// The MoS page number containing a byte address.
@@ -343,7 +364,22 @@ impl HamsController {
     /// behaviour exactly.
     pub fn set_queue_config(&mut self, queues: hams_nvme::QueueConfig) {
         self.config.queues = queues;
-        self.engine = NvmeEngine::with_config(queues);
+        self.engine =
+            NvmeEngine::with_topology(queues, self.config.shards, self.tags.num_sets() as u64);
+    }
+
+    /// Repartitions the MoS tag directory into the banks described by
+    /// `shards`. Meant to be called before traffic is served: the directory
+    /// and the engine are rebuilt cold, so cached pages and in-flight journal
+    /// state are discarded. By the shard-invariance contract the shape can
+    /// never change metrics — [`ShardConfig::single`] is the original
+    /// monolithic array, and every other shape is byte-identical to it
+    /// (`tests/shard_equivalence.rs` pins this for every platform).
+    pub fn set_shard_config(&mut self, shards: ShardConfig) {
+        self.config.shards = shards;
+        let num_sets = self.tags.num_sets();
+        self.tags = ShardedTagArray::with_config(num_sets, shards);
+        self.engine = NvmeEngine::with_topology(self.config.queues, shards, num_sets as u64);
     }
 
     /// Read access to the in-controller NVMe engine (queue shape, journal
@@ -660,7 +696,17 @@ impl HamsController {
 
     /// Runs the power-restoration procedure of §V-C: restore the NVDIMM, scan
     /// the pinned SQ region for journal-tagged commands, re-create a queue
-    /// pair for them and re-issue them to ULL-Flash.
+    /// pair for them and re-issue them to ULL-Flash. Each journal tag
+    /// carries the directory bank its page's set lives in
+    /// ([`crate::TrackedCommand::shard`]); the replay clears the stale busy
+    /// bit the dead operation left in that bank, so post-recovery accesses
+    /// do not park behind a wait window that no completion will ever close.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a journal tag's recorded bank no longer matches the live
+    /// directory routing — the signature of a [`Self::set_shard_config`]
+    /// repartition racing in-flight journal state.
     pub fn recover(&mut self, now: Nanos) -> RecoveryReport {
         let restore_done = now + self.nvdimm.power_restore();
         let pending = self.engine.journaled_incomplete(now);
@@ -677,6 +723,20 @@ impl HamsController {
                 .service(&command, restore_done)
                 .expect("re-issued command must fit the device");
             completed_at = completed_at.max(completion.finished_at);
+            // The in-flight operation died with the power; drop the busy
+            // window it left in the owning bank, after checking the journal's
+            // recorded bank against the live routing.
+            assert_eq!(
+                tracked.shard,
+                self.tags.shard_of_page(tracked.mos_page),
+                "journal tag for page {} recorded bank {} but the directory \
+                 routes it to bank {} — shard shape changed with commands in \
+                 flight",
+                tracked.mos_page,
+                tracked.shard,
+                self.tags.shard_of_page(tracked.mos_page)
+            );
+            self.tags.clear_busy(tracked.mos_page);
             reissued_pages.push(tracked.mos_page);
             ids.push(tracked.id);
         }
@@ -915,6 +975,78 @@ mod tests {
         let h = controller(AttachMode::Tight, PersistMode::Extend);
         assert_eq!(h.fill_stripes(4096), 1);
         assert_eq!(h.fill_stripes(128 * 1024), 1);
+    }
+
+    #[test]
+    fn access_streams_are_byte_identical_across_shard_shapes() {
+        use crate::tag_array::ShardConfig;
+        let base = HamsConfig::tiny_for_tests(AttachMode::Loose, PersistMode::Extend);
+        let stream = |h: &mut HamsController| {
+            let page = h.config().mos_page_size;
+            let span = h.cache_sets() as u64 + 16;
+            let mut t = Nanos::ZERO;
+            let mut results = Vec::new();
+            for i in 0..400u64 {
+                let addr = (i * 7 % span) * page + (i % 3) * 64;
+                let r = h.access(addr, i % 4 == 0, 64, t);
+                t = r.finished_at;
+                results.push(r);
+            }
+            results
+        };
+        let mut reference = HamsController::new(base);
+        let expected = stream(&mut reference);
+        for shards in [
+            ShardConfig::interleaved(2),
+            ShardConfig::interleaved(8),
+            ShardConfig::blocked(3),
+        ] {
+            let mut sharded = HamsController::new(base.with_shards(shards));
+            assert_eq!(sharded.num_shards(), shards.count);
+            let got = stream(&mut sharded);
+            assert_eq!(got, expected, "{shards:?} diverged from single shard");
+            assert_eq!(
+                sharded.stats(),
+                reference.stats(),
+                "{shards:?} stats drifted"
+            );
+        }
+    }
+
+    #[test]
+    fn set_shard_config_rebuilds_cold_and_matches_a_fresh_controller() {
+        use crate::tag_array::ShardConfig;
+        let base = HamsConfig::tiny_for_tests(AttachMode::Tight, PersistMode::Extend);
+        let mut reconfigured = HamsController::new(base);
+        reconfigured.set_shard_config(ShardConfig::interleaved(4));
+        assert_eq!(reconfigured.num_shards(), 4);
+        assert_eq!(reconfigured.shard_config(), ShardConfig::interleaved(4));
+        let mut fresh = HamsController::new(base.with_shards(ShardConfig::interleaved(4)));
+        let mut t_a = Nanos::ZERO;
+        let mut t_b = Nanos::ZERO;
+        for i in 0..128u64 {
+            let addr = i * 4096;
+            let a = reconfigured.access(addr, i % 2 == 0, 64, t_a);
+            let b = fresh.access(addr, i % 2 == 0, 64, t_b);
+            assert_eq!(a, b);
+            t_a = a.finished_at;
+            t_b = b.finished_at;
+        }
+        assert_eq!(reconfigured.stats(), fresh.stats());
+    }
+
+    #[test]
+    fn shard_of_page_routes_through_the_directory() {
+        use crate::tag_array::ShardConfig;
+        let base = HamsConfig::tiny_for_tests(AttachMode::Loose, PersistMode::Extend)
+            .with_shards(ShardConfig::interleaved(4));
+        let h = HamsController::new(base);
+        let sets = h.cache_sets() as u64;
+        assert_eq!(h.shard_of_page(0), 0);
+        assert_eq!(h.shard_of_page(1), 1);
+        assert_eq!(h.shard_of_page(sets), 0, "aliases share the set's bank");
+        // The engine stamps the same routing onto journal tags.
+        assert_eq!(h.engine().shard_for_page(5), h.shard_of_page(5));
     }
 
     #[test]

@@ -22,6 +22,8 @@ use hams_nvme::{
 use hams_sim::{CompletionSource, Nanos};
 use serde::{Deserialize, Serialize};
 
+use crate::tag_array::ShardConfig;
+
 /// One command tracked by the engine, with the HAMS-side metadata the cache
 /// logic needs.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -32,6 +34,12 @@ pub struct TrackedCommand {
     pub command: NvmeCommand,
     /// MoS page the command fills or evicts.
     pub mos_page: u64,
+    /// Tag-directory bank owning the page's set, recorded at issue time.
+    /// Recovery uses it to clear the stale busy window the dead operation
+    /// left in that bank, and to detect a directory repartition that raced
+    /// in-flight journal state (the recorded bank no longer matching the
+    /// live routing).
+    pub shard: u16,
     /// Simulated completion time assigned by the device model.
     pub completes_at: Nanos,
 }
@@ -69,6 +77,8 @@ pub struct EngineStats {
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct NvmeEngine {
     config: QueueConfig,
+    shards: ShardConfig,
+    cache_sets: u64,
     queues: QueueSet,
     msi: MsiTable,
     coalescer: MsiCoalescer,
@@ -84,9 +94,19 @@ impl NvmeEngine {
         Self::with_config(QueueConfig::single().with_depth(queue_depth))
     }
 
-    /// Creates an engine with the queue shape described by `config`.
+    /// Creates an engine with the queue shape described by `config` and a
+    /// single-bank tag directory.
     #[must_use]
     pub fn with_config(config: QueueConfig) -> Self {
+        Self::with_topology(config, ShardConfig::single(), 1)
+    }
+
+    /// Creates an engine with the queue shape described by `config` inside a
+    /// controller whose tag directory has `cache_sets` sets partitioned by
+    /// `shards` — the topology the engine stamps onto every journal tag so
+    /// recovery can route each replay to the owning bank.
+    #[must_use]
+    pub fn with_topology(config: QueueConfig, shards: ShardConfig, cache_sets: u64) -> Self {
         NvmeEngine {
             queues: QueueSet::from_config(config),
             msi: MsiTable::new(),
@@ -95,6 +115,8 @@ impl NvmeEngine {
             tracked: HashMap::new(),
             stats: EngineStats::default(),
             config,
+            shards,
+            cache_sets: cache_sets.max(1),
         }
     }
 
@@ -132,6 +154,21 @@ impl NvmeEngine {
     #[must_use]
     pub fn queue_for_page(&self, mos_page: u64) -> u16 {
         self.queues.queue_for(mos_page)
+    }
+
+    /// The tag-directory shard shape this engine stamps onto journal tags.
+    #[must_use]
+    pub fn shard_config(&self) -> ShardConfig {
+        self.shards
+    }
+
+    /// The tag-directory bank owning `mos_page`'s set.
+    #[must_use]
+    pub fn shard_for_page(&self, mos_page: u64) -> u16 {
+        self.shards.shard_of_set(
+            (mos_page % self.cache_sets) as usize,
+            self.cache_sets as usize,
+        )
     }
 
     /// Issues a fill (read) command for `mos_page`, whose data lands at
@@ -230,12 +267,14 @@ impl NvmeEngine {
             .fetch_next(queue)
             .expect("command just submitted must be fetchable");
         self.completions.schedule(completes_at, id);
+        let shard = self.shard_for_page(mos_page);
         self.tracked.insert(
             id,
             TrackedCommand {
                 id,
                 command: fetched,
                 mos_page,
+                shard,
                 completes_at,
             },
         );
@@ -434,6 +473,38 @@ mod tests {
         assert_eq!(id.queue, 1);
         let pending = e.journaled_incomplete(Nanos::ZERO);
         assert_eq!(pending[0].id, id);
+    }
+
+    #[test]
+    fn journal_tags_record_the_owning_shard() {
+        let mut e = NvmeEngine::with_topology(
+            QueueConfig::single().with_depth(16),
+            ShardConfig::interleaved(4),
+            8,
+        );
+        // Pages 0, 1, 5 map to sets 0, 1, 5 of 8; interleaved over 4 banks
+        // that is shards 0, 1, 1.
+        e.issue_write(0, 0, 4096, 0, false, Nanos::from_secs(1))
+            .unwrap();
+        e.issue_write(1, 8, 4096, 0, false, Nanos::from_secs(1))
+            .unwrap();
+        e.issue_write(5, 16, 4096, 0, false, Nanos::from_secs(1))
+            .unwrap();
+        let shards: Vec<u16> = e
+            .journaled_incomplete(Nanos::ZERO)
+            .iter()
+            .map(|t| t.shard)
+            .collect();
+        assert_eq!(shards, vec![0, 1, 1]);
+        assert_eq!(e.shard_for_page(13), 1, "set 5 of 8 lives in bank 1");
+        assert_eq!(e.shard_config().count, 4);
+    }
+
+    #[test]
+    fn single_shard_topology_is_the_default() {
+        let e = NvmeEngine::new(8);
+        assert_eq!(e.shard_config(), ShardConfig::single());
+        assert_eq!(e.shard_for_page(12345), 0);
     }
 
     #[test]

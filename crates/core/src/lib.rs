@@ -14,8 +14,10 @@
 //! Internal building blocks are public for tests, benches and downstream
 //! experimentation:
 //!
-//! * [`MosTagArray`] — the direct-mapped tag directory with valid/dirty/busy
-//!   bits kept alongside ECC in the NVDIMM cache lines (Fig. 11),
+//! * [`ShardedTagArray`] — the direct-mapped tag directory with
+//!   valid/dirty/busy bits kept alongside ECC in the NVDIMM cache lines
+//!   (Fig. 11), partitioned into independent banks by a [`ShardConfig`]
+//!   (shard-invariant by contract; `MosTagArray` is the single-bank alias),
 //! * [`NvmeEngine`] — the in-controller NVMe queue engine with journal tags
 //!   (Fig. 15),
 //! * [`PrpPool`] — the pinned-region clone slots used for hazard avoidance
@@ -53,4 +55,6 @@ pub use controller::{
 };
 pub use engine::{EngineStats, NvmeEngine, TrackedCommand};
 pub use prp_pool::{CloneSlot, PrpPool};
-pub use tag_array::{MosTagArray, TagArrayStats, TagEntry, TagProbe};
+pub use tag_array::{
+    MosTagArray, ShardConfig, ShardHashPolicy, ShardedTagArray, TagArrayStats, TagEntry, TagProbe,
+};

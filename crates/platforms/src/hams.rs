@@ -1,7 +1,7 @@
 //! The four HAMS platforms (`hams-LP`, `hams-LE`, `hams-TP`, `hams-TE`)
 //! wrapped behind the [`Platform`] trait.
 
-use hams_core::{AttachMode, HamsConfig, HamsController, PersistMode};
+use hams_core::{AttachMode, HamsConfig, HamsController, PersistMode, ShardConfig};
 use hams_energy::{EnergyAccount, PowerParams};
 use hams_nvdimm::{NvdimmConfig, PinnedRegionLayout};
 use hams_nvme::QueueConfig;
@@ -67,6 +67,13 @@ impl HamsPlatform {
     /// fills only pay off on pages spanning several LBAs, so the queue-count
     /// sweep pairs a multi-LBA `mos_page_size` with a multi-queue
     /// [`QueueConfig`].
+    ///
+    /// The tag-directory shard shape defaults to the `HAMS_SHARDS`
+    /// environment override (the CI matrix lever) or a single bank. By the
+    /// shard-invariance contract the override can never change metrics, so
+    /// it is safe for every scaled constructor to honour it; use
+    /// [`Self::scaled_with_shards`] to pin an explicit shape (the
+    /// `hams-TE-s{n}` sweep entries do).
     #[must_use]
     pub fn scaled_with(
         attach: AttachMode,
@@ -74,6 +81,28 @@ impl HamsPlatform {
         nvdimm_bytes: u64,
         mos_page_size: u64,
         queues: QueueConfig,
+    ) -> Self {
+        Self::scaled_with_shards(
+            attach,
+            persist,
+            nvdimm_bytes,
+            mos_page_size,
+            queues,
+            ShardConfig::from_env().unwrap_or_else(ShardConfig::single),
+        )
+    }
+
+    /// [`Self::scaled_with`] with an explicit tag-directory shard shape —
+    /// the constructor behind the `hams-TE-s{n}` registry entries. No
+    /// environment override applies here.
+    #[must_use]
+    pub fn scaled_with_shards(
+        attach: AttachMode,
+        persist: PersistMode,
+        nvdimm_bytes: u64,
+        mos_page_size: u64,
+        queues: QueueConfig,
+        shards: ShardConfig,
     ) -> Self {
         let base = match attach {
             AttachMode::Loose => HamsConfig::loose(persist),
@@ -95,7 +124,8 @@ impl HamsPlatform {
             ..base
         }
         .with_mos_page_size(mos_page_size)
-        .with_queues(queues);
+        .with_queues(queues)
+        .with_shards(shards);
         Self::from_config(config)
     }
 
@@ -180,6 +210,14 @@ impl Platform for HamsPlatform {
     /// so striped fills only speed up the extend-mode variants.
     fn configure_queues(&mut self, queues: QueueConfig) -> bool {
         self.controller.set_queue_config(queues);
+        true
+    }
+
+    /// HAMS owns the MoS tag directory, so every variant honours the shard
+    /// shape. Repartitioning rebuilds the directory cold; by the
+    /// shard-invariance contract it can never change metrics.
+    fn configure_shards(&mut self, shards: ShardConfig) -> bool {
+        self.controller.set_shard_config(shards);
         true
     }
 
@@ -379,6 +417,41 @@ mod tests {
             t_m < t_s,
             "multi-queue ({t_m}) must finish the miss stream before single queue ({t_s})"
         );
+    }
+
+    #[test]
+    fn configure_shards_is_honoured_and_metrics_neutral() {
+        let build = || HamsPlatform::scaled(AttachMode::Tight, PersistMode::Extend, 4 << 20);
+        let mut single = build();
+        let mut sharded = build();
+        assert!(sharded.configure_shards(ShardConfig::interleaved(8)));
+        assert_eq!(sharded.controller().num_shards(), 8);
+        let mut t_s = Nanos::ZERO;
+        let mut t_m = Nanos::ZERO;
+        for i in 0..512u64 {
+            let a = acc(i * 7 % 1600 * 4096, i % 3 == 0);
+            let s = single.access(&a, t_s);
+            let m = sharded.access(&a, t_m);
+            assert_eq!(s, m, "shard shape changed an access outcome");
+            t_s = s.finished_at;
+            t_m = m.finished_at;
+        }
+        assert_eq!(single.memory_delay(), sharded.memory_delay());
+        assert_eq!(single.hit_rate(), sharded.hit_rate());
+    }
+
+    #[test]
+    fn scaled_with_shards_pins_the_directory_shape() {
+        let p = HamsPlatform::scaled_with_shards(
+            AttachMode::Tight,
+            PersistMode::Extend,
+            4 << 20,
+            4096,
+            QueueConfig::single(),
+            ShardConfig::blocked(3),
+        );
+        assert_eq!(p.controller().shard_config(), ShardConfig::blocked(3));
+        assert_eq!(p.controller().num_shards(), 3);
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! `optane-P/-M`, the four HAMS variants and the `oracle` — implements this
 //! trait, so the runner and every figure harness are platform-agnostic.
 
+use hams_core::ShardConfig;
 use hams_energy::EnergyAccount;
 use hams_nvme::QueueConfig;
 use hams_sim::{LatencyBreakdown, Nanos};
@@ -132,6 +133,22 @@ pub trait Platform {
     /// state. [`QueueConfig::single`] restores the original behaviour
     /// exactly, which is what the PR 1 byte-identical contract pins.
     fn configure_queues(&mut self, _queues: QueueConfig) -> bool {
+        false
+    }
+
+    /// Opts the platform into a sharded MoS tag directory: bank count and
+    /// set→shard hash policy. Returns `true` if the platform honours the
+    /// configuration.
+    ///
+    /// Only platforms with a hardware tag cache (the four HAMS variants)
+    /// override this; every other system keeps this fallback and returns
+    /// `false`. Call before serving traffic — repartitioning rebuilds the
+    /// directory cold. Unlike [`Platform::configure_queues`], the shard
+    /// shape is *never* allowed to change results: the shard-invariance
+    /// contract (`tests/shard_equivalence.rs`) pins metrics byte-identical
+    /// for any `ShardConfig`, with [`ShardConfig::single`] the original
+    /// monolithic array.
+    fn configure_shards(&mut self, _shards: ShardConfig) -> bool {
         false
     }
 

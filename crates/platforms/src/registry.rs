@@ -22,7 +22,7 @@
 
 use std::sync::OnceLock;
 
-use hams_core::{AttachMode, PersistMode};
+use hams_core::{AttachMode, PersistMode, ShardConfig};
 use hams_flash::SsdConfig;
 use hams_nvme::QueueConfig;
 
@@ -227,6 +227,37 @@ pub fn register_hams_queue_sweep(registry: &mut PlatformRegistry, queue_counts: 
     }
 }
 
+/// The registry label of a shard-sweep entry: `hams-TE-s{n}`.
+#[must_use]
+pub fn shard_sweep_label(num_shards: u16) -> String {
+    format!("hams-TE-s{num_shards}")
+}
+
+/// Registers one `hams-TE-s{n}` entry per shard count, mirroring the
+/// `hams-TE-q{n}` queue sweep: tightly-integrated, extend-mode HAMS with the
+/// standard 4 KB MoS pages and the tag directory partitioned into `n`
+/// interleaved banks. `s1` entries pin [`ShardConfig::single`], so the
+/// sweep's baseline is the exact monolithic array. Unlike the queue sweep,
+/// every entry must produce byte-identical metrics — the shard-invariance
+/// contract — which is what the shard golden snapshot and
+/// `hams-bench`'s `fig_shard_sensitivity` enforce on the grid.
+pub fn register_hams_shard_sweep(registry: &mut PlatformRegistry, shard_counts: &[u16]) {
+    for &n in shard_counts {
+        registry.register(shard_sweep_label(n), move |scale: &ScaleProfile| {
+            // interleaved(1) IS ShardConfig::single(), so the s1 baseline is
+            // the exact monolithic array with no special casing.
+            Box::new(HamsPlatform::scaled_with_shards(
+                AttachMode::Tight,
+                PersistMode::Extend,
+                scale.cache_bytes(),
+                4096,
+                QueueConfig::single(),
+                ShardConfig::interleaved(n),
+            ))
+        });
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -284,6 +315,20 @@ mod tests {
         for n in [1u16, 2, 4, 8] {
             let platform = registry
                 .build(&queue_sweep_label(n), &scale)
+                .expect("sweep entry registered");
+            assert_eq!(platform.name(), "hams-TE");
+        }
+    }
+
+    #[test]
+    fn shard_sweep_entries_register_and_build() {
+        let mut registry = PlatformRegistry::standard();
+        register_hams_shard_sweep(&mut registry, &[1, 2, 8]);
+        assert_eq!(registry.len(), 14);
+        let scale = ScaleProfile::test_tiny();
+        for n in [1u16, 2, 8] {
+            let platform = registry
+                .build(&shard_sweep_label(n), &scale)
                 .expect("sweep entry registered");
             assert_eq!(platform.name(), "hams-TE");
         }

@@ -384,6 +384,37 @@ pub fn run_workload_serial_mq(
     run_workload_serial(platform, spec, scale)
 }
 
+/// [`run_workload`] with the platform's MoS tag directory repartitioned into
+/// `shards` banks before any access is served. The pinned contract is
+/// stricter than the multi-queue one: the shard shape is pure routing, so
+/// this must be byte-identical to [`run_workload`] *and*
+/// [`run_workload_serial`] with no shard configuration at all, for every
+/// platform, shard count and hash policy (`tests/shard_equivalence.rs`).
+/// Platforms without a hardware tag cache ignore the configuration.
+pub fn run_workload_sharded(
+    platform: &mut dyn Platform,
+    spec: WorkloadSpec,
+    scale: &ScaleProfile,
+    shards: hams_core::ShardConfig,
+) -> RunMetrics {
+    platform.configure_shards(shards);
+    run_workload(platform, spec, scale)
+}
+
+/// The sharded serial reference: a single-threaded per-access loop over a
+/// platform repartitioned into `shards` banks. Exists for symmetry with
+/// [`run_workload_serial_mq`]; by the shard-invariance contract it must
+/// match the unsharded [`run_workload_serial`] byte for byte.
+pub fn run_workload_serial_sharded(
+    platform: &mut dyn Platform,
+    spec: WorkloadSpec,
+    scale: &ScaleProfile,
+    shards: hams_core::ShardConfig,
+) -> RunMetrics {
+    platform.configure_shards(shards);
+    run_workload_serial(platform, spec, scale)
+}
+
 /// The per-access reference path: one [`Platform::access`] call per trace
 /// entry, no batching. [`run_workload`] must match this byte-for-byte.
 pub fn run_workload_serial(

@@ -1,11 +1,16 @@
 //! Golden-metrics snapshot: the 11 registered platforms on a small seeded
-//! grid, pinned against a checked-in JSON file.
+//! grid, pinned against a checked-in JSON file, plus the `hams-TE-s{n}`
+//! shard-sweep entries pinned against a second snapshot whose rows must be
+//! *identical to each other* — the shard-invariance contract in golden form.
 //!
 //! Every metric the runner produces is deterministic — seeded trace
 //! generators, integer nanosecond timing, fixed float evaluation order — so
-//! the snapshot is byte-exact regardless of thread count. A future refactor
-//! that silently shifts simulated results (timing model, stats accounting,
-//! trace generation) fails this test instead of slipping through.
+//! the snapshot is byte-exact regardless of thread count *and* regardless of
+//! the `HAMS_SHARDS` override (the CI matrix runs this suite under shard
+//! counts {1, 4}; the tag-directory shard shape is pure routing and may not
+//! move a byte). A future refactor that silently shifts simulated results
+//! (timing model, stats accounting, trace generation) fails this test
+//! instead of slipping through.
 //!
 //! To bless an intentional change:
 //!
@@ -18,11 +23,17 @@
 
 use std::fmt::Write as _;
 
-use hams::platforms::{run_grid, PlatformKind, RunMetrics, ScaleProfile};
+use hams::platforms::{
+    register_hams_shard_sweep, run_grid, run_grid_with, shard_sweep_label, PlatformKind,
+    PlatformRegistry, RunMetrics, ScaleProfile,
+};
 use hams::workloads::WorkloadSpec;
 
 const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/metrics.json");
+const SHARD_GOLDEN_PATH: &str =
+    concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/shard_sweep.json");
 const WORKLOADS: [&str; 2] = ["rndRd", "update"];
+const SHARD_COUNTS: [u16; 3] = [1, 2, 8];
 
 fn snapshot_scale() -> ScaleProfile {
     ScaleProfile {
@@ -104,5 +115,53 @@ fn golden_metrics_snapshot_is_stable() {
         rendered, expected,
         "simulated metrics shifted from the golden snapshot; if the change is \
          intentional, regenerate with HAMS_BLESS=1 cargo test --test golden_metrics"
+    );
+}
+
+/// The shard-sweep golden: `hams-TE-s{n}` for n ∈ {1, 2, 8} on the snapshot
+/// grid. Two pins at once — the rows must match the checked-in snapshot
+/// (like every golden), and the rows of different shard counts must be
+/// identical to *each other*, which is the shard-invariance contract made
+/// visible: a diff in this file can only ever be a real model change, never
+/// a shard-shape artefact.
+#[test]
+fn shard_sweep_golden_snapshot_is_stable_and_rows_are_identical() {
+    let scale = snapshot_scale();
+    let specs: Vec<WorkloadSpec> = WORKLOADS
+        .iter()
+        .map(|n| WorkloadSpec::by_name(n).unwrap())
+        .collect();
+    let mut registry = PlatformRegistry::standard();
+    register_hams_shard_sweep(&mut registry, &SHARD_COUNTS);
+    let labels: Vec<String> = SHARD_COUNTS.iter().map(|&n| shard_sweep_label(n)).collect();
+    let label_refs: Vec<&str> = labels.iter().map(String::as_str).collect();
+    let grid = run_grid_with(&registry, &label_refs, &specs, &scale);
+    assert_eq!(grid.len(), SHARD_COUNTS.len() * WORKLOADS.len());
+
+    // Shard invariance: within each workload, every shard count's row equals
+    // the s1 row.
+    for rows in grid.chunks(SHARD_COUNTS.len()) {
+        for row in &rows[1..] {
+            assert_eq!(
+                row, &rows[0],
+                "a shard count diverged from s1 — shard-invariance violation"
+            );
+        }
+    }
+
+    let rendered = render(&grid);
+    if std::env::var("HAMS_BLESS").as_deref() == Ok("1") {
+        std::fs::write(SHARD_GOLDEN_PATH, &rendered).expect("write shard golden metrics");
+        eprintln!("blessed {SHARD_GOLDEN_PATH}");
+        return;
+    }
+
+    let expected = std::fs::read_to_string(SHARD_GOLDEN_PATH).unwrap_or_else(|e| {
+        panic!("missing golden file {SHARD_GOLDEN_PATH} ({e}); regenerate with HAMS_BLESS=1")
+    });
+    assert_eq!(
+        rendered, expected,
+        "shard-sweep metrics shifted from the golden snapshot; if the change \
+         is intentional, regenerate with HAMS_BLESS=1 cargo test --test golden_metrics"
     );
 }

@@ -1,13 +1,23 @@
 //! Integration and property tests for the persistency control of §IV-B/§V-C:
-//! acknowledged writes survive power failures in every HAMS configuration,
-//! and recovery re-issues exactly the journal-tagged commands.
+//! acknowledged writes survive power failures in every HAMS configuration —
+//! including every shard shape of the MoS tag directory — and recovery
+//! re-issues exactly the journal-tagged commands, replaying each into the
+//! bank that owns its page's set.
 
-use hams::core::{AttachMode, HamsConfig, HamsController, PersistMode};
+use hams::core::{AttachMode, HamsConfig, HamsController, PersistMode, ShardConfig};
 use hams::sim::Nanos;
 use proptest::prelude::*;
 
 fn controller(attach: AttachMode, persist: PersistMode) -> HamsController {
     HamsController::new(HamsConfig::tiny_for_tests(attach, persist))
+}
+
+fn sharded_controller(
+    attach: AttachMode,
+    persist: PersistMode,
+    shards: ShardConfig,
+) -> HamsController {
+    HamsController::new(HamsConfig::tiny_for_tests(attach, persist).with_shards(shards))
 }
 
 fn all_modes() -> Vec<(AttachMode, PersistMode)> {
@@ -40,6 +50,93 @@ fn every_mode_survives_a_power_failure_mid_eviction_storm() {
                 "{attach:?}/{persist:?}: page {page} lost"
             );
         }
+    }
+}
+
+#[test]
+fn every_mode_survives_a_power_failure_with_a_sharded_tag_array() {
+    // The same eviction storm as above, but with the directory partitioned
+    // into banks — and pinned byte-identical to the single-bank run: the
+    // power-failure event, the recovery report and the controller stats may
+    // not shift under the shard shape.
+    for (attach, persist) in all_modes() {
+        for shards in [ShardConfig::interleaved(4), ShardConfig::blocked(3)] {
+            let mut single = controller(attach, persist);
+            let mut sharded = sharded_controller(attach, persist, shards);
+            let page_size = sharded.config().mos_page_size;
+            let pages = sharded.cache_sets() as u64 + 64;
+            let mut now_a = Nanos::ZERO;
+            let mut now_b = Nanos::ZERO;
+            let mut written = Vec::new();
+            for i in 0..pages {
+                let addr = i * page_size;
+                now_a = single.access(addr, true, 64, now_a).finished_at;
+                now_b = sharded.access(addr, true, 64, now_b).finished_at;
+                written.push(sharded.page_of(addr));
+            }
+            assert_eq!(
+                now_a, now_b,
+                "{attach:?}/{persist:?}/{shards:?} timing drifted"
+            );
+            let event_a = single.power_fail(now_a);
+            let event_b = sharded.power_fail(now_b);
+            assert_eq!(
+                event_a, event_b,
+                "{attach:?}/{persist:?}/{shards:?} event drifted"
+            );
+            let report_a = single.recover(now_a);
+            let report_b = sharded.recover(now_b);
+            assert_eq!(
+                report_a, report_b,
+                "{attach:?}/{persist:?}/{shards:?} recovery drifted"
+            );
+            for page in written {
+                assert!(
+                    sharded.is_page_recoverable(page, report_b.completed_at),
+                    "{attach:?}/{persist:?}/{shards:?}: page {page} lost"
+                );
+            }
+            assert_eq!(single.stats(), sharded.stats());
+        }
+    }
+}
+
+#[test]
+fn recovery_replays_journal_tags_into_the_correct_shard() {
+    let shards = ShardConfig::interleaved(4);
+    let mut hams = sharded_controller(AttachMode::Loose, PersistMode::Extend, shards);
+    let page_size = hams.config().mos_page_size;
+    let sets = hams.cache_sets() as u64;
+    let mut now = Nanos::ZERO;
+    // Alias several sets so dirty evictions (journal-tagged writes) are in
+    // flight across different banks when the power fails.
+    for i in 0..(sets + 48) {
+        now = hams.access(i * page_size, true, 64, now).finished_at;
+    }
+    // Every journal tag must carry the bank of its page's set, as the
+    // directory routes it — the recovery scan needs no global ordering
+    // point to find the owner.
+    let pending = hams.engine().journaled_incomplete(now);
+    assert!(
+        !pending.is_empty(),
+        "eviction storm should leave journal-tagged commands in flight"
+    );
+    for tracked in &pending {
+        assert_eq!(
+            tracked.shard,
+            hams.shard_of_page(tracked.mos_page),
+            "journal tag for page {} recorded the wrong bank",
+            tracked.mos_page
+        );
+        assert!(tracked.shard < hams.num_shards());
+    }
+    let _ = hams.power_fail(now);
+    let report = hams.recover(now);
+    for page in &report.reissued_pages {
+        assert!(
+            hams.is_page_recoverable(*page, report.completed_at),
+            "page {page} not recoverable after sharded replay"
+        );
     }
 }
 
@@ -89,21 +186,36 @@ proptest! {
 
     /// For random write-heavy access streams and a power failure at an
     /// arbitrary point, no acknowledged write is ever lost (extend mode,
-    /// the weaker of the two persistence settings).
+    /// the weaker of the two persistence settings) — under any shard shape
+    /// of the tag directory, with the whole failure/recovery sequence pinned
+    /// byte-identical to a single-bank twin fed the same stream.
     ///
     /// `(set, alias)` pairs address page `set + alias * cache_sets`: every
     /// alias of a set maps to the *same* NVDIMM line with a different tag,
     /// so the stream constantly conflicts on in-flight lines and evicts
-    /// dirty victims whose write-backs race the power failure.
+    /// dirty victims whose write-backs race the power failure. The sets
+    /// 0..24 deliberately span several banks (interleaved partitioning puts
+    /// consecutive sets in different banks), so conflicting in-flight
+    /// evictions and fills are forced *across* shard boundaries, not just
+    /// within one bank.
     #[test]
     fn random_streams_never_lose_acknowledged_writes(
         slots in proptest::collection::vec((0u64..24, 0u64..3), 16..96),
         fail_after in 5usize..80,
+        shard_count in 1u16..9,
+        policy_pick in 0u8..2,
     ) {
-        let mut hams = controller(AttachMode::Loose, PersistMode::Extend);
+        let shards = if policy_pick == 0 {
+            ShardConfig::interleaved(shard_count)
+        } else {
+            ShardConfig::blocked(shard_count)
+        };
+        let mut single = controller(AttachMode::Loose, PersistMode::Extend);
+        let mut hams = sharded_controller(AttachMode::Loose, PersistMode::Extend, shards);
         let page_size = hams.config().mos_page_size;
         let sets = hams.cache_sets() as u64;
         let mut now = Nanos::ZERO;
+        let mut now_single = Nanos::ZERO;
         let mut written = Vec::new();
         for (i, (set, alias)) in slots.iter().enumerate() {
             if i == fail_after {
@@ -111,14 +223,20 @@ proptest! {
             }
             let addr = (set + alias * sets) * page_size;
             now = hams.access(addr, true, 64, now).finished_at;
+            now_single = single.access(addr, true, 64, now_single).finished_at;
             written.push(hams.page_of(addr));
         }
-        hams.power_fail(now);
+        prop_assert_eq!(now, now_single, "shard shape shifted the stream timing");
+        let event = hams.power_fail(now);
+        let event_single = single.power_fail(now_single);
+        prop_assert_eq!(&event, &event_single);
         let report = hams.recover(now);
+        let report_single = single.recover(now_single);
+        prop_assert_eq!(&report, &report_single);
         for page in written {
             prop_assert!(
                 hams.is_page_recoverable(page, report.completed_at),
-                "page {page} lost after power failure"
+                "page {page} lost after power failure under {shards:?}"
             );
         }
     }
@@ -133,8 +251,13 @@ proptest! {
     #[test]
     fn accesses_are_never_lost_under_arbitrary_interleavings(
         ops in proptest::collection::vec((0u64..16, 0u64..4, any::<bool>()), 1..128),
+        shard_count in 1u16..9,
     ) {
-        let mut hams = controller(AttachMode::Tight, PersistMode::Extend);
+        let mut hams = sharded_controller(
+            AttachMode::Tight,
+            PersistMode::Extend,
+            ShardConfig::interleaved(shard_count),
+        );
         let page_size = hams.config().mos_page_size;
         let sets = hams.cache_sets() as u64;
         let mut now = Nanos::ZERO;
