@@ -1,0 +1,31 @@
+//! Fig. 23 — archive device scaling over the RAID-0 / CXL-attached backends
+//! (this reproduction's study, not a figure of the original paper).
+//!
+//! Each `hams-TE-d{n}` cell runs the same command stream against a RAID-0
+//! archive set of `n` ULL-Flash devices; `fig_device_scaling` asserts the
+//! per-device traffic sums to the single-device totals, so the bench doubles
+//! as a stripe-routing contract check.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hams_bench::{bench_scale, fig_device_scaling, print_rows};
+
+const DEVICE_COUNTS: &[u16] = &[1, 2, 4, 8];
+const WORKLOADS: &[&str] = &["rndRd", "rndWr"];
+
+fn bench(c: &mut Criterion) {
+    let scale = bench_scale();
+    for w in WORKLOADS {
+        let rows = fig_device_scaling(&scale, w, DEVICE_COUNTS);
+        print_rows(&format!("Figure 23: archive device scaling ({w})"), &rows);
+    }
+
+    let mut group = c.benchmark_group("fig23");
+    group.sample_size(10);
+    group.bench_function("device_sweep_rndRd", |b| {
+        b.iter(|| fig_device_scaling(&scale, "rndRd", &[1, 4]))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

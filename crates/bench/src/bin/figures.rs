@@ -3,10 +3,11 @@
 //!
 //! Usage: `cargo run -p hams-bench --release --bin figures [-- <id> ...]`
 //! where `<id>` is one of `table1 table2 table3 fig5 fig6 fig7 fig10 fig16
-//! fig17 fig18 fig19 fig20 fig21 fig22`; with no arguments every artefact is
-//! produced (`fig21` is this reproduction's NVMe queue-count sensitivity
-//! study and `fig22` its tag-array shard-count study — the latter is pinned
-//! flat by the shard-invariance contract — neither is a figure of the
+//! fig17 fig18 fig19 fig20 fig21 fig22 fig23`; with no arguments every
+//! artefact is produced (`fig21` is this reproduction's NVMe queue-count
+//! sensitivity study, `fig22` its tag-array shard-count study — pinned flat
+//! by the shard-invariance contract — and `fig23` its archive device-scaling
+//! study over the RAID-0 / CXL-attached backends; none is a figure of the
 //! original paper).
 
 use hams_bench::*;
@@ -15,7 +16,7 @@ use hams_workloads::WorkloadSpec;
 
 const ALL: &[&str] = &[
     "table1", "table2", "table3", "fig5", "fig6", "fig7", "fig10", "fig16", "fig17", "fig18",
-    "fig19", "fig20", "fig21", "fig22",
+    "fig19", "fig20", "fig21", "fig22", "fig23",
 ];
 
 fn main() {
@@ -177,6 +178,14 @@ fn main() {
                     print_rows(
                         &format!("Figure 22: tag-array shard-count sensitivity ({w})"),
                         &fig_shard_sensitivity(&scale, w, &[1, 2, 4, 8]),
+                    );
+                }
+            }
+            "fig23" => {
+                for w in ["rndRd", "rndWr"] {
+                    print_rows(
+                        &format!("Figure 23: archive device scaling ({w})"),
+                        &fig_device_scaling(&scale, w, &[1, 2, 4, 8]),
                     );
                 }
             }

@@ -18,9 +18,10 @@ use hams_flash::{SsdConfig, SsdDevice};
 use hams_interconnect::{Ddr4Channel, Ddr4Config};
 use hams_nvme::{NvmeCommand, PrpList};
 use hams_platforms::{
-    queue_sweep_label, register_hams_queue_sweep, register_hams_shard_sweep, run_grid,
-    run_grid_with, run_matrix, run_workload, shard_sweep_label, HamsPlatform, MmapPlatform,
-    PlatformKind, PlatformRegistry, RunMetrics, ScaleProfile,
+    build_cxl_platform, build_raid_sweep_platform, queue_sweep_label, register_hams_queue_sweep,
+    register_hams_shard_sweep, run_grid, run_grid_with, run_matrix, run_workload,
+    shard_sweep_label, HamsPlatform, MmapPlatform, PlatformKind, PlatformRegistry, RunMetrics,
+    ScaleProfile,
 };
 use hams_sim::parallel_map;
 use hams_sim::Nanos;
@@ -865,6 +866,115 @@ pub fn fig_shard_sensitivity(
         .collect()
 }
 
+/// One point of the archive device-scaling study: hams-TE metrics at a
+/// RAID-0 (or CXL-attached) archive-set size, with the per-device traffic
+/// split.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceScalingRow {
+    /// Workload name.
+    pub workload: String,
+    /// Backend label (`raid0` or `cxl`).
+    pub backend: &'static str,
+    /// Number of ULL-Flash devices in the archive set.
+    pub devices: u16,
+    /// Mean end-to-end access latency in microseconds.
+    pub mean_latency_us: f64,
+    /// Throughput in K pages per second.
+    pub kpages_per_sec: f64,
+    /// Bytes moved (read + written) per device, in device order. Sums to
+    /// the single-device run's total by the capacity-unified contract.
+    pub per_device_bytes: Vec<u64>,
+}
+
+impl fmt::Display for DeviceScalingRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<8} {:<5} devices={:<2} mean-lat={:>8}us {:>10} Kpages/s  dev-bytes=[",
+            self.workload,
+            self.backend,
+            self.devices,
+            cell(self.mean_latency_us),
+            cell(self.kpages_per_sec)
+        )?;
+        for (i, b) in self.per_device_bytes.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{b}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Archive device scaling of hams-TE (`figures -- fig23`): the
+/// `hams-TE-d{n}` RAID-0 sweep over `device_counts` on one workload, plus
+/// the CXL-attached d4 variant. Each fill's stripe commands fan out across
+/// the archive set's devices (LBA-granularity stripes), so random-read
+/// latency falls as the device count grows — while the *work* stays fixed:
+/// the unified address space is one archive's capacity, every command lands
+/// on the device owning its stripe, and the function asserts that every
+/// run's per-device byte totals sum to the sweep baseline's (the first
+/// entry of `device_counts` — `d1` in the standard sweep, making the
+/// baseline the single-device totals).
+///
+/// # Panics
+///
+/// Panics if a run's summed per-device traffic diverges from the sweep
+/// baseline's totals — a stripe-routing violation.
+#[must_use]
+pub fn fig_device_scaling(
+    scale: &ScaleProfile,
+    workload: &str,
+    device_counts: &[u16],
+) -> Vec<DeviceScalingRow> {
+    let Some(spec) = WorkloadSpec::by_name(workload) else {
+        return Vec::new();
+    };
+    // Built concretely (not through the boxed registry) so the per-device
+    // archive stats stay readable; the registry entries use the same
+    // constructor, so the grid rows and these rows are the same cells.
+    let mut rows = Vec::new();
+    let mut baseline_totals: Option<(u64, u64)> = None;
+    let mut run = |backend: &'static str, devices: u16, platform: &mut HamsPlatform| {
+        let m = run_workload(platform, spec, scale);
+        let stats = platform.controller().archive().device_stats();
+        let per_device_bytes: Vec<u64> = stats
+            .iter()
+            .map(|s| s.bytes_read + s.bytes_written)
+            .collect();
+        let totals = (
+            stats.iter().map(|s| s.bytes_read).sum::<u64>(),
+            stats.iter().map(|s| s.bytes_written).sum::<u64>(),
+        );
+        match baseline_totals {
+            None => baseline_totals = Some(totals),
+            Some(reference) => assert_eq!(
+                totals, reference,
+                "{backend} d{devices}: per-device traffic no longer sums to the \
+                 sweep baseline's totals — stripe routing dropped or duplicated work"
+            ),
+        }
+        rows.push(DeviceScalingRow {
+            workload: workload.to_owned(),
+            backend,
+            devices,
+            mean_latency_us: m.total_time.as_micros_f64() / m.accesses.max(1) as f64,
+            kpages_per_sec: m.pages_per_sec / 1_000.0,
+            per_device_bytes,
+        });
+    };
+    for &devices in device_counts {
+        run(
+            "raid0",
+            devices,
+            &mut build_raid_sweep_platform(scale, devices),
+        );
+    }
+    run("cxl", 4, &mut build_cxl_platform(scale));
+    rows
+}
+
 /// Prints any row type list under a header (used by the `figures` binary and
 /// the benches so each bench also regenerates its figure's series).
 pub fn print_rows<T: fmt::Display>(header: &str, rows: &[T]) {
@@ -1040,6 +1150,41 @@ mod tests {
             );
             assert_eq!(r.mean_latency_us, rows[0].mean_latency_us);
         }
+    }
+
+    #[test]
+    fn fig23_raid_scaling_strictly_beats_single_device_on_random_reads() {
+        let scale = ScaleProfile {
+            capacity_divisor: 2048,
+            accesses: 2_500,
+            seed: 9,
+        };
+        let rows = fig_device_scaling(&scale, "rndRd", &[1, 4]);
+        assert_eq!(rows.len(), 3, "d1, d4 and the cxl variant");
+        let d1 = &rows[0];
+        let d4 = &rows[1];
+        let cxl = &rows[2];
+        assert!(
+            d4.kpages_per_sec > d1.kpages_per_sec,
+            "RAID-0 d4 ({:.1} Kpages/s) must strictly beat d1 ({:.1} Kpages/s)",
+            d4.kpages_per_sec,
+            d1.kpages_per_sec
+        );
+        assert!(d4.mean_latency_us < d1.mean_latency_us);
+        // The fan-out actually spreads traffic: several devices served bytes,
+        // and (asserted inside fig_device_scaling) their totals sum to d1's.
+        assert!(d4.per_device_bytes.iter().filter(|&&b| b > 0).count() > 1);
+        assert_eq!(
+            d1.per_device_bytes.iter().sum::<u64>(),
+            d4.per_device_bytes.iter().sum::<u64>()
+        );
+        // The CXL-attached d4 pays the link: slower than the DDR4-attached
+        // d4, but its stripe routing is identical.
+        assert!(cxl.kpages_per_sec < d4.kpages_per_sec);
+        assert_eq!(
+            cxl.per_device_bytes.iter().sum::<u64>(),
+            d4.per_device_bytes.iter().sum::<u64>()
+        );
     }
 
     #[test]

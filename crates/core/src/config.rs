@@ -1,7 +1,7 @@
 //! HAMS controller configuration: attach mode, persistence mode, MoS page
 //! size and the component configurations the controller composes.
 
-use hams_flash::SsdConfig;
+use hams_flash::{BackendTopology, SsdConfig};
 use hams_nvdimm::{NvdimmConfig, PinnedRegionLayout};
 use hams_nvme::QueueConfig;
 use hams_sim::Nanos;
@@ -47,8 +47,14 @@ pub struct HamsConfig {
     pub mos_page_size: u64,
     /// NVDIMM module used as the inclusive cache.
     pub nvdimm: NvdimmConfig,
-    /// ULL-Flash archive configuration.
+    /// ULL-Flash archive configuration (per device of the backend).
     pub ssd: SsdConfig,
+    /// Shape of the archive backend: one device, a RAID-0 fan-out, or the
+    /// CXL-attached variant. [`BackendTopology::single`] reproduces the
+    /// original single-archive engine byte for byte
+    /// (`tests/backend_equivalence.rs`); multi-device shapes stripe the
+    /// unified LBA space across devices and legitimately change timing.
+    pub backend: BackendTopology,
     /// Layout of the pinned, MMU-invisible metadata region.
     pub pinned: PinnedRegionLayout,
     /// Shape of the NVMe submission path managed by the in-controller
@@ -83,6 +89,7 @@ impl HamsConfig {
             nvdimm: NvdimmConfig::hpe_8gb(),
             ssd: SsdConfig::ull_flash_supercap(),
             pinned: PinnedRegionLayout::paper_default(),
+            backend: BackendTopology::single(),
             queues: QueueConfig::single(),
             shards: ShardConfig::single(),
             controller_overhead: Nanos::from_nanos(20),
@@ -135,6 +142,7 @@ impl HamsConfig {
             },
             ssd,
             pinned: PinnedRegionLayout::tiny_for_tests(),
+            backend: BackendTopology::single(),
             queues: QueueConfig::single().with_depth(64),
             shards: ShardConfig::single(),
             controller_overhead: Nanos::from_nanos(20),
@@ -156,6 +164,17 @@ impl HamsConfig {
     #[must_use]
     pub fn with_shards(mut self, shards: ShardConfig) -> Self {
         self.shards = shards;
+        self
+    }
+
+    /// Changes the archive backend topology (builder style): one device, a
+    /// RAID-0 fan-out or the CXL-attached variant, as swept by the
+    /// `hams-TE-d{n}` registry entries. A stripe unit of `0` resolves to the
+    /// MoS page size, aligning device ownership with the page's tag-array
+    /// bank.
+    #[must_use]
+    pub fn with_backend(mut self, backend: BackendTopology) -> Self {
+        self.backend = backend;
         self
     }
 
@@ -219,6 +238,17 @@ mod tests {
         );
         let c = HamsConfig::tight(PersistMode::Extend).with_shards(ShardConfig::interleaved(8));
         assert_eq!(c.shards.count, 8);
+    }
+
+    #[test]
+    fn backend_builder_swaps_the_archive_topology() {
+        assert_eq!(
+            HamsConfig::loose(PersistMode::Extend).backend,
+            BackendTopology::single()
+        );
+        let c = HamsConfig::tight(PersistMode::Extend).with_backend(BackendTopology::raid0(4));
+        assert_eq!(c.backend.device_count(), 4);
+        assert!(!c.backend.uses_cxl());
     }
 
     #[test]

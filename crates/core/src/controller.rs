@@ -16,12 +16,16 @@
 //!   queue (Fig. 13–14),
 //! * loose (PCIe) and tight (DDR4 register interface + lock register) attach,
 //! * persist (`FUA`, single outstanding command) and extend modes,
-//! * power-failure handling and journal-tag recovery (Fig. 15).
+//! * power-failure handling and journal-tag recovery (Fig. 15),
+//! * the multi-device archive backend ([`hams_flash::ArchiveSet`]): fills
+//!   and evictions route to the device owning their stripe, journal tags
+//!   carry `(shard, device)`, and the CXL-attached topology moves pages
+//!   across the CXL link instead of the attach-mode interface.
 
-use hams_flash::{PowerLossReport, SsdDevice, LBA_SIZE};
+use hams_flash::{ArchiveSet, BackendTopology, PowerLossReport, SsdDevice, LBA_SIZE};
 use hams_interconnect::{
-    BusMaster, Ddr4Channel, Ddr4Config, LockRegister, PcieConfig, PcieLink, RegisterInterface,
-    RegisterInterfaceConfig,
+    BusMaster, CxlConfig, CxlLink, Ddr4Channel, Ddr4Config, LockRegister, PcieConfig, PcieLink,
+    RegisterInterface, RegisterInterfaceConfig,
 };
 use hams_nvdimm::{Nvdimm, PinnedRegion};
 use hams_nvme::NvmeCommand;
@@ -135,9 +139,10 @@ pub struct HamsController {
     tags: ShardedTagArray,
     nvdimm: Nvdimm,
     pinned: PinnedRegion,
-    ssd: SsdDevice,
+    archive: ArchiveSet,
     ddr: Ddr4Channel,
     pcie: PcieLink,
+    cxl: CxlLink,
     reg_iface: RegisterInterface,
     lock: LockRegister,
     engine: NvmeEngine,
@@ -162,14 +167,23 @@ impl HamsController {
         let num_sets = (pinned.cacheable_bytes() / config.mos_page_size) as usize;
         assert!(num_sets > 0, "NVDIMM too small for even one MoS page");
         let prp_slots = (pinned.layout().prp_pool_slots(config.mos_page_size) as usize).max(1);
+        let archive = ArchiveSet::new(config.ssd, config.backend, config.mos_page_size);
+        let engine = NvmeEngine::with_backend(
+            config.queues,
+            config.shards,
+            num_sets as u64,
+            archive.num_devices(),
+            archive.stripe_lbas(),
+        );
         HamsController {
             tags: ShardedTagArray::with_config(num_sets, config.shards),
-            ssd: SsdDevice::new(config.ssd),
+            archive,
             ddr: Ddr4Channel::new(Ddr4Config::ddr4_2666()),
             pcie: PcieLink::new(PcieConfig::gen3_x4()),
+            cxl: CxlLink::new(CxlConfig::cxl_x4()),
             reg_iface: RegisterInterface::new(RegisterInterfaceConfig::ddr4_2666()),
             lock: LockRegister::new(),
-            engine: NvmeEngine::with_topology(config.queues, config.shards, num_sets as u64),
+            engine,
             prp_pool: PrpPool::new(prp_slots),
             persist_gate: Nanos::ZERO,
             stats: HamsStats::default(),
@@ -192,10 +206,10 @@ impl HamsController {
     }
 
     /// Total byte-addressable MoS capacity exposed to the MMU (the exported
-    /// capacity of the ULL-Flash archive).
+    /// capacity of the archive set's unified address space).
     #[must_use]
     pub fn mos_capacity_bytes(&self) -> u64 {
-        self.ssd.capacity_bytes()
+        self.archive.capacity_bytes()
     }
 
     /// Number of NVDIMM cache sets (MoS pages resident simultaneously).
@@ -228,11 +242,38 @@ impl HamsController {
         addr / self.config.mos_page_size
     }
 
-    /// Read access to the underlying SSD model (for durability checks and
-    /// energy accounting).
+    /// Read access to the primary SSD model — the whole backend under
+    /// [`BackendTopology::single`]. Multi-device accounting goes through
+    /// [`Self::archive`].
     #[must_use]
     pub fn ssd(&self) -> &SsdDevice {
-        &self.ssd
+        self.archive.primary()
+    }
+
+    /// Read access to the archive set backing the MoS address space.
+    #[must_use]
+    pub fn archive(&self) -> &ArchiveSet {
+        &self.archive
+    }
+
+    /// The archive backend topology in force (stripe unit resolved).
+    #[must_use]
+    pub fn backend_topology(&self) -> BackendTopology {
+        self.archive.topology()
+    }
+
+    /// Number of devices in the archive set.
+    #[must_use]
+    pub fn num_devices(&self) -> u16 {
+        self.archive.num_devices()
+    }
+
+    /// The archive-set device owning MoS page `page`'s first stripe. With
+    /// the default MoS-page stripe granularity the whole page lives there,
+    /// mirroring how its directory state lives in one tag-array bank.
+    #[must_use]
+    pub fn device_of_page(&self, page: u64) -> u16 {
+        self.archive.device_of_slba(self.slba_of(page))
     }
 
     /// Read access to the NVDIMM model.
@@ -364,8 +405,18 @@ impl HamsController {
     /// behaviour exactly.
     pub fn set_queue_config(&mut self, queues: hams_nvme::QueueConfig) {
         self.config.queues = queues;
-        self.engine =
-            NvmeEngine::with_topology(queues, self.config.shards, self.tags.num_sets() as u64);
+        self.engine = self.rebuild_engine();
+    }
+
+    /// An engine for the current queue/shard/backend configuration.
+    fn rebuild_engine(&self) -> NvmeEngine {
+        NvmeEngine::with_backend(
+            self.config.queues,
+            self.config.shards,
+            self.tags.num_sets() as u64,
+            self.archive.num_devices(),
+            self.archive.stripe_lbas(),
+        )
     }
 
     /// Repartitions the MoS tag directory into the banks described by
@@ -379,7 +430,27 @@ impl HamsController {
         self.config.shards = shards;
         let num_sets = self.tags.num_sets();
         self.tags = ShardedTagArray::with_config(num_sets, shards);
-        self.engine = NvmeEngine::with_topology(self.config.queues, shards, num_sets as u64);
+        self.engine = self.rebuild_engine();
+    }
+
+    /// Re-shapes the archive backend into the set described by `topology`.
+    /// Meant to be called before traffic is served: the archive set, the
+    /// interconnect links and the engine are rebuilt cold, so flash state
+    /// and in-flight journal state are discarded.
+    /// [`BackendTopology::single`] restores the original single-archive
+    /// engine byte for byte (`tests/backend_equivalence.rs` pins this for
+    /// every platform); multi-device shapes legitimately change timing.
+    pub fn set_backend_topology(&mut self, topology: BackendTopology) {
+        self.config.backend = topology;
+        self.archive = ArchiveSet::new(self.config.ssd, topology, self.config.mos_page_size);
+        // The interconnects are rebuilt too: a re-shaped backend changes
+        // which links the data path crosses, and a genuinely cold rebuild
+        // must not inherit the previous topology's FCFS reservations.
+        self.ddr = Ddr4Channel::new(Ddr4Config::ddr4_2666());
+        self.pcie = PcieLink::new(PcieConfig::gen3_x4());
+        self.cxl = CxlLink::new(CxlConfig::cxl_x4());
+        self.reg_iface = RegisterInterface::new(RegisterInterfaceConfig::ddr4_2666());
+        self.engine = self.rebuild_engine();
     }
 
     /// Read access to the in-controller NVMe engine (queue shape, journal
@@ -399,10 +470,20 @@ impl HamsController {
         self.tags.index_of(page) as u64 * self.config.mos_page_size
     }
 
-    /// Moves a MoS page between the SSD and NVDIMM over the configured
+    /// Moves a MoS page between the archive and NVDIMM over the configured
     /// interface. Returns `(finished_at, dma_time)`.
     fn transfer_page(&mut self, start: Nanos, breakdown: &mut LatencyBreakdown) -> Nanos {
         let page_bytes = self.config.mos_page_size;
+        if self.archive.topology().uses_cxl() {
+            // CXL-attached backend: the page crosses the CXL link, then the
+            // DDR4 channel into/out of the NVDIMM — the loose-attach shape
+            // with the faster, flit-framed link in place of PCIe.
+            let t = self.cxl.transfer(page_bytes, start);
+            breakdown.add("dma", t.latency());
+            let d = self.ddr.transfer(page_bytes, t.finished_at);
+            breakdown.add("dma", d.latency());
+            return d.finished_at;
+        }
         match self.config.attach {
             AttachMode::Loose => {
                 let t = self.pcie.transfer(page_bytes, start);
@@ -426,6 +507,13 @@ impl HamsController {
 
     /// Latency of submitting one NVMe command over the configured interface.
     fn submit_command(&mut self, start: Nanos, breakdown: &mut LatencyBreakdown) -> Nanos {
+        if self.archive.topology().uses_cxl() {
+            // Doorbell and command fetch over CXL.io: cheaper than a PCIe
+            // BAR write, dearer than the DDR4 register interface.
+            let overhead = self.cxl.config().command_overhead;
+            breakdown.add("dma", overhead);
+            return start + overhead;
+        }
         match self.config.attach {
             AttachMode::Loose => {
                 breakdown.add("dma", self.config.pcie_command_overhead);
@@ -486,7 +574,7 @@ impl HamsController {
         )
         .with_fua(fua);
         let completion = self
-            .ssd
+            .archive
             .service(&cmd, transferred)
             .expect("eviction write within device capacity");
         eviction_breakdown.add("ssd", completion.finished_at - transferred);
@@ -563,6 +651,11 @@ impl HamsController {
             // the access overwrites it entirely; claim the slot directly.
             start
         } else if self.fill_stripes(page_bytes) <= 1 {
+            // The degenerate single-stripe path (single-LBA pages, a single
+            // queue pair, or persist mode): no stripe bookkeeping at all —
+            // the one command is composed once and journalled verbatim
+            // ([`NvmeEngine::issue_read_tracked`]) instead of being
+            // re-derived, PRP list and all, a second time for tracking.
             self.stats.fill_bytes += page_bytes;
             let submitted = self.submit_command(start, breakdown);
             let cmd = NvmeCommand::read(
@@ -572,7 +665,7 @@ impl HamsController {
                 hams_nvme::PrpList::for_transfer(self.nvdimm_addr_of(page), page_bytes, 4096),
             );
             let completion = self
-                .ssd
+                .archive
                 .service(&cmd, submitted)
                 .expect("fill read within device capacity");
             breakdown.add("ssd", completion.finished_at - submitted);
@@ -580,13 +673,9 @@ impl HamsController {
             // Landing the page in the NVDIMM array.
             let array = self.nvdimm.write(page_bytes);
             breakdown.add("nvdimm", array);
-            let _ = self.engine.issue_read(
-                page,
-                self.slba_of(page),
-                page_bytes,
-                self.nvdimm_addr_of(page),
-                transferred + array,
-            );
+            let _ = self
+                .engine
+                .issue_read_tracked(page, cmd, transferred + array);
             transferred + array
         } else {
             self.stats.fill_bytes += page_bytes;
@@ -615,7 +704,7 @@ impl HamsController {
                     ),
                 );
                 let completion = self
-                    .ssd
+                    .archive
                     .service(&cmd, submit_t)
                     .expect("fill stripe within device capacity");
                 completions.push(completion.finished_at);
@@ -650,13 +739,14 @@ impl HamsController {
         data_ready
     }
 
-    /// Whether every flash page backing MoS page `page` is durably mapped.
+    /// Whether every flash page backing MoS page `page` is durably mapped on
+    /// the device owning its stripe.
     #[must_use]
     pub fn page_durable_on_flash(&self, page: u64) -> bool {
         let flash_page = u64::from(self.config.ssd.geometry.page_size);
         let start = page * self.config.mos_page_size / flash_page;
         let count = (self.config.mos_page_size / flash_page).max(1);
-        (start..start + count).all(|lpn| self.ssd.is_durable(lpn))
+        (start..start + count).all(|lpn| self.archive.is_durable(lpn))
     }
 
     /// Whether the latest data of MoS page `page` would survive a power
@@ -689,7 +779,7 @@ impl HamsController {
         self.engine.drop_in_flight_completions();
         PowerFailureEvent {
             nvdimm_backup: self.nvdimm.power_fail(),
-            ssd: self.ssd.power_fail(now),
+            ssd: self.archive.power_fail(now),
             incomplete_commands: incomplete,
         }
     }
@@ -702,11 +792,18 @@ impl HamsController {
     /// bit the dead operation left in that bank, so post-recovery accesses
     /// do not park behind a wait window that no completion will ever close.
     ///
+    /// In a multi-device backend, each re-issued command routes through the
+    /// archive set to the device owning its stripe — the same device the
+    /// dead command was in flight to, which the journal tag records
+    /// ([`crate::TrackedCommand::device`]).
+    ///
     /// # Panics
     ///
     /// Panics if a journal tag's recorded bank no longer matches the live
-    /// directory routing — the signature of a [`Self::set_shard_config`]
-    /// repartition racing in-flight journal state.
+    /// directory routing, or its recorded device no longer matches the live
+    /// archive routing — the signature of a [`Self::set_shard_config`] /
+    /// [`Self::set_backend_topology`] repartition racing in-flight journal
+    /// state.
     pub fn recover(&mut self, now: Nanos) -> RecoveryReport {
         let restore_done = now + self.nvdimm.power_restore();
         let pending = self.engine.journaled_incomplete(now);
@@ -718,8 +815,18 @@ impl HamsController {
             // the recovered data is durable even if the device has a volatile
             // buffer.
             let command = tracked.command.clone().with_fua(true);
+            assert_eq!(
+                tracked.device,
+                self.archive.device_of_slba(command.slba),
+                "journal tag for page {} recorded device {} but the archive \
+                 routes its stripe to device {} — backend topology changed \
+                 with commands in flight",
+                tracked.mos_page,
+                tracked.device,
+                self.archive.device_of_slba(command.slba)
+            );
             let completion = self
-                .ssd
+                .archive
                 .service(&command, restore_done)
                 .expect("re-issued command must fit the device");
             completed_at = completed_at.max(completion.finished_at);
@@ -1047,6 +1154,146 @@ mod tests {
         assert_eq!(h.shard_of_page(sets), 0, "aliases share the set's bank");
         // The engine stamps the same routing onto journal tags.
         assert_eq!(h.engine().shard_for_page(5), h.shard_of_page(5));
+    }
+
+    #[test]
+    fn single_backend_is_byte_identical_across_the_topology_enum() {
+        let base = HamsConfig::tiny_for_tests(AttachMode::Loose, PersistMode::Extend);
+        let stream = |h: &mut HamsController| {
+            let page = h.config().mos_page_size;
+            let span = h.cache_sets() as u64 + 24;
+            let mut t = Nanos::ZERO;
+            let mut results = Vec::new();
+            for i in 0..300u64 {
+                let r = h.access((i * 11 % span) * page, i % 3 == 0, 64, t);
+                t = r.finished_at;
+                results.push(r);
+            }
+            results
+        };
+        let mut single = HamsController::new(base);
+        let mut raid1 = HamsController::new(base.with_backend(BackendTopology::raid0(1)));
+        assert_eq!(raid1.num_devices(), 1);
+        assert_eq!(stream(&mut single), stream(&mut raid1));
+        assert_eq!(single.stats(), raid1.stats());
+    }
+
+    #[test]
+    fn raid0_fans_striped_fills_across_devices_and_per_device_bytes_sum() {
+        use hams_nvme::QueueConfig;
+        // 64 KB pages, 4 queue stripes of 16 KB each, 16 KB RAID stripes:
+        // every stripe command lands wholly on one of the four devices.
+        let base = HamsConfig::tiny_for_tests(AttachMode::Loose, PersistMode::Extend)
+            .with_mos_page_size(64 * 1024)
+            .with_queues(QueueConfig::striped(4));
+        let mut single = HamsController::new(base);
+        let mut raid =
+            HamsController::new(base.with_backend(BackendTopology::raid0_striped(4, 16 * 1024)));
+        assert_eq!(raid.num_devices(), 4);
+        assert_eq!(
+            raid.mos_capacity_bytes(),
+            single.mos_capacity_bytes(),
+            "the unified address space is capacity-invariant"
+        );
+        let page = base.mos_page_size;
+        let mut t_single = Nanos::ZERO;
+        let mut t_raid = Nanos::ZERO;
+        for i in 0..48u64 {
+            t_single = single.access(i * page, true, 64, t_single).finished_at;
+            t_raid = raid.access(i * page, true, 64, t_raid).finished_at;
+        }
+        let span = single.cache_sets() as u64 + 8;
+        for i in 0..200u64 {
+            let addr = (i % span) * page;
+            t_single = single.access(addr, false, 64, t_single).finished_at;
+            t_raid = raid.access(addr, false, 64, t_raid).finished_at;
+        }
+        assert!(
+            t_raid < t_single,
+            "4-device RAID-0 ({t_raid}) must beat the single archive ({t_single})"
+        );
+        // Same command stream, partitioned: per-device byte totals sum to
+        // exactly what the single archive served.
+        let raid_total = raid.archive().stats();
+        let single_total = single.archive().stats();
+        assert_eq!(raid_total.bytes_read, single_total.bytes_read);
+        assert_eq!(raid_total.bytes_written, single_total.bytes_written);
+        assert!(
+            raid.archive()
+                .device_stats()
+                .iter()
+                .filter(|s| s.bytes_read > 0)
+                .count()
+                > 1,
+            "the fills should actually fan out across devices"
+        );
+        assert_eq!(single.stats().fill_bytes, raid.stats().fill_bytes);
+        assert_eq!(single.stats().hits, raid.stats().hits);
+    }
+
+    #[test]
+    fn cxl_attached_sits_between_loose_pcie_and_tight_ddr4() {
+        let finish = |h: &mut HamsController| {
+            let page_size = h.config().mos_page_size;
+            let span = h.cache_sets() as u64 + 64;
+            let mut t = Nanos::ZERO;
+            for i in 0..300u64 {
+                let r = h.access((i % span) * page_size, false, 64, t);
+                t = r.finished_at;
+            }
+            t
+        };
+        let mut tight = controller(AttachMode::Tight, PersistMode::Extend);
+        let mut loose = controller(AttachMode::Loose, PersistMode::Extend);
+        let mut cxl = HamsController::new(
+            HamsConfig::tiny_for_tests(AttachMode::Tight, PersistMode::Extend)
+                .with_backend(BackendTopology::cxl(1, 0)),
+        );
+        assert!(cxl.backend_topology().uses_cxl());
+        let t_tight = finish(&mut tight);
+        let t_cxl = finish(&mut cxl);
+        let t_loose = finish(&mut loose);
+        assert!(
+            t_tight < t_cxl && t_cxl < t_loose,
+            "miss-heavy sweep must order tight ({t_tight}) < cxl ({t_cxl}) < loose ({t_loose})"
+        );
+    }
+
+    #[test]
+    fn set_backend_topology_rebuilds_cold_and_matches_a_fresh_controller() {
+        let base = HamsConfig::tiny_for_tests(AttachMode::Tight, PersistMode::Extend);
+        let topology = BackendTopology::raid0_striped(4, 4096);
+        let mut reconfigured = HamsController::new(base);
+        reconfigured.set_backend_topology(topology);
+        assert_eq!(reconfigured.num_devices(), 4);
+        let mut fresh = HamsController::new(base.with_backend(topology));
+        let mut t_a = Nanos::ZERO;
+        let mut t_b = Nanos::ZERO;
+        for i in 0..128u64 {
+            let addr = i * 4096;
+            let a = reconfigured.access(addr, i % 2 == 0, 64, t_a);
+            let b = fresh.access(addr, i % 2 == 0, 64, t_b);
+            assert_eq!(a, b);
+            t_a = a.finished_at;
+            t_b = b.finished_at;
+        }
+        assert_eq!(reconfigured.stats(), fresh.stats());
+    }
+
+    #[test]
+    fn device_routing_matches_between_controller_engine_and_archive() {
+        let base = HamsConfig::tiny_for_tests(AttachMode::Loose, PersistMode::Extend)
+            .with_backend(BackendTopology::raid0(4));
+        let h = HamsController::new(base);
+        // Page-granularity stripes (4 KB pages): page n → device n % 4.
+        for page in 0..16u64 {
+            assert_eq!(h.device_of_page(page), (page % 4) as u16);
+            assert_eq!(
+                h.engine().device_for_slba(h.slba_of(page)),
+                h.device_of_page(page),
+                "engine journal routing must mirror the archive"
+            );
+        }
     }
 
     #[test]

@@ -40,6 +40,12 @@ pub struct TrackedCommand {
     /// in-flight journal state (the recorded bank no longer matching the
     /// live routing).
     pub shard: u16,
+    /// Archive-set device owning the command's stripe, recorded at issue
+    /// time. Power-failure recovery replays the command through the archive
+    /// set, which routes it back to this device; the recorded index guards
+    /// against a backend repartition racing in-flight journal state, exactly
+    /// as `shard` does for the directory.
+    pub device: u16,
     /// Simulated completion time assigned by the device model.
     pub completes_at: Nanos,
 }
@@ -79,6 +85,8 @@ pub struct NvmeEngine {
     config: QueueConfig,
     shards: ShardConfig,
     cache_sets: u64,
+    devices: u16,
+    stripe_lbas: u64,
     queues: QueueSet,
     msi: MsiTable,
     coalescer: MsiCoalescer,
@@ -104,9 +112,26 @@ impl NvmeEngine {
     /// Creates an engine with the queue shape described by `config` inside a
     /// controller whose tag directory has `cache_sets` sets partitioned by
     /// `shards` — the topology the engine stamps onto every journal tag so
-    /// recovery can route each replay to the owning bank.
+    /// recovery can route each replay to the owning bank. The archive
+    /// backend is a single device.
     #[must_use]
     pub fn with_topology(config: QueueConfig, shards: ShardConfig, cache_sets: u64) -> Self {
+        Self::with_backend(config, shards, cache_sets, 1, 1)
+    }
+
+    /// [`Self::with_topology`] for a multi-device archive backend: journal
+    /// tags additionally record the device owning each command's stripe
+    /// (`devices` archives, `stripe_lbas` LBAs per stripe unit), so the
+    /// power-failure scan can assert the replay lands on the archive the
+    /// dead command was in flight to.
+    #[must_use]
+    pub fn with_backend(
+        config: QueueConfig,
+        shards: ShardConfig,
+        cache_sets: u64,
+        devices: u16,
+        stripe_lbas: u64,
+    ) -> Self {
         NvmeEngine {
             queues: QueueSet::from_config(config),
             msi: MsiTable::new(),
@@ -117,6 +142,8 @@ impl NvmeEngine {
             config,
             shards,
             cache_sets: cache_sets.max(1),
+            devices: devices.max(1),
+            stripe_lbas: stripe_lbas.max(1),
         }
     }
 
@@ -171,6 +198,18 @@ impl NvmeEngine {
         )
     }
 
+    /// The archive-set device owning the stripe that starts at LBA `slba` —
+    /// the routing [`hams_flash::ArchiveSet`] applies, mirrored here so
+    /// every journal tag records its command's device.
+    #[must_use]
+    pub fn device_for_slba(&self, slba: u64) -> u16 {
+        if self.devices <= 1 {
+            0
+        } else {
+            ((slba / self.stripe_lbas) % u64::from(self.devices)) as u16
+        }
+    }
+
     /// Issues a fill (read) command for `mos_page`, whose data lands at
     /// NVDIMM address `nvdimm_addr` and whose device service completes at
     /// `completes_at`. The command is striped onto the page's queue pair.
@@ -222,6 +261,29 @@ impl NvmeEngine {
         self.issue(queue, cmd, mos_page, completes_at)
     }
 
+    /// Issues an already-composed fill command for `mos_page` on the page's
+    /// queue pair — the lean single-stripe path: the controller built the
+    /// exact command for the device service, so the engine journals it
+    /// as-is instead of re-deriving an identical one (and its PRP list)
+    /// from scratch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates queue-full errors from the submission queue.
+    pub fn issue_read_tracked(
+        &mut self,
+        mos_page: u64,
+        cmd: NvmeCommand,
+        completes_at: Nanos,
+    ) -> Result<CommandId, QueueError> {
+        self.issue(
+            self.queue_for_page(mos_page),
+            cmd.with_journal_tag(true),
+            mos_page,
+            completes_at,
+        )
+    }
+
     /// Issues an eviction (write) command for `mos_page` reading its data from
     /// NVDIMM address `nvdimm_addr` (typically a PRP-pool clone slot).
     ///
@@ -268,6 +330,7 @@ impl NvmeEngine {
             .expect("command just submitted must be fetchable");
         self.completions.schedule(completes_at, id);
         let shard = self.shard_for_page(mos_page);
+        let device = self.device_for_slba(fetched.slba);
         self.tracked.insert(
             id,
             TrackedCommand {
@@ -275,6 +338,7 @@ impl NvmeEngine {
                 command: fetched,
                 mos_page,
                 shard,
+                device,
                 completes_at,
             },
         );
@@ -505,6 +569,51 @@ mod tests {
         let e = NvmeEngine::new(8);
         assert_eq!(e.shard_config(), ShardConfig::single());
         assert_eq!(e.shard_for_page(12345), 0);
+        assert_eq!(e.device_for_slba(98765), 0, "single backend is device 0");
+    }
+
+    #[test]
+    fn journal_tags_record_the_owning_device() {
+        // 4 devices, 8-LBA (one 32 KB page) stripe units.
+        let mut e = NvmeEngine::with_backend(
+            QueueConfig::single().with_depth(16),
+            ShardConfig::single(),
+            8,
+            4,
+            8,
+        );
+        // slba 0 → stripe 0 → device 0; slba 8 → stripe 1 → device 1;
+        // slba 40 → stripe 5 → device 1.
+        e.issue_write(0, 0, 4096, 0, false, Nanos::from_secs(1))
+            .unwrap();
+        e.issue_write(1, 8, 4096, 0, false, Nanos::from_secs(1))
+            .unwrap();
+        e.issue_write(5, 40, 4096, 0, false, Nanos::from_secs(1))
+            .unwrap();
+        let devices: Vec<u16> = e
+            .journaled_incomplete(Nanos::ZERO)
+            .iter()
+            .map(|t| t.device)
+            .collect();
+        assert_eq!(devices, vec![0, 1, 1]);
+        assert_eq!(e.device_for_slba(16), 2);
+        assert_eq!(e.device_for_slba(32), 0, "stripe 4 wraps to device 0");
+    }
+
+    #[test]
+    fn issue_read_tracked_journals_the_composed_command_verbatim() {
+        let mut e = NvmeEngine::new(16);
+        let cmd = NvmeCommand::read(1, 24, 4096, PrpList::for_transfer(0x3000, 4096, 4096));
+        let id = e
+            .issue_read_tracked(3, cmd.clone(), Nanos::from_micros(9))
+            .unwrap();
+        let pending = e.journaled_incomplete(Nanos::ZERO);
+        assert_eq!(pending.len(), 1);
+        assert_eq!(pending[0].id, id);
+        assert_eq!(pending[0].mos_page, 3);
+        // Identical to what issue_read would have journalled for the same
+        // geometry: the composed command plus the journal tag.
+        assert_eq!(pending[0].command, cmd.with_journal_tag(true));
     }
 
     #[test]

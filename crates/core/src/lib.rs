@@ -19,7 +19,11 @@
 //!   (Fig. 11), partitioned into independent banks by a [`ShardConfig`]
 //!   (shard-invariant by contract; `MosTagArray` is the single-bank alias),
 //! * [`NvmeEngine`] — the in-controller NVMe queue engine with journal tags
-//!   (Fig. 15),
+//!   (Fig. 15), stamped with each command's `(shard, device)` so recovery
+//!   replays into the owning directory bank and archive device,
+//! * [`BackendTopology`] / [`ArchiveSet`] (re-exported from `hams_flash`) —
+//!   the multi-device archive backend: one device, RAID-0 fan-out, or the
+//!   CXL-attached variant,
 //! * [`PrpPool`] — the pinned-region clone slots used for hazard avoidance
 //!   (Fig. 14).
 //!
@@ -54,6 +58,7 @@ pub use controller::{
     HamsController, HamsStats, MosAccessResult, PowerFailureEvent, RecoveryReport,
 };
 pub use engine::{EngineStats, NvmeEngine, TrackedCommand};
+pub use hams_flash::{ArchiveSet, BackendTopology};
 pub use prp_pool::{CloneSlot, PrpPool};
 pub use tag_array::{
     MosTagArray, ShardConfig, ShardHashPolicy, ShardedTagArray, TagArrayStats, TagEntry, TagProbe,

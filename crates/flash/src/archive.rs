@@ -1,0 +1,661 @@
+//! Multi-device archive backends: the [`ArchiveSet`] topology layer.
+//!
+//! The paper models HAMS with a single ULL-Flash archive behind the NVDIMM
+//! cache. Production-scale serving wants more: a RAID-0 fan-out of several
+//! archives so independent fills land on independent flash arrays, and a
+//! CXL-attached variant whose fills cross a CXL link instead of PCIe/DDR4.
+//! [`ArchiveSet`] owns N [`SsdDevice`]s behind one capacity-unified address
+//! space and routes every NVMe command to the device owning its stripe;
+//! [`BackendTopology`] selects the shape.
+//!
+//! Two contracts shape the design (both pinned by
+//! `tests/backend_equivalence.rs`):
+//!
+//! * **Single is the old engine, byte for byte.** [`BackendTopology::single`]
+//!   (and `Raid0 { devices: 1 }`) delegates every call straight to one
+//!   [`SsdDevice`] — no stripe arithmetic on the path — so a single-device
+//!   archive set is indistinguishable from the pre-topology engine.
+//! * **Striping is a partition of one address space.** The set exposes the
+//!   exported capacity of *one* archive and stripes that fixed LBA space
+//!   across the devices with identity local addressing (device `d` serves
+//!   global LBA `l` as its own LBA `l`). Every command therefore lands on
+//!   exactly the device its stripe owns, and the per-device *byte* totals
+//!   of a RAID-0 run sum to what a single device would have served for the
+//!   same command stream — what RAID-0 buys is device-level parallelism
+//!   (independent channels, dies and firmware), not a different workload.
+//!   (Command *counts* are per-segment: a command crossing stripe
+//!   boundaries counts once per device it touches, and a flush counts once
+//!   per device it broadcasts to.)
+//!
+//! Stripe granularity is configurable. At MoS-page granularity a page's
+//! fills and evictions land wholly on its owning device — mirroring how the
+//! page's directory state lives in one tag-array bank — while LBA
+//! granularity fans a multi-queue striped fill out across devices for
+//! intra-fill parallelism (the `hams-TE-d{n}` sweep entries do this).
+
+use hams_nvme::{NvmeCommand, NvmeOpcode};
+use hams_sim::Nanos;
+use serde::{Deserialize, Serialize};
+
+use crate::device::{
+    IoCompletion, PowerLossReport, SsdConfig, SsdDevice, SsdError, SsdStats, LBA_SIZE,
+};
+use crate::dram::DramStats;
+
+/// Shape of the archive backend behind the HAMS controller.
+///
+/// `stripe_bytes` of `0` means "resolve to the controller's MoS page size"
+/// (see [`BackendTopology::resolved`]), which aligns device ownership with
+/// the tag directory: one page, one bank, one device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BackendTopology {
+    /// One ULL-Flash archive — the paper's configuration and the pre-topology
+    /// engine, byte for byte.
+    Single,
+    /// RAID-0 over `devices` archives: the exported LBA space is cut into
+    /// `stripe_bytes` units assigned round-robin, so independent stripes are
+    /// served by independent devices.
+    Raid0 {
+        /// Number of archives in the set (at least 1; 1 is `Single`).
+        devices: u16,
+        /// Stripe unit in bytes (multiple of 4 KB); `0` resolves to the MoS
+        /// page size.
+        stripe_bytes: u64,
+    },
+    /// The RAID-0 fan-out attached over a CXL link instead of the PCIe /
+    /// DDR4 register interface: same stripe routing, but the controller
+    /// moves pages (and submits commands) across the `hams_interconnect`
+    /// CXL link model.
+    CxlAttached {
+        /// Number of archives in the set (at least 1).
+        devices: u16,
+        /// Stripe unit in bytes (multiple of 4 KB); `0` resolves to the MoS
+        /// page size.
+        stripe_bytes: u64,
+    },
+}
+
+impl BackendTopology {
+    /// The single-archive backend — the original engine.
+    #[must_use]
+    pub fn single() -> Self {
+        BackendTopology::Single
+    }
+
+    /// RAID-0 over `devices` archives with MoS-page stripe granularity.
+    #[must_use]
+    pub fn raid0(devices: u16) -> Self {
+        BackendTopology::Raid0 {
+            devices: devices.max(1),
+            stripe_bytes: 0,
+        }
+    }
+
+    /// RAID-0 over `devices` archives with an explicit stripe unit.
+    #[must_use]
+    pub fn raid0_striped(devices: u16, stripe_bytes: u64) -> Self {
+        BackendTopology::Raid0 {
+            devices: devices.max(1),
+            stripe_bytes,
+        }
+    }
+
+    /// CXL-attached fan-out over `devices` archives with an explicit stripe
+    /// unit (`0` = MoS page granularity).
+    #[must_use]
+    pub fn cxl(devices: u16, stripe_bytes: u64) -> Self {
+        BackendTopology::CxlAttached {
+            devices: devices.max(1),
+            stripe_bytes,
+        }
+    }
+
+    /// Number of devices in the set.
+    #[must_use]
+    pub fn device_count(&self) -> u16 {
+        match self {
+            BackendTopology::Single => 1,
+            BackendTopology::Raid0 { devices, .. }
+            | BackendTopology::CxlAttached { devices, .. } => (*devices).max(1),
+        }
+    }
+
+    /// The configured stripe unit (`0` = resolve to the MoS page size).
+    #[must_use]
+    pub fn stripe_bytes(&self) -> u64 {
+        match self {
+            BackendTopology::Single => 0,
+            BackendTopology::Raid0 { stripe_bytes, .. }
+            | BackendTopology::CxlAttached { stripe_bytes, .. } => *stripe_bytes,
+        }
+    }
+
+    /// Whether fills cross the CXL link instead of the attach-mode interface.
+    #[must_use]
+    pub fn uses_cxl(&self) -> bool {
+        matches!(self, BackendTopology::CxlAttached { .. })
+    }
+
+    /// The topology with a zero stripe unit resolved to `mos_page_size`.
+    #[must_use]
+    pub fn resolved(&self, mos_page_size: u64) -> Self {
+        let resolve = |s: u64| if s == 0 { mos_page_size } else { s };
+        match *self {
+            BackendTopology::Single => BackendTopology::Single,
+            BackendTopology::Raid0 {
+                devices,
+                stripe_bytes,
+            } => BackendTopology::Raid0 {
+                devices,
+                stripe_bytes: resolve(stripe_bytes),
+            },
+            BackendTopology::CxlAttached {
+                devices,
+                stripe_bytes,
+            } => BackendTopology::CxlAttached {
+                devices,
+                stripe_bytes: resolve(stripe_bytes),
+            },
+        }
+    }
+
+    /// Backend topology requested through the `HAMS_DEVICES` environment
+    /// variable, if set — the CI matrix lever, mirroring `HAMS_SHARDS` for
+    /// the tag directory. `HAMS_DEVICES=1` is the single backend;
+    /// `HAMS_DEVICES=n` for `n > 1` is RAID-0 at MoS-page stripe
+    /// granularity. Unlike the shard override, the device count legitimately
+    /// changes simulated timing, so the golden suites keep one snapshot per
+    /// device count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `HAMS_DEVICES` is set but not a positive `u16` — a silent
+    /// fallback would let a CI leg report the multi-device matrix green
+    /// without ever building a multi-device archive.
+    #[must_use]
+    pub fn from_env() -> Option<Self> {
+        let raw = std::env::var("HAMS_DEVICES").ok()?;
+        let count = raw
+            .trim()
+            .parse::<u16>()
+            .ok()
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| {
+                panic!("HAMS_DEVICES must be a positive integer up to 65535, got {raw:?}")
+            });
+        Some(if count == 1 {
+            BackendTopology::Single
+        } else {
+            BackendTopology::raid0(count)
+        })
+    }
+}
+
+impl Default for BackendTopology {
+    fn default() -> Self {
+        Self::single()
+    }
+}
+
+/// N archives behind one capacity-unified LBA space.
+///
+/// # Example
+///
+/// ```
+/// use hams_flash::{ArchiveSet, BackendTopology, SsdConfig, LBA_SIZE};
+/// use hams_nvme::{NvmeCommand, PrpList};
+/// use hams_sim::Nanos;
+///
+/// let topology = BackendTopology::raid0_striped(2, LBA_SIZE);
+/// let mut set = ArchiveSet::new(SsdConfig::tiny_for_tests(), topology, 4096);
+/// assert_eq!(set.num_devices(), 2);
+/// // LBA 0 lives on device 0, LBA 1 on device 1.
+/// assert_eq!(set.device_of_slba(0), 0);
+/// assert_eq!(set.device_of_slba(1), 1);
+/// let write = NvmeCommand::write(1, 1, 4096, PrpList::single(0)).with_fua(true);
+/// set.service(&write, Nanos::ZERO).unwrap();
+/// assert_eq!(set.device(1).stats().write_commands, 1);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ArchiveSet {
+    topology: BackendTopology,
+    stripe_lbas: u64,
+    devices: Vec<SsdDevice>,
+}
+
+impl ArchiveSet {
+    /// Builds the set described by `topology`, every device from the same
+    /// `config`; a zero stripe unit resolves to `mos_page_size`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resolved stripe unit is not a positive multiple of the
+    /// 4 KB LBA size — a finer stripe cannot be addressed, and a misaligned
+    /// one would split flash pages across devices.
+    #[must_use]
+    pub fn new(config: SsdConfig, topology: BackendTopology, mos_page_size: u64) -> Self {
+        let topology = topology.resolved(mos_page_size.max(LBA_SIZE));
+        let stripe_bytes = match topology {
+            BackendTopology::Single => mos_page_size.max(LBA_SIZE),
+            t => t.stripe_bytes(),
+        };
+        assert!(
+            stripe_bytes >= LBA_SIZE && stripe_bytes.is_multiple_of(LBA_SIZE),
+            "stripe unit must be a positive multiple of the {LBA_SIZE}-byte LBA, \
+             got {stripe_bytes}"
+        );
+        let count = usize::from(topology.device_count());
+        ArchiveSet {
+            topology,
+            stripe_lbas: stripe_bytes / LBA_SIZE,
+            devices: (0..count).map(|_| SsdDevice::new(config)).collect(),
+        }
+    }
+
+    /// A single-archive set — the original engine, byte for byte.
+    #[must_use]
+    pub fn single(config: SsdConfig) -> Self {
+        Self::new(config, BackendTopology::Single, LBA_SIZE)
+    }
+
+    /// The topology in force (stripe unit resolved).
+    #[must_use]
+    pub fn topology(&self) -> BackendTopology {
+        self.topology
+    }
+
+    /// Number of devices in the set.
+    #[must_use]
+    pub fn num_devices(&self) -> u16 {
+        self.devices.len() as u16
+    }
+
+    /// Stripe unit in LBAs.
+    #[must_use]
+    pub fn stripe_lbas(&self) -> u64 {
+        self.stripe_lbas
+    }
+
+    /// The shared per-device configuration.
+    #[must_use]
+    pub fn config(&self) -> &SsdConfig {
+        self.devices[0].config()
+    }
+
+    /// Exported capacity of the unified address space: the capacity of one
+    /// archive. RAID-0 here trades the extra devices' capacity for
+    /// parallelism at a fixed address space — which is what keeps a
+    /// multi-device run's command stream identical to the single-device one
+    /// and lets per-device stats sum to the single-device totals.
+    #[must_use]
+    pub fn capacity_bytes(&self) -> u64 {
+        self.devices[0].capacity_bytes()
+    }
+
+    /// Device `index` of the set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[must_use]
+    pub fn device(&self, index: u16) -> &SsdDevice {
+        &self.devices[usize::from(index)]
+    }
+
+    /// Every device in the set, in device order.
+    #[must_use]
+    pub fn devices(&self) -> &[SsdDevice] {
+        &self.devices
+    }
+
+    /// The first device — the whole set under [`BackendTopology::Single`].
+    #[must_use]
+    pub fn primary(&self) -> &SsdDevice {
+        &self.devices[0]
+    }
+
+    /// The device owning the stripe that starts at LBA `slba`.
+    #[must_use]
+    pub fn device_of_slba(&self, slba: u64) -> u16 {
+        if self.devices.len() <= 1 {
+            0
+        } else {
+            ((slba / self.stripe_lbas) % self.devices.len() as u64) as u16
+        }
+    }
+
+    /// Whether the devices carry an internal DRAM buffer.
+    #[must_use]
+    pub fn has_internal_dram(&self) -> bool {
+        self.devices[0].has_internal_dram()
+    }
+
+    /// Aggregate device accounting across the set. Byte totals sum exactly
+    /// over [`Self::device_stats`] to what one device would have served;
+    /// command counts are per-segment (boundary-splitting and flush
+    /// broadcast count once per device touched).
+    #[must_use]
+    pub fn stats(&self) -> SsdStats {
+        let mut total = SsdStats::default();
+        for device in &self.devices {
+            let s = device.stats();
+            total.read_commands += s.read_commands;
+            total.write_commands += s.write_commands;
+            total.flush_commands += s.flush_commands;
+            total.bytes_read += s.bytes_read;
+            total.bytes_written += s.bytes_written;
+            total.page_programs += s.page_programs;
+            total.page_reads += s.page_reads;
+        }
+        total
+    }
+
+    /// Per-device accounting, in device order.
+    #[must_use]
+    pub fn device_stats(&self) -> Vec<SsdStats> {
+        self.devices.iter().map(|d| *d.stats()).collect()
+    }
+
+    /// Aggregate internal-DRAM accounting across the set.
+    #[must_use]
+    pub fn dram_stats(&self) -> DramStats {
+        let mut total = DramStats::default();
+        for device in &self.devices {
+            let s = device.dram_stats();
+            total.hits += s.hits;
+            total.misses += s.misses;
+            total.dirty_evictions += s.dirty_evictions;
+            total.accesses += s.accesses;
+        }
+        total
+    }
+
+    /// Services an NVMe command issued at `now`, routing it to the device
+    /// owning its stripe. A command that crosses stripe boundaries is split
+    /// into per-device segments (the HAMS controller never issues one when
+    /// the stripe unit is the MoS page size or a striped fill's command
+    /// length); a flush broadcasts to every device.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SsdError`] from the owning device(s).
+    pub fn service(&mut self, cmd: &NvmeCommand, now: Nanos) -> Result<IoCompletion, SsdError> {
+        if self.devices.len() == 1 {
+            return self.devices[0].service(cmd, now);
+        }
+        if cmd.opcode == NvmeOpcode::Flush {
+            return self.broadcast_flush(cmd, now);
+        }
+        if cmd.length == 0 {
+            let device = usize::from(self.device_of_slba(cmd.slba));
+            return self.devices[device].service(cmd, now);
+        }
+
+        let stripe_bytes = self.stripe_lbas * LBA_SIZE;
+        let start = cmd.slba * LBA_SIZE;
+        let end = start + cmd.length;
+        let mut merged: Option<IoCompletion> = None;
+        let mut offset = start;
+        while offset < end {
+            let stripe_end = (offset / stripe_bytes + 1) * stripe_bytes;
+            let segment_end = end.min(stripe_end);
+            let device = usize::from(self.device_of_slba(offset / LBA_SIZE));
+            let mut segment = cmd.clone();
+            segment.slba = offset / LBA_SIZE;
+            segment.length = segment_end - offset;
+            let completion = self.devices[device].service(&segment, now)?;
+            merged = Some(merge_completion(merged, completion));
+            offset = segment_end;
+        }
+        Ok(merged.expect("non-empty command produced at least one segment"))
+    }
+
+    fn broadcast_flush(&mut self, cmd: &NvmeCommand, now: Nanos) -> Result<IoCompletion, SsdError> {
+        let mut merged: Option<IoCompletion> = None;
+        for device in &mut self.devices {
+            let completion = device.service(cmd, now)?;
+            merged = Some(merge_completion(merged, completion));
+        }
+        Ok(merged.expect("archive set holds at least one device"))
+    }
+
+    /// Whether logical flash page `lpn` is durably stored on the device
+    /// owning its stripe (identity local addressing: the global and
+    /// per-device page numbers coincide).
+    #[must_use]
+    pub fn is_durable(&self, lpn: u64) -> bool {
+        let page = u64::from(self.config().geometry.page_size);
+        let device = usize::from(self.device_of_slba(lpn * page / LBA_SIZE));
+        self.devices[device].is_durable(lpn)
+    }
+
+    /// Injects a power failure at `now` into every device and merges the
+    /// reports: pages concatenate in (device, page) order, the flush time is
+    /// the slowest device's. A single-device set delegates, byte for byte.
+    pub fn power_fail(&mut self, now: Nanos) -> PowerLossReport {
+        if self.devices.len() == 1 {
+            return self.devices[0].power_fail(now);
+        }
+        let mut merged = PowerLossReport {
+            flushed_pages: Vec::new(),
+            lost_pages: Vec::new(),
+            flush_time: Nanos::ZERO,
+        };
+        for device in &mut self.devices {
+            let report = device.power_fail(now);
+            merged.flushed_pages.extend(report.flushed_pages);
+            merged.lost_pages.extend(report.lost_pages);
+            merged.flush_time = merged.flush_time.max(report.flush_time);
+        }
+        merged.flushed_pages.sort_unstable();
+        merged.lost_pages.sort_unstable();
+        merged
+    }
+}
+
+/// Folds one more per-device completion into a command-level aggregate:
+/// the command finishes when its slowest segment does, latency components
+/// and sub-request counts add, and it is buffer-served only if every
+/// segment was.
+fn merge_completion(acc: Option<IoCompletion>, next: IoCompletion) -> IoCompletion {
+    match acc {
+        None => next,
+        Some(mut acc) => {
+            acc.finished_at = acc.finished_at.max(next.finished_at);
+            acc.breakdown.merge(&next.breakdown);
+            acc.sub_requests += next.sub_requests;
+            acc.served_from_dram &= next.served_from_dram;
+            acc
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hams_nvme::PrpList;
+
+    fn read_cmd(slba: u64, length: u64) -> NvmeCommand {
+        NvmeCommand::read(1, slba, length, PrpList::single(0x1000))
+    }
+
+    fn write_cmd(slba: u64, length: u64) -> NvmeCommand {
+        NvmeCommand::write(1, slba, length, PrpList::single(0x1000))
+    }
+
+    #[test]
+    fn single_topology_is_byte_identical_to_a_bare_device() {
+        let config = SsdConfig::tiny_for_tests();
+        let mut bare = SsdDevice::new(config);
+        let mut set = ArchiveSet::single(config);
+        let mut raid1 = ArchiveSet::new(config, BackendTopology::raid0(1), 4096);
+        let mut now = Nanos::ZERO;
+        for i in 0..48u64 {
+            let cmd = if i % 3 == 0 {
+                write_cmd(i % 16, 4096).with_fua(i % 6 == 0)
+            } else {
+                read_cmd(i % 16, 4096)
+            };
+            let a = bare.service(&cmd, now).unwrap();
+            let b = set.service(&cmd, now).unwrap();
+            let c = raid1.service(&cmd, now).unwrap();
+            assert_eq!(a, b, "Single diverged from the bare device");
+            assert_eq!(a, c, "Raid0 {{ devices: 1 }} diverged from the bare device");
+            now = a.finished_at;
+        }
+        assert_eq!(bare.stats(), &set.stats());
+        assert_eq!(bare.stats(), &raid1.stats());
+        assert_eq!(set.capacity_bytes(), bare.capacity_bytes());
+    }
+
+    #[test]
+    fn raid0_routes_whole_stripes_to_their_owning_device() {
+        let topology = BackendTopology::raid0_striped(4, LBA_SIZE);
+        let mut set = ArchiveSet::new(SsdConfig::tiny_for_tests(), topology, 4096);
+        for slba in 0..8u64 {
+            set.service(&write_cmd(slba, 4096).with_fua(true), Nanos::ZERO)
+                .unwrap();
+            assert_eq!(set.device_of_slba(slba), (slba % 4) as u16);
+        }
+        for d in 0..4u16 {
+            assert_eq!(
+                set.device(d).stats().write_commands,
+                2,
+                "device {d} should own exactly two of the eight stripes"
+            );
+        }
+        // Per-device stats sum to the totals one device would have served.
+        let total = set.stats();
+        assert_eq!(total.write_commands, 8);
+        assert_eq!(total.bytes_written, 8 * 4096);
+    }
+
+    #[test]
+    fn commands_crossing_stripe_boundaries_split_and_sum() {
+        let topology = BackendTopology::raid0_striped(2, LBA_SIZE);
+        let mut set = ArchiveSet::new(SsdConfig::tiny_for_tests(), topology, 4096);
+        // 16 KB starting at LBA 0 covers stripes 0..4 → devices 0,1,0,1.
+        let done = set
+            .service(&write_cmd(0, 16 * 1024).with_fua(true), Nanos::ZERO)
+            .unwrap();
+        assert_eq!(done.sub_requests, 4);
+        assert_eq!(set.device(0).stats().bytes_written, 8192);
+        assert_eq!(set.device(1).stats().bytes_written, 8192);
+        assert_eq!(set.stats().bytes_written, 16 * 1024);
+        assert!(set.is_durable(0) && set.is_durable(1) && set.is_durable(3));
+    }
+
+    #[test]
+    fn page_granularity_stripes_keep_a_mos_page_on_one_device() {
+        // 32 KB MoS pages: stripe 0 resolves to the page size.
+        let mut set = ArchiveSet::new(
+            SsdConfig::tiny_for_tests(),
+            BackendTopology::raid0(2),
+            32 * 1024,
+        );
+        assert_eq!(set.stripe_lbas(), 8);
+        let done = set
+            .service(&write_cmd(0, 32 * 1024).with_fua(true), Nanos::ZERO)
+            .unwrap();
+        assert_eq!(done.sub_requests, 8, "one device served the whole page");
+        assert_eq!(set.device(0).stats().write_commands, 1);
+        assert_eq!(set.device(1).stats().write_commands, 0);
+        // The next page lands on the other device.
+        set.service(&write_cmd(8, 32 * 1024).with_fua(true), Nanos::ZERO)
+            .unwrap();
+        assert_eq!(set.device(1).stats().write_commands, 1);
+    }
+
+    #[test]
+    fn concurrent_reads_on_different_devices_do_not_contend() {
+        let config = SsdConfig::tiny_for_tests();
+        let mut single = ArchiveSet::single(config);
+        let mut raid = ArchiveSet::new(config, BackendTopology::raid0_striped(4, LBA_SIZE), 4096);
+        for set in [&mut single, &mut raid] {
+            for slba in 0..8u64 {
+                set.service(&write_cmd(slba, 4096).with_fua(true), Nanos::ZERO)
+                    .unwrap();
+            }
+        }
+        // Issue 8 reads at the same instant: the RAID set spreads them over
+        // four devices' channels, so its slowest completion beats the single
+        // device's.
+        let t0 = Nanos::from_millis(10);
+        let worst = |set: &mut ArchiveSet| {
+            let mut worst = Nanos::ZERO;
+            for slba in 0..8u64 {
+                let done = set.service(&read_cmd(slba, 4096), t0).unwrap();
+                worst = worst.max(done.finished_at);
+            }
+            worst
+        };
+        let single_worst = worst(&mut single);
+        let raid_worst = worst(&mut raid);
+        assert!(
+            raid_worst < single_worst,
+            "RAID-0 burst ({raid_worst}) must beat the single device ({single_worst})"
+        );
+    }
+
+    #[test]
+    fn flush_broadcasts_to_every_device() {
+        let topology = BackendTopology::raid0_striped(2, LBA_SIZE);
+        let mut set = ArchiveSet::new(SsdConfig::tiny_for_tests(), topology, 4096);
+        set.service(&write_cmd(0, 4096), Nanos::ZERO).unwrap();
+        set.service(&write_cmd(1, 4096), Nanos::ZERO).unwrap();
+        assert!(!set.is_durable(0) && !set.is_durable(1));
+        set.service(&NvmeCommand::flush(1), Nanos::from_micros(10))
+            .unwrap();
+        assert!(set.is_durable(0) && set.is_durable(1));
+        assert_eq!(set.stats().flush_commands, 2);
+    }
+
+    #[test]
+    fn power_fail_merges_per_device_reports() {
+        let mut config = SsdConfig::tiny_for_tests();
+        config.supercap_backed = true;
+        let topology = BackendTopology::raid0_striped(2, LBA_SIZE);
+        let mut set = ArchiveSet::new(config, topology, 4096);
+        set.service(&write_cmd(0, 4096), Nanos::ZERO).unwrap();
+        set.service(&write_cmd(1, 4096), Nanos::ZERO).unwrap();
+        let report = set.power_fail(Nanos::from_micros(50));
+        assert_eq!(report.flushed_pages, vec![0, 1]);
+        assert!(report.lost_pages.is_empty());
+        assert!(report.flush_time > Nanos::ZERO);
+        assert!(set.is_durable(0) && set.is_durable(1));
+    }
+
+    #[test]
+    fn topology_helpers_normalise_and_resolve() {
+        assert_eq!(BackendTopology::raid0(0).device_count(), 1);
+        assert_eq!(BackendTopology::single().device_count(), 1);
+        assert!(!BackendTopology::raid0(4).uses_cxl());
+        assert!(BackendTopology::cxl(4, LBA_SIZE).uses_cxl());
+        let resolved = BackendTopology::raid0(4).resolved(32 * 1024);
+        assert_eq!(resolved.stripe_bytes(), 32 * 1024);
+        let pinned = BackendTopology::raid0_striped(4, LBA_SIZE).resolved(32 * 1024);
+        assert_eq!(pinned.stripe_bytes(), LBA_SIZE);
+        assert_eq!(BackendTopology::default(), BackendTopology::single());
+    }
+
+    #[test]
+    #[should_panic(expected = "stripe unit")]
+    fn misaligned_stripe_units_panic() {
+        let _ = ArchiveSet::new(
+            SsdConfig::tiny_for_tests(),
+            BackendTopology::raid0_striped(2, 1000),
+            4096,
+        );
+    }
+
+    #[test]
+    fn cxl_topology_builds_a_striped_set() {
+        let set = ArchiveSet::new(
+            SsdConfig::tiny_for_tests(),
+            BackendTopology::cxl(3, LBA_SIZE),
+            4096,
+        );
+        assert_eq!(set.num_devices(), 3);
+        assert!(set.topology().uses_cxl());
+    }
+}

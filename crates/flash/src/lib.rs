@@ -15,7 +15,10 @@
 //!   resources, including the ULL-Flash half-page dual-channel striping
 //!   ([`fil`]),
 //! * the SSD-internal DRAM buffer that advanced HAMS removes ([`dram`]),
-//! * the assembled NVMe-command-serving device ([`device`]).
+//! * the assembled NVMe-command-serving device ([`device`]),
+//! * the multi-device topology layer: N archives behind one
+//!   capacity-unified address space, striped RAID-0 style or attached over
+//!   CXL ([`archive`]).
 //!
 //! # Example
 //!
@@ -33,6 +36,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod archive;
 pub mod device;
 pub mod dram;
 pub mod fil;
@@ -40,6 +44,7 @@ pub mod ftl;
 pub mod geometry;
 pub mod timing;
 
+pub use archive::{ArchiveSet, BackendTopology};
 pub use device::{
     IoCompletion, PowerLossReport, SsdConfig, SsdDevice, SsdError, SsdStats, LBA_SIZE,
 };

@@ -1,6 +1,7 @@
 //! Interconnect models for the HAMS reproduction: the DDR4 memory channel,
-//! the PCIe link, and the register-based interface plus lock register that
-//! the advanced (tightly-integrated) HAMS uses instead of PCIe.
+//! the PCIe link, the register-based interface plus lock register that
+//! the advanced (tightly-integrated) HAMS uses instead of PCIe, and the CXL
+//! link the CXL-attached archive variant routes its fills through.
 //!
 //! The bandwidth asymmetry between these two paths — ~20 GB/s per DDR4
 //! channel versus ~4 GB/s for PCIe 3.0 x4 — is the architectural motivation
@@ -22,10 +23,12 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod cxl;
 pub mod ddr4;
 pub mod pcie;
 pub mod register;
 
+pub use cxl::{CxlConfig, CxlLink};
 pub use ddr4::{Ddr4Channel, Ddr4Config, Transfer};
 pub use pcie::{PcieConfig, PcieGeneration, PcieLink};
 pub use register::{

@@ -44,20 +44,22 @@ pub mod summary;
 
 pub use cache::{CacheOutcome, CacheStats, LruPageCache};
 pub use direct::{FlatFlashPlatform, NvdimmCPlatform, OptanePlatform, OraclePlatform};
-pub use hams::HamsPlatform;
-pub use hams_core::{ShardConfig, ShardHashPolicy};
+pub use hams::{HamsPlatform, SCALED_MOS_PAGE_BYTES};
+pub use hams_core::{BackendTopology, ShardConfig, ShardHashPolicy};
 pub use hams_nvme::QueueConfig;
 pub use mmap::MmapPlatform;
 pub use platform::{AccessOutcome, BatchOutcome, BatchRequest, Platform};
 pub use registry::{
-    queue_sweep_label, register_hams_queue_sweep, register_hams_shard_sweep, shard_sweep_label,
-    standard_registry, PlatformCtor, PlatformRegistry, QUEUE_SWEEP_PAGE_BYTES,
+    build_cxl_platform, build_raid_sweep_platform, cxl_label, queue_sweep_label, raid_sweep_label,
+    register_hams_queue_sweep, register_hams_raid_sweep, register_hams_shard_sweep,
+    shard_sweep_label, standard_registry, PlatformCtor, PlatformRegistry, QUEUE_SWEEP_PAGE_BYTES,
+    RAID_SWEEP_PAGE_BYTES, RAID_SWEEP_QUEUES,
 };
 pub use runner::{
-    run_grid, run_grid_serial, run_grid_with, run_matrix, run_workload, run_workload_batched,
-    run_workload_mq, run_workload_serial, run_workload_serial_mq, run_workload_serial_sharded,
-    run_workload_sharded, PlatformKind, RunMetrics, ScaleProfile, ACCESSES_PER_SQL_OP,
-    DEFAULT_BATCH_SIZE,
+    run_grid, run_grid_serial, run_grid_with, run_matrix, run_workload, run_workload_backend,
+    run_workload_batched, run_workload_mq, run_workload_serial, run_workload_serial_backend,
+    run_workload_serial_mq, run_workload_serial_sharded, run_workload_sharded, PlatformKind,
+    RunMetrics, ScaleProfile, ACCESSES_PER_SQL_OP, DEFAULT_BATCH_SIZE,
 };
 pub use summary::{
     feature_table, headline_claims, paper_config, FeatureRow, HeadlineClaims, PaperConfig,

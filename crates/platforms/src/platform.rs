@@ -5,7 +5,7 @@
 //! `optane-P/-M`, the four HAMS variants and the `oracle` — implements this
 //! trait, so the runner and every figure harness are platform-agnostic.
 
-use hams_core::ShardConfig;
+use hams_core::{BackendTopology, ShardConfig};
 use hams_energy::EnergyAccount;
 use hams_nvme::QueueConfig;
 use hams_sim::{LatencyBreakdown, Nanos};
@@ -149,6 +149,22 @@ pub trait Platform {
     /// for any `ShardConfig`, with [`ShardConfig::single`] the original
     /// monolithic array.
     fn configure_shards(&mut self, _shards: ShardConfig) -> bool {
+        false
+    }
+
+    /// Opts the platform into a multi-device archive backend: one device, a
+    /// RAID-0 fan-out over several ULL-Flash archives, or the CXL-attached
+    /// variant. Returns `true` if the platform honours the configuration.
+    ///
+    /// Only platforms that own an in-controller archive (the four HAMS
+    /// variants) override this; every other system keeps this fallback and
+    /// returns `false`. Call before serving traffic — re-shaping rebuilds
+    /// the archive set cold. [`BackendTopology::single`] restores the
+    /// original single-archive engine byte for byte
+    /// (`tests/backend_equivalence.rs` pins this for every platform);
+    /// unlike [`Platform::configure_shards`], multi-device shapes
+    /// legitimately change timing — that is the point of the fan-out.
+    fn configure_backend(&mut self, _topology: BackendTopology) -> bool {
         false
     }
 

@@ -22,12 +22,12 @@
 
 use std::sync::OnceLock;
 
-use hams_core::{AttachMode, PersistMode, ShardConfig};
-use hams_flash::SsdConfig;
+use hams_core::{AttachMode, BackendTopology, PersistMode, ShardConfig};
+use hams_flash::{SsdConfig, LBA_SIZE};
 use hams_nvme::QueueConfig;
 
 use crate::direct::{FlatFlashPlatform, NvdimmCPlatform, OptanePlatform, OraclePlatform};
-use crate::hams::HamsPlatform;
+use crate::hams::{HamsPlatform, SCALED_MOS_PAGE_BYTES};
 use crate::mmap::MmapPlatform;
 use crate::platform::Platform;
 use crate::runner::ScaleProfile;
@@ -235,12 +235,12 @@ pub fn shard_sweep_label(num_shards: u16) -> String {
 
 /// Registers one `hams-TE-s{n}` entry per shard count, mirroring the
 /// `hams-TE-q{n}` queue sweep: tightly-integrated, extend-mode HAMS with the
-/// standard 4 KB MoS pages and the tag directory partitioned into `n`
-/// interleaved banks. `s1` entries pin [`ShardConfig::single`], so the
-/// sweep's baseline is the exact monolithic array. Unlike the queue sweep,
-/// every entry must produce byte-identical metrics — the shard-invariance
-/// contract — which is what the shard golden snapshot and
-/// `hams-bench`'s `fig_shard_sensitivity` enforce on the grid.
+/// standard scaled ([`SCALED_MOS_PAGE_BYTES`]) MoS pages and the tag
+/// directory partitioned into `n` interleaved banks. `s1` entries pin
+/// [`ShardConfig::single`], so the sweep's baseline is the exact monolithic
+/// array. Unlike the queue sweep, every entry must produce byte-identical
+/// metrics — the shard-invariance contract — which is what the shard golden
+/// snapshot and `hams-bench`'s `fig_shard_sensitivity` enforce on the grid.
 pub fn register_hams_shard_sweep(registry: &mut PlatformRegistry, shard_counts: &[u16]) {
     for &n in shard_counts {
         registry.register(shard_sweep_label(n), move |scale: &ScaleProfile| {
@@ -250,12 +250,90 @@ pub fn register_hams_shard_sweep(registry: &mut PlatformRegistry, shard_counts: 
                 AttachMode::Tight,
                 PersistMode::Extend,
                 scale.cache_bytes(),
-                4096,
+                SCALED_MOS_PAGE_BYTES,
                 QueueConfig::single(),
                 ShardConfig::interleaved(n),
             ))
         });
     }
+}
+
+/// MoS page size of the RAID device sweep: the queue sweep's eight-LBA page,
+/// so the eight stripe commands of one fill have stripes to spread across
+/// devices.
+pub const RAID_SWEEP_PAGE_BYTES: u64 = 32 * 1024;
+
+/// NVMe queue pairs used by every RAID device-sweep entry. Held constant
+/// across device counts so the sweep isolates device scaling: the d1
+/// baseline pays the same queue shape, only the archive fan-out changes.
+pub const RAID_SWEEP_QUEUES: u16 = 8;
+
+/// The registry label of a device-sweep entry: `hams-TE-d{n}`.
+#[must_use]
+pub fn raid_sweep_label(devices: u16) -> String {
+    format!("hams-TE-d{devices}")
+}
+
+/// The registry label of the CXL-attached archive entry.
+#[must_use]
+pub fn cxl_label() -> String {
+    "hams-TE-cxl".to_owned()
+}
+
+/// The platform behind one `hams-TE-d{n}` entry: tightly-integrated,
+/// extend-mode HAMS with [`RAID_SWEEP_PAGE_BYTES`] MoS pages,
+/// [`RAID_SWEEP_QUEUES`] queue pairs and a RAID-0 archive set of `devices`
+/// ULL-Flash devices at LBA (4 KB) stripe granularity — each of a fill's
+/// stripe commands lands wholly on the device owning its stripe, so one
+/// page fill fans out across up to `devices` independent flash arrays.
+/// Exposed concretely (not boxed) so harnesses can read per-device archive
+/// stats; `fig_device_scaling` uses this to prove the per-device totals sum
+/// to the single-device run's.
+#[must_use]
+pub fn build_raid_sweep_platform(scale: &ScaleProfile, devices: u16) -> HamsPlatform {
+    HamsPlatform::scaled_with_backend(
+        AttachMode::Tight,
+        PersistMode::Extend,
+        scale.cache_bytes(),
+        RAID_SWEEP_PAGE_BYTES,
+        QueueConfig::striped(RAID_SWEEP_QUEUES),
+        BackendTopology::raid0_striped(devices, LBA_SIZE),
+    )
+}
+
+/// The platform behind the `hams-TE-cxl` entry: the d4 RAID fan-out of
+/// [`build_raid_sweep_platform`] attached over the CXL link instead of the
+/// DDR4 register interface — the memory-expansion shape, slower than the
+/// tight attach and faster than loose PCIe.
+#[must_use]
+pub fn build_cxl_platform(scale: &ScaleProfile) -> HamsPlatform {
+    HamsPlatform::scaled_with_backend(
+        AttachMode::Tight,
+        PersistMode::Extend,
+        scale.cache_bytes(),
+        RAID_SWEEP_PAGE_BYTES,
+        QueueConfig::striped(RAID_SWEEP_QUEUES),
+        BackendTopology::cxl(4, LBA_SIZE),
+    )
+}
+
+/// Registers one `hams-TE-d{n}` entry per device count plus the
+/// `hams-TE-cxl` variant. `d1` pins a one-device RAID-0, which is the exact
+/// single-archive engine (`tests/backend_equivalence.rs`), so the sweep's
+/// baseline is today's hams-TE at the sweep's page/queue shape. Together
+/// with [`run_grid_with`](crate::run_grid_with), this is what `hams-bench`'s
+/// `fig_device_scaling` (`figures -- fig23`) sweeps: RAID-0 throughput
+/// scaling on random reads, with per-device stats summing to the
+/// single-device totals.
+pub fn register_hams_raid_sweep(registry: &mut PlatformRegistry, device_counts: &[u16]) {
+    for &n in device_counts {
+        registry.register(raid_sweep_label(n), move |scale: &ScaleProfile| {
+            Box::new(build_raid_sweep_platform(scale, n))
+        });
+    }
+    registry.register(cxl_label(), |scale: &ScaleProfile| {
+        Box::new(build_cxl_platform(scale))
+    });
 }
 
 #[cfg(test)]
@@ -332,6 +410,32 @@ mod tests {
                 .expect("sweep entry registered");
             assert_eq!(platform.name(), "hams-TE");
         }
+    }
+
+    #[test]
+    fn raid_sweep_entries_register_and_build() {
+        let mut registry = PlatformRegistry::standard();
+        register_hams_raid_sweep(&mut registry, &[1, 2, 4]);
+        assert_eq!(registry.len(), 15, "three d{{n}} entries plus hams-TE-cxl");
+        let scale = ScaleProfile::test_tiny();
+        for n in [1u16, 2, 4] {
+            let platform = registry
+                .build(&raid_sweep_label(n), &scale)
+                .expect("sweep entry registered");
+            assert_eq!(platform.name(), "hams-TE");
+        }
+        assert!(registry.build(&cxl_label(), &scale).is_some());
+        let concrete = build_raid_sweep_platform(&scale, 4);
+        assert_eq!(concrete.controller().num_devices(), 4);
+        assert_eq!(
+            concrete.controller().archive().stripe_lbas(),
+            1,
+            "LBA-granularity stripes fan one fill across devices"
+        );
+        assert!(build_cxl_platform(&scale)
+            .controller()
+            .backend_topology()
+            .uses_cxl());
     }
 
     #[test]

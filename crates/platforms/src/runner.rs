@@ -415,6 +415,39 @@ pub fn run_workload_serial_sharded(
     run_workload_serial(platform, spec, scale)
 }
 
+/// [`run_workload`] with the platform's archive backend re-shaped into
+/// `topology` before any access is served. The pinned contract sits between
+/// the multi-queue and shard ones: [`hams_core::BackendTopology::single`]
+/// (and a one-device RAID-0) must be byte-identical to [`run_workload`] and
+/// [`run_workload_serial`] with no backend configuration at all, for every
+/// platform (`tests/backend_equivalence.rs`) — while multi-device shapes
+/// legitimately change timing and are pinned against their own serial
+/// reference ([`run_workload_serial_backend`]). Platforms without an
+/// in-controller archive ignore the configuration.
+pub fn run_workload_backend(
+    platform: &mut dyn Platform,
+    spec: WorkloadSpec,
+    scale: &ScaleProfile,
+    topology: hams_core::BackendTopology,
+) -> RunMetrics {
+    platform.configure_backend(topology);
+    run_workload(platform, spec, scale)
+}
+
+/// The backend serial reference: a single-threaded per-access loop over a
+/// platform re-shaped into `topology`. Exists for symmetry with
+/// [`run_workload_serial_mq`]; [`run_workload_backend`] must match it byte
+/// for byte at every batch size and thread count.
+pub fn run_workload_serial_backend(
+    platform: &mut dyn Platform,
+    spec: WorkloadSpec,
+    scale: &ScaleProfile,
+    topology: hams_core::BackendTopology,
+) -> RunMetrics {
+    platform.configure_backend(topology);
+    run_workload_serial(platform, spec, scale)
+}
+
 /// The per-access reference path: one [`Platform::access`] call per trace
 /// entry, no batching. [`run_workload`] must match this byte-for-byte.
 pub fn run_workload_serial(

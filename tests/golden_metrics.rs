@@ -12,28 +12,49 @@
 //! (timing model, stats accounting, trace generation) fails this test
 //! instead of slipping through.
 //!
-//! To bless an intentional change:
+//! The `HAMS_DEVICES` override is different: a multi-device archive backend
+//! *legitimately* changes simulated timing (that is what the RAID-0 fan-out
+//! buys), so the goldens keep one snapshot per device count —
+//! `metrics.json` for the single-archive default, `metrics_d{n}.json` for
+//! `HAMS_DEVICES=n` — and the CI matrix pins both axes.
+//!
+//! To bless an intentional change (once per device count the CI matrix
+//! exercises):
 //!
 //! ```text
 //! HAMS_BLESS=1 cargo test --test golden_metrics
+//! HAMS_DEVICES=4 HAMS_BLESS=1 cargo test --test golden_metrics
 //! ```
 //!
-//! then commit the regenerated `tests/golden/metrics.json` together with the
+//! then commit the regenerated `tests/golden/*.json` together with the
 //! change that explains it.
 
 use std::fmt::Write as _;
 
+use hams::flash::BackendTopology;
 use hams::platforms::{
     register_hams_shard_sweep, run_grid, run_grid_with, shard_sweep_label, PlatformKind,
     PlatformRegistry, RunMetrics, ScaleProfile,
 };
 use hams::workloads::WorkloadSpec;
 
-const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/metrics.json");
-const SHARD_GOLDEN_PATH: &str =
-    concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/shard_sweep.json");
+const GOLDEN_DIR: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden");
 const WORKLOADS: [&str; 2] = ["rndRd", "update"];
 const SHARD_COUNTS: [u16; 3] = [1, 2, 8];
+
+/// The snapshot path for `stem`, suffixed by the device count the
+/// `HAMS_DEVICES` override selects: the backend shape shifts simulated
+/// timing by design, so each device count pins its own golden bytes.
+fn golden_path(stem: &str) -> String {
+    let devices = BackendTopology::from_env()
+        .map(|t| t.device_count())
+        .unwrap_or(1);
+    if devices <= 1 {
+        format!("{GOLDEN_DIR}/{stem}.json")
+    } else {
+        format!("{GOLDEN_DIR}/{stem}_d{devices}.json")
+    }
+}
 
 fn snapshot_scale() -> ScaleProfile {
     ScaleProfile {
@@ -102,14 +123,15 @@ fn golden_metrics_snapshot_is_stable() {
     assert_eq!(grid.len(), PlatformKind::all().len() * WORKLOADS.len());
     let rendered = render(&grid);
 
+    let golden = golden_path("metrics");
     if std::env::var("HAMS_BLESS").as_deref() == Ok("1") {
-        std::fs::write(GOLDEN_PATH, &rendered).expect("write golden metrics");
-        eprintln!("blessed {GOLDEN_PATH}");
+        std::fs::write(&golden, &rendered).expect("write golden metrics");
+        eprintln!("blessed {golden}");
         return;
     }
 
-    let expected = std::fs::read_to_string(GOLDEN_PATH).unwrap_or_else(|e| {
-        panic!("missing golden file {GOLDEN_PATH} ({e}); regenerate with HAMS_BLESS=1")
+    let expected = std::fs::read_to_string(&golden).unwrap_or_else(|e| {
+        panic!("missing golden file {golden} ({e}); regenerate with HAMS_BLESS=1")
     });
     assert_eq!(
         rendered, expected,
@@ -150,14 +172,15 @@ fn shard_sweep_golden_snapshot_is_stable_and_rows_are_identical() {
     }
 
     let rendered = render(&grid);
+    let golden = golden_path("shard_sweep");
     if std::env::var("HAMS_BLESS").as_deref() == Ok("1") {
-        std::fs::write(SHARD_GOLDEN_PATH, &rendered).expect("write shard golden metrics");
-        eprintln!("blessed {SHARD_GOLDEN_PATH}");
+        std::fs::write(&golden, &rendered).expect("write shard golden metrics");
+        eprintln!("blessed {golden}");
         return;
     }
 
-    let expected = std::fs::read_to_string(SHARD_GOLDEN_PATH).unwrap_or_else(|e| {
-        panic!("missing golden file {SHARD_GOLDEN_PATH} ({e}); regenerate with HAMS_BLESS=1")
+    let expected = std::fs::read_to_string(&golden).unwrap_or_else(|e| {
+        panic!("missing golden file {golden} ({e}); regenerate with HAMS_BLESS=1")
     });
     assert_eq!(
         rendered, expected,
