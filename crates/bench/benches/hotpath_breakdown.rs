@@ -1,0 +1,101 @@
+//! Microbenchmark pinning the breakdown-accumulator hot path.
+//!
+//! The serving path adds a handful of latency components per simulated
+//! access and merges one scratch accumulator per batch. The seed
+//! implementation keyed a `BTreeMap<String, Nanos>`, paying a `String`
+//! allocation per add; the slot-indexed [`LatencyVector`] adds by
+//! pre-interned [`ComponentId`] into a fixed array. This bench keeps both
+//! shapes side by side so a regression in the allocation-free path (or an
+//! accidental return to string keys) shows up as a wall-clock diff.
+
+use std::collections::BTreeMap;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hams_sim::{ComponentId, LatencyVector, Nanos};
+
+/// Adds per simulated access on the HAMS serving path (hams/nvdimm/dma/ssd
+/// plus the runner's exec fold) — the per-iteration shape both variants
+/// replay.
+const ACCESSES: usize = 4_096;
+
+fn vector_accumulate() -> Nanos {
+    let mut batch = LatencyVector::new();
+    // The iteration count goes through black_box so the whole accumulation
+    // cannot be const-folded away.
+    for i in 0..black_box(ACCESSES) {
+        let t = Nanos::from_nanos(i as u64 % 97 + 1);
+        batch.add(ComponentId::HAMS, t);
+        batch.add(ComponentId::NVDIMM, t);
+        batch.add(ComponentId::DMA, t);
+        batch.add(ComponentId::SSD, t);
+    }
+    batch.total()
+}
+
+fn vector_merge() -> Nanos {
+    let mut scratch = LatencyVector::new();
+    scratch.add(ComponentId::NVDIMM, Nanos::from_nanos(17));
+    scratch.add(ComponentId::DMA, Nanos::from_nanos(23));
+    scratch.add(ComponentId::SSD, Nanos::from_nanos(31));
+    let mut total = LatencyVector::new();
+    for _ in 0..black_box(ACCESSES) {
+        total.merge(black_box(&scratch));
+    }
+    total.total()
+}
+
+fn btreemap_accumulate() -> Nanos {
+    let mut batch: BTreeMap<String, Nanos> = BTreeMap::new();
+    for i in 0..black_box(ACCESSES) {
+        let t = Nanos::from_nanos(i as u64 % 97 + 1);
+        for name in ["hams", "nvdimm", "dma", "ssd"] {
+            *batch.entry(name.to_owned()).or_insert(Nanos::ZERO) += t;
+        }
+    }
+    batch.values().copied().sum()
+}
+
+fn bench_breakdown_accumulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hotpath_breakdown");
+    group.sample_size(20);
+    group.bench_function("latency_vector_add_4k_accesses", |b| {
+        b.iter(|| black_box(vector_accumulate()))
+    });
+    group.bench_function("latency_vector_merge_4k_batches", |b| {
+        b.iter(|| black_box(vector_merge()))
+    });
+    group.bench_function("btreemap_string_add_4k_accesses_baseline", |b| {
+        b.iter(|| black_box(btreemap_accumulate()))
+    });
+    group.finish();
+
+    // The point of the refactor, pinned: the slot-indexed accumulator must
+    // never be slower than the string-keyed map it replaced. Best-of-N
+    // timings so a scheduler preemption landing on one sample (this runs in
+    // CI's perf-smoke job on shared runners) cannot fail the gate — only a
+    // real regression across every attempt can.
+    let best_of = |f: &dyn Fn() -> Nanos| {
+        black_box(f());
+        (0..7)
+            .map(|_| {
+                let start = std::time::Instant::now();
+                black_box(f());
+                start.elapsed()
+            })
+            .min()
+            .expect("non-empty sample set")
+    };
+    let vector = best_of(&vector_accumulate);
+    let map = best_of(&btreemap_accumulate);
+    assert!(
+        vector <= map,
+        "LatencyVector adds ({vector:?}) regressed past the BTreeMap baseline ({map:?})"
+    );
+    println!(
+        "latency-vector vs btreemap adds: {vector:?} vs {map:?} ({:.1}x)",
+        map.as_secs_f64() / vector.as_secs_f64().max(1e-12)
+    );
+}
+
+criterion_group!(benches, bench_breakdown_accumulator);
+criterion_main!(benches);

@@ -1,0 +1,246 @@
+//! Wall-clock throughput harness for the serving hot path.
+//!
+//! Every other harness in this crate measures *simulated* time; this one
+//! measures how fast the simulator itself runs — the host-side cost of the
+//! batched serving path that the correctness tiers (batch, multi-queue,
+//! shard, backend equivalence) pin byte-for-byte. It replays the four fio
+//! microbenchmark corners (`seqRd`, `rndRd`, `seqWr`, `rndWr`) on the eleven
+//! registered platforms through [`run_workload`] (the batched path), reports
+//! accesses/sec and ns/access per cell, and appends the run to
+//! `BENCH_hotpath.json` so successive PRs accumulate a perf trajectory.
+//!
+//! Usage (from the repo root):
+//!
+//! ```text
+//! cargo run -p hams-bench --release --bin throughput -- --label after
+//! cargo run -p hams-bench --release --bin throughput -- --quick --label ci-smoke
+//! cargo run -p hams-bench --release --bin throughput -- --out /tmp/scratch.json
+//! ```
+//!
+//! `--quick` runs a reduced grid (`mmap`, `hams-TE`, `oracle` ×
+//! `rndRd`, `rndWr`, fewer accesses, one repetition) for CI smoke runs.
+//! The harness takes the best of `reps` repetitions per cell, which filters
+//! scheduler noise; absolute numbers are machine-dependent and only
+//! comparable within one machine (the JSON records the methodology).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use hams_platforms::{run_workload, PlatformKind, ScaleProfile};
+use hams_workloads::WorkloadSpec;
+
+/// One measured (platform, workload) cell.
+struct Cell {
+    platform: &'static str,
+    workload: &'static str,
+    accesses: u64,
+    best_wall_ns: u128,
+    accesses_per_sec: f64,
+    ns_per_access: f64,
+}
+
+struct Config {
+    label: String,
+    out: String,
+    quick: bool,
+}
+
+fn parse_args() -> Config {
+    let mut config = Config {
+        label: "run".to_owned(),
+        out: "BENCH_hotpath.json".to_owned(),
+        quick: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => config.quick = true,
+            "--label" => {
+                let label = args.next().unwrap_or_else(|| {
+                    eprintln!("--label needs a value");
+                    std::process::exit(2);
+                });
+                // The label is interpolated into the JSON verbatim; keep it
+                // to characters that can never break the document.
+                if !label
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || "-_. ".contains(c))
+                    || label.is_empty()
+                {
+                    eprintln!(
+                        "--label must be non-empty and use only [A-Za-z0-9-_. ], got {label:?}"
+                    );
+                    std::process::exit(2);
+                }
+                config.label = label;
+            }
+            "--out" => {
+                config.out = args.next().unwrap_or_else(|| {
+                    eprintln!("--out needs a value");
+                    std::process::exit(2);
+                });
+            }
+            other => {
+                eprintln!("unknown argument {other:?}; flags: --quick --label <s> --out <path>");
+                std::process::exit(2);
+            }
+        }
+    }
+    config
+}
+
+/// The scale the wall-clock grid replays: the figure-bench profile for the
+/// full grid, a shrunk one for `--quick`.
+fn scale_for(quick: bool) -> ScaleProfile {
+    if quick {
+        ScaleProfile {
+            capacity_divisor: 256,
+            accesses: 8_000,
+            seed: 42,
+        }
+    } else {
+        ScaleProfile {
+            capacity_divisor: 256,
+            accesses: 60_000,
+            seed: 42,
+        }
+    }
+}
+
+fn measure(
+    kinds: &[PlatformKind],
+    workloads: &[&'static str],
+    scale: &ScaleProfile,
+    reps: usize,
+) -> Vec<Cell> {
+    let mut cells = Vec::new();
+    for &workload in workloads {
+        let spec = WorkloadSpec::by_name(workload).expect("known workload");
+        for kind in kinds {
+            let mut best = u128::MAX;
+            for _ in 0..reps {
+                // A fresh platform per repetition: every rep replays the
+                // identical cold-start cell, so reps are comparable and the
+                // best-of filter removes host scheduling noise.
+                let mut platform = kind.build(scale);
+                let start = Instant::now();
+                let metrics = run_workload(platform.as_mut(), spec, scale);
+                let elapsed = start.elapsed().as_nanos();
+                assert_eq!(metrics.accesses, scale.accesses as u64);
+                best = best.min(elapsed.max(1));
+            }
+            let secs = best as f64 / 1e9;
+            let cell = Cell {
+                platform: kind.label(),
+                workload,
+                accesses: scale.accesses as u64,
+                best_wall_ns: best,
+                accesses_per_sec: scale.accesses as f64 / secs,
+                ns_per_access: best as f64 / scale.accesses as f64,
+            };
+            println!(
+                "{:<12} {:<6} {:>9.0} accesses/s  {:>8.1} ns/access",
+                cell.platform, cell.workload, cell.accesses_per_sec, cell.ns_per_access
+            );
+            cells.push(cell);
+        }
+    }
+    cells
+}
+
+/// Renders one run entry (the object inside the top-level `"runs"` array).
+fn render_run(label: &str, scale: &ScaleProfile, reps: usize, cells: &[Cell]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "    {{");
+    let _ = writeln!(out, "      \"label\": \"{label}\",");
+    let _ = writeln!(
+        out,
+        "      \"scale\": {{\"capacity_divisor\": {}, \"accesses\": {}, \"seed\": {}}},",
+        scale.capacity_divisor, scale.accesses, scale.seed
+    );
+    let _ = writeln!(out, "      \"reps\": {reps},");
+    let _ = writeln!(out, "      \"cells\": [");
+    for (i, c) in cells.iter().enumerate() {
+        let _ = write!(
+            out,
+            "        {{\"platform\": \"{}\", \"workload\": \"{}\", \"accesses\": {}, \
+             \"best_wall_ns\": {}, \"accesses_per_sec\": {:.1}, \"ns_per_access\": {:.1}}}",
+            c.platform, c.workload, c.accesses, c.best_wall_ns, c.accesses_per_sec, c.ns_per_access
+        );
+        out.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });
+    }
+    let _ = writeln!(out, "      ]");
+    let _ = write!(out, "    }}");
+    out
+}
+
+const METHODOLOGY: &str = "Host wall-clock of the batched serving path \
+(run_workload, DEFAULT_BATCH_SIZE) per (platform, workload) cell; fresh \
+platform per repetition, best-of-reps wall time; simulated metrics are \
+unaffected by this harness. Numbers are machine-dependent: compare labels \
+measured on the same machine only. Refresh with `cargo run -p hams-bench \
+--release --bin throughput -- --label <name>` from the repo root.";
+
+const FILE_TAIL: &str = "  ]\n}\n";
+
+/// Writes (or appends to) the trajectory file. The file is always in the
+/// exact shape this function emits, so appending is a splice before the
+/// closing `]` of the `"runs"` array. An existing file that does not match
+/// that shape is refused rather than silently replaced — the whole point of
+/// the file is the accumulated trajectory.
+fn write_trajectory(path: &str, run: &str) {
+    let rendered = match std::fs::read_to_string(path) {
+        Ok(existing) if existing.ends_with(FILE_TAIL) && existing.contains("\"runs\": [") => {
+            let body = existing.trim_end_matches(FILE_TAIL).trim_end().to_owned();
+            // The previous last run entry needs a trailing comma unless the
+            // array was empty (body then ends with the `[` itself).
+            let separator = if body.ends_with('[') { "\n" } else { ",\n" };
+            format!("{body}{separator}{run}\n{FILE_TAIL}")
+        }
+        Ok(_) => {
+            eprintln!(
+                "{path} exists but is not in this harness's format (reformatted or \
+                 hand-edited?); refusing to overwrite it — move it aside or pass a \
+                 different --out"
+            );
+            std::process::exit(1);
+        }
+        Err(_) => {
+            format!("{{\n  \"methodology\": \"{METHODOLOGY}\",\n  \"runs\": [\n{run}\n{FILE_TAIL}")
+        }
+    };
+    std::fs::write(path, rendered).unwrap_or_else(|e| {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(1);
+    });
+    println!("wrote {path}");
+}
+
+fn main() {
+    let config = parse_args();
+    let scale = scale_for(config.quick);
+    let (kinds, workloads, reps): (Vec<PlatformKind>, Vec<&'static str>, usize) = if config.quick {
+        (
+            vec![
+                PlatformKind::Mmap,
+                PlatformKind::HamsTE,
+                PlatformKind::Oracle,
+            ],
+            vec!["rndRd", "rndWr"],
+            1,
+        )
+    } else {
+        (
+            PlatformKind::all(),
+            vec!["seqRd", "rndRd", "seqWr", "rndWr"],
+            3,
+        )
+    };
+    println!(
+        "throughput: label={} quick={} accesses={} reps={reps}",
+        config.label, config.quick, scale.accesses
+    );
+    let cells = measure(&kinds, &workloads, &scale, reps);
+    let run = render_run(&config.label, &scale, reps, &cells);
+    write_trajectory(&config.out, &run);
+}

@@ -91,14 +91,23 @@ impl fmt::Display for DeviceCharacterizationRow {
 }
 
 /// Replays a fio job against a device with a closed queue of `io_depth`
-/// outstanding requests, returning (average latency, bandwidth).
-fn replay_fio(ssd: &mut SsdDevice, job: &FioJob, requests: usize, seed: u64) -> (Nanos, f64) {
-    let reqs = job.requests(seed, requests);
+/// outstanding requests, returning (average latency, bandwidth). The
+/// request buffer is caller-owned scratch ([`FioJob::requests_into`]), so a
+/// sweep replaying many jobs fills one vector instead of allocating a fresh
+/// one per job.
+fn replay_fio(
+    ssd: &mut SsdDevice,
+    job: &FioJob,
+    requests: usize,
+    seed: u64,
+    reqs: &mut Vec<hams_workloads::IoRequest>,
+) -> (Nanos, f64) {
+    job.requests_into(seed, requests, reqs);
     let mut outstanding: BinaryHeap<std::cmp::Reverse<Nanos>> = BinaryHeap::new();
     let mut now = Nanos::ZERO;
     let mut total_latency = Nanos::ZERO;
     let mut makespan = Nanos::ZERO;
-    for r in &reqs {
+    for r in reqs.iter() {
         while outstanding.len() >= job.io_depth {
             let std::cmp::Reverse(done) = outstanding.pop().expect("non-empty");
             now = now.max(done);
@@ -145,6 +154,7 @@ pub fn fig05_device_characterization(
     requests: usize,
 ) -> Vec<DeviceCharacterizationRow> {
     let mut rows = Vec::new();
+    let mut reqs = Vec::with_capacity(requests);
     for (device, config) in [
         ("ULL SSD", SsdConfig::ull_flash()),
         ("NVMe SSD", SsdConfig::nvme_750()),
@@ -155,7 +165,7 @@ pub fn fig05_device_characterization(
                 job.span_bytes = 64 * 1024 * 1024;
                 let mut ssd = SsdDevice::new(config);
                 precondition(&mut ssd, job.span_bytes, job.request_bytes);
-                let (lat, bw) = replay_fio(&mut ssd, &job, requests, 7);
+                let (lat, bw) = replay_fio(&mut ssd, &job, requests, 7, &mut reqs);
                 rows.push(DeviceCharacterizationRow {
                     device: device.to_owned(),
                     job: job.label(),
@@ -188,8 +198,9 @@ pub fn fig05a_4kb_access() -> (f64, f64, f64, f64) {
     read_job.span_bytes = 1 << 20;
     let mut write_job = write_job;
     write_job.span_bytes = 1 << 20;
-    let (r, _) = replay_fio(&mut ssd, &read_job, 256, 3);
-    let (w, _) = replay_fio(&mut ssd, &write_job, 256, 4);
+    let mut reqs = Vec::with_capacity(256);
+    let (r, _) = replay_fio(&mut ssd, &read_job, 256, 3, &mut reqs);
+    let (w, _) = replay_fio(&mut ssd, &write_job, 256, 4, &mut reqs);
     (ddr4_read, ddr4_write, r.as_micros_f64(), w.as_micros_f64())
 }
 

@@ -29,7 +29,7 @@ use hams_interconnect::{
 };
 use hams_nvdimm::{Nvdimm, PinnedRegion};
 use hams_nvme::NvmeCommand;
-use hams_sim::{LatencyBreakdown, Nanos};
+use hams_sim::{ComponentId, LatencyVector, Nanos};
 use serde::{Deserialize, Serialize};
 
 use crate::config::{AttachMode, HamsConfig, PersistMode};
@@ -46,7 +46,7 @@ pub struct MosAccessResult {
     /// Whether the access hit in the NVDIMM cache.
     pub hit: bool,
     /// Latency components of this access: `nvdimm`, `dma`, `ssd`, `hams`.
-    pub breakdown: LatencyBreakdown,
+    pub breakdown: LatencyVector,
 }
 
 impl MosAccessResult {
@@ -63,7 +63,7 @@ pub struct HamsStats {
     /// Device and interface time spent on background (non-blocking) eviction
     /// work in extend mode. Kept separate from `delay`, which only counts
     /// time on the access critical path.
-    pub background_delay: LatencyBreakdown,
+    pub background_delay: LatencyVector,
     /// Total MoS accesses served.
     pub accesses: u64,
     /// NVDIMM cache hits.
@@ -82,7 +82,7 @@ pub struct HamsStats {
     pub eviction_bytes: u64,
     /// Accumulated memory-delay components across all accesses
     /// (`nvdimm`, `dma`, `ssd`, `hams`) — the series of Fig. 18.
-    pub delay: LatencyBreakdown,
+    pub delay: LatencyVector,
 }
 
 impl HamsStats {
@@ -288,7 +288,7 @@ impl HamsController {
     ///
     /// Panics if `addr` lies beyond the MoS capacity.
     pub fn access(&mut self, addr: u64, is_write: bool, size: u64, now: Nanos) -> MosAccessResult {
-        let mut breakdown = LatencyBreakdown::new();
+        let mut breakdown = LatencyVector::new();
         let (finished_at, hit) = self.access_into(addr, is_write, size, now, &mut breakdown);
         self.stats.delay.merge(&breakdown);
         MosAccessResult {
@@ -315,7 +315,7 @@ impl HamsController {
         is_write: bool,
         size: u64,
         now: Nanos,
-        breakdown: &mut LatencyBreakdown,
+        breakdown: &mut LatencyVector,
     ) -> (Nanos, bool) {
         assert!(
             addr < self.mos_capacity_bytes(),
@@ -323,21 +323,21 @@ impl HamsController {
         );
         let page = self.page_of(addr);
         let mut t = now + self.config.controller_overhead;
-        breakdown.add("hams", self.config.controller_overhead);
+        breakdown.add(ComponentId::HAMS, self.config.controller_overhead);
 
         // Retire anything whose device service has completed.
         self.engine.retire_due(t);
 
         // Tag lookup: a tCL plus a few tBURSTs out of the NVDIMM (<20 ns).
         let tag_read = Nanos::from_nanos(15);
-        breakdown.add("nvdimm", tag_read);
+        breakdown.add(ComponentId::NVDIMM, tag_read);
         t += tag_read;
 
         // Wait-queue: if the target set has an in-flight fill or eviction,
         // the request parks until the busy bit clears (§V-B, Fig. 14).
         if let Some(free_at) = self.tags.busy_until(page, t) {
             self.stats.wait_stalls += 1;
-            breakdown.add("hams", free_at - t);
+            breakdown.add(ComponentId::HAMS, free_at - t);
             t = free_at;
             self.engine.retire_due(t);
         }
@@ -381,7 +381,7 @@ impl HamsController {
         } else {
             self.nvdimm.read(size)
         };
-        breakdown.add("nvdimm", ddr_t.latency() + array);
+        breakdown.add(ComponentId::NVDIMM, ddr_t.latency() + array);
         t = ddr_t.finished_at + array;
 
         if is_write {
@@ -394,7 +394,7 @@ impl HamsController {
     /// Folds a batch-accumulated delay breakdown into the controller's
     /// aggregate [`HamsStats::delay`]; the batch-serving counterpart of the
     /// per-access merge [`Self::access`] performs.
-    pub fn merge_delay(&mut self, breakdown: &LatencyBreakdown) {
+    pub fn merge_delay(&mut self, breakdown: &LatencyVector) {
         self.stats.delay.merge(breakdown);
     }
 
@@ -472,25 +472,25 @@ impl HamsController {
 
     /// Moves a MoS page between the archive and NVDIMM over the configured
     /// interface. Returns `(finished_at, dma_time)`.
-    fn transfer_page(&mut self, start: Nanos, breakdown: &mut LatencyBreakdown) -> Nanos {
+    fn transfer_page(&mut self, start: Nanos, breakdown: &mut LatencyVector) -> Nanos {
         let page_bytes = self.config.mos_page_size;
         if self.archive.topology().uses_cxl() {
             // CXL-attached backend: the page crosses the CXL link, then the
             // DDR4 channel into/out of the NVDIMM — the loose-attach shape
             // with the faster, flit-framed link in place of PCIe.
             let t = self.cxl.transfer(page_bytes, start);
-            breakdown.add("dma", t.latency());
+            breakdown.add(ComponentId::DMA, t.latency());
             let d = self.ddr.transfer(page_bytes, t.finished_at);
-            breakdown.add("dma", d.latency());
+            breakdown.add(ComponentId::DMA, d.latency());
             return d.finished_at;
         }
         match self.config.attach {
             AttachMode::Loose => {
                 let t = self.pcie.transfer(page_bytes, start);
-                breakdown.add("dma", t.latency());
+                breakdown.add(ComponentId::DMA, t.latency());
                 // The page also crosses the DDR4 channel into/out of NVDIMM.
                 let d = self.ddr.transfer(page_bytes, t.finished_at);
-                breakdown.add("dma", d.latency());
+                breakdown.add(ComponentId::DMA, d.latency());
                 d.finished_at
             }
             AttachMode::Tight => {
@@ -498,7 +498,7 @@ impl HamsController {
                 // DMAs directly against the NVDIMM over DDR4.
                 let _ = self.lock.acquire(BusMaster::NvmeController);
                 let d = self.ddr.transfer(page_bytes, start);
-                breakdown.add("dma", d.latency());
+                breakdown.add(ComponentId::DMA, d.latency());
                 let _ = self.lock.release(BusMaster::NvmeController);
                 d.finished_at
             }
@@ -506,22 +506,22 @@ impl HamsController {
     }
 
     /// Latency of submitting one NVMe command over the configured interface.
-    fn submit_command(&mut self, start: Nanos, breakdown: &mut LatencyBreakdown) -> Nanos {
+    fn submit_command(&mut self, start: Nanos, breakdown: &mut LatencyVector) -> Nanos {
         if self.archive.topology().uses_cxl() {
             // Doorbell and command fetch over CXL.io: cheaper than a PCIe
             // BAR write, dearer than the DDR4 register interface.
             let overhead = self.cxl.config().command_overhead;
-            breakdown.add("dma", overhead);
+            breakdown.add(ComponentId::DMA, overhead);
             return start + overhead;
         }
         match self.config.attach {
             AttachMode::Loose => {
-                breakdown.add("dma", self.config.pcie_command_overhead);
+                breakdown.add(ComponentId::DMA, self.config.pcie_command_overhead);
                 start + self.config.pcie_command_overhead
             }
             AttachMode::Tight => {
                 let t = self.reg_iface.send_command(&mut self.ddr, start);
-                breakdown.add("dma", t.latency());
+                breakdown.add(ComponentId::DMA, t.latency());
                 t.finished_at
             }
         }
@@ -534,7 +534,7 @@ impl HamsController {
         &mut self,
         victim_page: u64,
         now: Nanos,
-        breakdown: &mut LatencyBreakdown,
+        breakdown: &mut LatencyVector,
     ) -> (Nanos, Nanos) {
         self.stats.evictions += 1;
         let page_bytes = self.config.mos_page_size;
@@ -546,14 +546,17 @@ impl HamsController {
         let read = self.ddr.transfer(page_bytes, now);
         let write = self.ddr.transfer(page_bytes, read.finished_at);
         let array = self.nvdimm.read(page_bytes) + self.nvdimm.write(page_bytes);
-        breakdown.add("nvdimm", read.latency() + write.latency() + array);
+        breakdown.add(
+            ComponentId::NVDIMM,
+            read.latency() + write.latency() + array,
+        );
         let clone_done = write.finished_at + array;
 
         // The command submission, data transfer and flash program block the
         // access only in persist mode; in extend mode they proceed in the
         // background and are accounted separately.
         let blocking = matches!(self.config.persist, PersistMode::Persist);
-        let mut eviction_breakdown = LatencyBreakdown::new();
+        let mut eviction_breakdown = LatencyVector::new();
 
         // 2. Compose and submit the eviction command.
         let persist_start = match self.config.persist {
@@ -577,7 +580,7 @@ impl HamsController {
             .archive
             .service(&cmd, transferred)
             .expect("eviction write within device capacity");
-        eviction_breakdown.add("ssd", completion.finished_at - transferred);
+        eviction_breakdown.add(ComponentId::SSD, completion.finished_at - transferred);
         let eviction_done = completion.finished_at;
         if blocking {
             breakdown.merge(&eviction_breakdown);
@@ -638,7 +641,7 @@ impl HamsController {
         page: u64,
         is_write: bool,
         now: Nanos,
-        breakdown: &mut LatencyBreakdown,
+        breakdown: &mut LatencyVector,
     ) -> Nanos {
         let page_bytes = self.config.mos_page_size;
         let start = match self.config.persist {
@@ -668,11 +671,11 @@ impl HamsController {
                 .archive
                 .service(&cmd, submitted)
                 .expect("fill read within device capacity");
-            breakdown.add("ssd", completion.finished_at - submitted);
+            breakdown.add(ComponentId::SSD, completion.finished_at - submitted);
             let transferred = self.transfer_page(completion.finished_at, breakdown);
             // Landing the page in the NVDIMM array.
             let array = self.nvdimm.write(page_bytes);
-            breakdown.add("nvdimm", array);
+            breakdown.add(ComponentId::NVDIMM, array);
             let _ = self
                 .engine
                 .issue_read_tracked(page, cmd, transferred + array);
@@ -714,10 +717,10 @@ impl HamsController {
             // covering the last stripe completion.
             let delivered = self.engine.deliver_times(&completions);
             let flash_ready = delivered.last().copied().unwrap_or(submit_t).max(submit_t);
-            breakdown.add("ssd", flash_ready - submit_t);
+            breakdown.add(ComponentId::SSD, flash_ready - submit_t);
             let transferred = self.transfer_page(flash_ready, breakdown);
             let array = self.nvdimm.write(page_bytes);
-            breakdown.add("nvdimm", array);
+            breakdown.add(ComponentId::NVDIMM, array);
             for (queue, slba, length) in segments {
                 let _ = self.engine.issue_read_on(
                     queue,
@@ -813,8 +816,9 @@ impl HamsController {
         for tracked in &pending {
             // Recovery forces the re-issued request onto the flash medium so
             // the recovered data is durable even if the device has a volatile
-            // buffer.
-            let command = tracked.command.clone().with_fua(true);
+            // buffer; the FUA override rides on the borrowed journal command
+            // instead of cloning it (PRP list and all) to flip one bit.
+            let command = &tracked.command;
             assert_eq!(
                 tracked.device,
                 self.archive.device_of_slba(command.slba),
@@ -827,7 +831,7 @@ impl HamsController {
             );
             let completion = self
                 .archive
-                .service(&command, restore_done)
+                .service_fua(command, restore_done)
                 .expect("re-issued command must fit the device");
             completed_at = completed_at.max(completion.finished_at);
             // The in-flight operation died with the power; drop the busy

@@ -380,15 +380,46 @@ impl ArchiveSet {
     ///
     /// Propagates [`SsdError`] from the owning device(s).
     pub fn service(&mut self, cmd: &NvmeCommand, now: Nanos) -> Result<IoCompletion, SsdError> {
+        self.service_impl(cmd, now, cmd.fua)
+    }
+
+    /// [`Self::service`] with the force-unit-access bit treated as set on
+    /// the borrowed command. Power-failure recovery re-issues every
+    /// journal-tagged command with FUA so the recovered data is durable even
+    /// on a device with a volatile buffer; this entry point does that
+    /// without cloning each command (and its PRP list) just to flip the
+    /// bit. Timing is exactly `service` of the same command with
+    /// `fua = true`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SsdError`] from the owning device(s).
+    pub fn service_fua(&mut self, cmd: &NvmeCommand, now: Nanos) -> Result<IoCompletion, SsdError> {
+        self.service_impl(cmd, now, true)
+    }
+
+    fn service_impl(
+        &mut self,
+        cmd: &NvmeCommand,
+        now: Nanos,
+        fua: bool,
+    ) -> Result<IoCompletion, SsdError> {
+        let serve = |device: &mut SsdDevice, cmd: &NvmeCommand, now| {
+            if fua {
+                device.service_forcing_fua(cmd, now)
+            } else {
+                device.service(cmd, now)
+            }
+        };
         if self.devices.len() == 1 {
-            return self.devices[0].service(cmd, now);
+            return serve(&mut self.devices[0], cmd, now);
         }
         if cmd.opcode == NvmeOpcode::Flush {
             return self.broadcast_flush(cmd, now);
         }
         if cmd.length == 0 {
             let device = usize::from(self.device_of_slba(cmd.slba));
-            return self.devices[device].service(cmd, now);
+            return serve(&mut self.devices[device], cmd, now);
         }
 
         let stripe_bytes = self.stripe_lbas * LBA_SIZE;
@@ -403,7 +434,7 @@ impl ArchiveSet {
             let mut segment = cmd.clone();
             segment.slba = offset / LBA_SIZE;
             segment.length = segment_end - offset;
-            let completion = self.devices[device].service(&segment, now)?;
+            let completion = serve(&mut self.devices[device], &segment, now)?;
             merged = Some(merge_completion(merged, completion));
             offset = segment_end;
         }

@@ -8,7 +8,7 @@
 //! NVMe SSD, a SATA SSD) plus the DRAM-less ULL-Flash used by advanced HAMS.
 
 use hams_nvme::{NvmeCommand, NvmeOpcode};
-use hams_sim::{LatencyBreakdown, Nanos};
+use hams_sim::{ComponentId, LatencyBreakdown, Nanos};
 use serde::{Deserialize, Serialize};
 
 use crate::dram::{DramOutcome, InternalDram};
@@ -282,9 +282,37 @@ impl SsdDevice {
     /// Returns [`SsdError::OutOfRange`] or [`SsdError::OutOfSpace`] when the
     /// command cannot be served.
     pub fn service(&mut self, cmd: &NvmeCommand, now: Nanos) -> Result<IoCompletion, SsdError> {
+        self.service_with_fua(cmd, now, cmd.fua)
+    }
+
+    /// [`Self::service`] with the force-unit-access bit treated as set,
+    /// whatever the borrowed command carries. Power-failure recovery uses
+    /// this to push re-issued journal commands straight to the medium
+    /// without cloning each command (PRP list and all) just to flip one
+    /// bit; timing is exactly `service` of the same command with
+    /// `fua = true`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SsdError::OutOfRange`] or [`SsdError::OutOfSpace`] when the
+    /// command cannot be served.
+    pub fn service_forcing_fua(
+        &mut self,
+        cmd: &NvmeCommand,
+        now: Nanos,
+    ) -> Result<IoCompletion, SsdError> {
+        self.service_with_fua(cmd, now, true)
+    }
+
+    fn service_with_fua(
+        &mut self,
+        cmd: &NvmeCommand,
+        now: Nanos,
+        fua: bool,
+    ) -> Result<IoCompletion, SsdError> {
         match cmd.opcode {
             NvmeOpcode::Read => self.service_read(cmd, now),
-            NvmeOpcode::Write => self.service_write(cmd, now),
+            NvmeOpcode::Write => self.service_write(cmd, now, fua),
             NvmeOpcode::Flush => Ok(self.service_flush(now)),
         }
     }
@@ -304,7 +332,7 @@ impl SsdDevice {
     fn service_read(&mut self, cmd: &NvmeCommand, now: Nanos) -> Result<IoCompletion, SsdError> {
         let timing = self.config.timing;
         let mut breakdown = LatencyBreakdown::new();
-        breakdown.add("hil", timing.hil_overhead);
+        breakdown.add(ComponentId::HIL, timing.hil_overhead);
         let start = now + timing.hil_overhead;
         let (first, last) = self.pages_of(cmd);
         let mut finish = start;
@@ -315,7 +343,7 @@ impl SsdDevice {
         for lpn in first..=last {
             subs += 1;
             firmware_clock += timing.ftl_overhead;
-            breakdown.add("ftl", timing.ftl_overhead);
+            breakdown.add(ComponentId::FTL, timing.ftl_overhead);
             let outcome = if self.has_internal_dram() {
                 self.dram.read(lpn)
             } else {
@@ -323,7 +351,7 @@ impl SsdDevice {
             };
             match outcome {
                 DramOutcome::Hit => {
-                    breakdown.add("dram", self.dram.access_latency());
+                    breakdown.add(ComponentId::DRAM, self.dram.access_latency());
                     finish = finish.max(firmware_clock + self.dram.access_latency());
                 }
                 _ => {
@@ -358,22 +386,27 @@ impl SsdDevice {
         })
     }
 
-    fn service_write(&mut self, cmd: &NvmeCommand, now: Nanos) -> Result<IoCompletion, SsdError> {
+    fn service_write(
+        &mut self,
+        cmd: &NvmeCommand,
+        now: Nanos,
+        fua: bool,
+    ) -> Result<IoCompletion, SsdError> {
         let timing = self.config.timing;
         let mut breakdown = LatencyBreakdown::new();
-        breakdown.add("hil", timing.hil_overhead);
+        breakdown.add(ComponentId::HIL, timing.hil_overhead);
         let start = now + timing.hil_overhead;
         let (first, last) = self.pages_of(cmd);
         let mut finish = start;
         let mut firmware_clock = start;
         let mut all_dram = true;
         let mut subs = 0;
-        let buffered = self.has_internal_dram() && !cmd.fua;
+        let buffered = self.has_internal_dram() && !fua;
 
         for lpn in first..=last {
             subs += 1;
             firmware_clock += timing.ftl_overhead;
-            breakdown.add("ftl", timing.ftl_overhead);
+            breakdown.add(ComponentId::FTL, timing.ftl_overhead);
             if buffered {
                 match self.dram.write(lpn) {
                     DramOutcome::MissEvictDirty { evicted_lpn } => {
@@ -383,7 +416,7 @@ impl SsdDevice {
                     }
                     DramOutcome::Hit | DramOutcome::Miss => {}
                 }
-                breakdown.add("dram", self.dram.access_latency());
+                breakdown.add(ComponentId::DRAM, self.dram.access_latency());
                 finish = finish.max(firmware_clock + self.dram.access_latency());
             } else {
                 all_dram = false;
@@ -421,7 +454,7 @@ impl SsdDevice {
 
     fn service_flush(&mut self, now: Nanos) -> IoCompletion {
         let mut breakdown = LatencyBreakdown::new();
-        breakdown.add("hil", self.config.timing.hil_overhead);
+        breakdown.add(ComponentId::HIL, self.config.timing.hil_overhead);
         let start = now + self.config.timing.hil_overhead;
         let dirty = self.dram.flush_dirty();
         let mut finish = start;

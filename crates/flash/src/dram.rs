@@ -8,7 +8,7 @@
 //! exposes the buffer as an optional component with explicit hit/miss/dirty
 //! accounting and an LRU policy.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use hams_sim::Nanos;
 use serde::{Deserialize, Serialize};
@@ -74,6 +74,10 @@ pub struct InternalDram {
     access_latency: Nanos,
     /// lpn -> (last-use tick, dirty)
     resident: HashMap<u64, (u64, bool)>,
+    /// last-use tick -> lpn (ticks are unique), so the LRU victim is the
+    /// first entry — O(log n) instead of a full scan of `resident` per
+    /// eviction, which dominated the device-service hot path.
+    order: BTreeMap<u64, u64>,
     tick: u64,
     stats: DramStats,
 }
@@ -87,6 +91,7 @@ impl InternalDram {
             capacity_pages,
             access_latency,
             resident: HashMap::new(),
+            order: BTreeMap::new(),
             tick: 0,
             stats: DramStats::default(),
         }
@@ -127,7 +132,9 @@ impl InternalDram {
         self.tick += 1;
         self.stats.accesses += 1;
         if let Some(entry) = self.resident.get_mut(&lpn) {
-            entry.0 = self.tick;
+            self.order
+                .remove(&std::mem::replace(&mut entry.0, self.tick));
+            self.order.insert(self.tick, lpn);
             self.stats.hits += 1;
             DramOutcome::Hit
         } else {
@@ -142,7 +149,9 @@ impl InternalDram {
         self.tick += 1;
         self.stats.accesses += 1;
         if let Some(entry) = self.resident.get_mut(&lpn) {
-            entry.0 = self.tick;
+            self.order
+                .remove(&std::mem::replace(&mut entry.0, self.tick));
+            self.order.insert(self.tick, lpn);
             entry.1 = true;
             self.stats.hits += 1;
             return DramOutcome::Hit;
@@ -169,18 +178,23 @@ impl InternalDram {
         }
         let mut evicted_dirty = None;
         if self.resident.len() >= self.capacity_pages {
-            // Evict the least recently used page.
-            if let Some((&victim, &(_, was_dirty))) =
-                self.resident.iter().min_by_key(|(_, (t, _))| *t)
-            {
-                self.resident.remove(&victim);
-                if was_dirty {
-                    self.stats.dirty_evictions += 1;
-                    evicted_dirty = Some(victim);
+            // Evict the least recently used page: the minimum-tick entry,
+            // exactly the victim the old full scan of `resident` chose.
+            if let Some((&lru_tick, &victim)) = self.order.iter().next() {
+                self.order.remove(&lru_tick);
+                if let Some((_, was_dirty)) = self.resident.remove(&victim) {
+                    if was_dirty {
+                        self.stats.dirty_evictions += 1;
+                        evicted_dirty = Some(victim);
+                    }
                 }
             }
         }
-        self.resident.insert(lpn, (self.tick, dirty));
+        if let Some(previous) = self.resident.insert(lpn, (self.tick, dirty)) {
+            // Re-install of a resident page: drop its stale recency entry.
+            self.order.remove(&previous.0);
+        }
+        self.order.insert(self.tick, lpn);
         evicted_dirty
     }
 
@@ -207,6 +221,7 @@ impl InternalDram {
     pub fn discard_all(&mut self) -> usize {
         let n = self.resident.len();
         self.resident.clear();
+        self.order.clear();
         n
     }
 }

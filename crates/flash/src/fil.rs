@@ -6,7 +6,7 @@
 //! split into two half-page transfers issued to two channels simultaneously,
 //! halving DMA (channel transfer) latency (§II-C).
 
-use hams_sim::{LatencyBreakdown, MultiResource, Nanos};
+use hams_sim::{ComponentId, LatencyBreakdown, MultiResource, Nanos};
 use serde::{Deserialize, Serialize};
 
 use crate::geometry::FlashGeometry;
@@ -36,9 +36,9 @@ impl FilCompletion {
     #[must_use]
     pub fn breakdown(&self) -> LatencyBreakdown {
         let mut b = LatencyBreakdown::new();
-        b.add("flash_array", self.array_time);
-        b.add("flash_channel", self.transfer_time);
-        b.add("flash_queue", self.queue_time);
+        b.add(ComponentId::FLASH_ARRAY, self.array_time);
+        b.add(ComponentId::FLASH_CHANNEL, self.transfer_time);
+        b.add(ComponentId::FLASH_QUEUE, self.queue_time);
         b
     }
 }

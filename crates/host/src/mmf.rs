@@ -7,7 +7,7 @@
 //! (§II-B). The paper measures the whole software path at 15–20 µs — about
 //! 6× the 3 µs Z-NAND read it fronts (§III-B).
 
-use hams_sim::{LatencyBreakdown, Nanos};
+use hams_sim::{ComponentId, LatencyBreakdown, Nanos};
 use serde::{Deserialize, Serialize};
 
 /// Per-component costs of the MMF path.
@@ -76,9 +76,12 @@ impl MmfCostModel {
     #[must_use]
     pub fn fault_overhead(&self, bytes: u64) -> LatencyBreakdown {
         let mut b = LatencyBreakdown::new();
-        b.add("mmap", self.page_fault_handling + self.context_switch * 2);
         b.add(
-            "io_stack",
+            ComponentId::MMAP,
+            self.page_fault_handling + self.context_switch * 2,
+        );
+        b.add(
+            ComponentId::IO_STACK,
             self.filesystem + self.blk_mq + self.nvme_driver + self.copy_time(bytes),
         );
         b
@@ -90,9 +93,9 @@ impl MmfCostModel {
     #[must_use]
     pub fn writeback_overhead(&self, bytes: u64) -> LatencyBreakdown {
         let mut b = LatencyBreakdown::new();
-        b.add("mmap", self.page_fault_handling / 2);
+        b.add(ComponentId::MMAP, self.page_fault_handling / 2);
         b.add(
-            "io_stack",
+            ComponentId::IO_STACK,
             self.filesystem + self.blk_mq + self.nvme_driver + self.copy_time(bytes),
         );
         b

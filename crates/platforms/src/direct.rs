@@ -170,11 +170,11 @@ impl Platform for FlatFlashPlatform {
 
     /// Direct-attach batch path for `flatflash-P`: the host-cache branch is
     /// resolved once per batch and every access goes straight to the MMIO
-    /// loop with a pre-sized outcome buffer. `flatflash-M` keeps the
+    /// loop with the caller's reused outcome buffer. `flatflash-M` keeps the
     /// per-access fallback — its host DRAM cache makes every access
     /// branch-dependent anyway.
-    fn serve_batch(&mut self, batch: &[BatchRequest], start: Nanos) -> BatchOutcome {
-        let mut result = BatchOutcome::with_capacity(batch.len());
+    fn serve_batch_into(&mut self, batch: &[BatchRequest], start: Nanos, out: &mut BatchOutcome) {
+        out.outcomes.clear();
         let mut t = start;
         if self.host_cache.is_none() {
             for request in batch {
@@ -185,7 +185,7 @@ impl Platform for FlatFlashPlatform {
                     request.access.is_write,
                     issued_at,
                 );
-                result.outcomes.push(AccessOutcome {
+                out.outcomes.push(AccessOutcome {
                     finished_at: served,
                     os_time: Nanos::ZERO,
                     ssd_time: served - issued_at,
@@ -197,10 +197,9 @@ impl Platform for FlatFlashPlatform {
             for request in batch {
                 let outcome = self.access(&request.access, t + request.compute);
                 t = outcome.finished_at;
-                result.outcomes.push(outcome);
+                out.outcomes.push(outcome);
             }
         }
-        result
     }
 
     /// `flatflash-P` drives the SSD directly and can spread multi-page
@@ -350,17 +349,17 @@ impl Platform for OptanePlatform {
 
     /// Direct-attach batch path for `optane-P`: the DRAM-cache branch is
     /// resolved once per batch and every access streams through the media
-    /// model into a pre-sized outcome buffer. `optane-M` keeps the
+    /// model into the caller's reused outcome buffer. `optane-M` keeps the
     /// per-access fallback.
-    fn serve_batch(&mut self, batch: &[BatchRequest], start: Nanos) -> BatchOutcome {
-        let mut result = BatchOutcome::with_capacity(batch.len());
+    fn serve_batch_into(&mut self, batch: &[BatchRequest], start: Nanos, out: &mut BatchOutcome) {
+        out.outcomes.clear();
         let mut t = start;
         if self.dram_cache.is_none() {
             for request in batch {
                 let issued_at = t + request.compute;
                 let finished =
                     self.media_access(request.access.size, request.access.is_write, issued_at);
-                result.outcomes.push(AccessOutcome {
+                out.outcomes.push(AccessOutcome {
                     finished_at: finished,
                     os_time: Nanos::ZERO,
                     ssd_time: Nanos::ZERO,
@@ -372,10 +371,9 @@ impl Platform for OptanePlatform {
             for request in batch {
                 let outcome = self.access(&request.access, t + request.compute);
                 t = outcome.finished_at;
-                result.outcomes.push(outcome);
+                out.outcomes.push(outcome);
             }
         }
-        result
     }
 
     /// `optane-P` exposes the PMM's internal queueing, so multi-block
@@ -561,11 +559,12 @@ impl Platform for OraclePlatform {
         }
     }
 
-    /// Batch path: the energy byte counter is accumulated once per batch;
-    /// each access still takes its own DDR4 grant so contention timing is
-    /// identical to the per-access path.
-    fn serve_batch(&mut self, batch: &[BatchRequest], start: Nanos) -> BatchOutcome {
-        let mut result = BatchOutcome::with_capacity(batch.len());
+    /// Batch path: the energy byte counter is accumulated once per batch and
+    /// the caller's outcome buffer is reused; each access still takes its
+    /// own DDR4 grant so contention timing is identical to the per-access
+    /// path.
+    fn serve_batch_into(&mut self, batch: &[BatchRequest], start: Nanos, out: &mut BatchOutcome) {
+        out.outcomes.clear();
         let mut t = start;
         let mut bytes = 0u64;
         for request in batch {
@@ -576,7 +575,7 @@ impl Platform for OraclePlatform {
                 .transfer(request.access.size, issued_at)
                 .finished_at
                 + Nanos::from_nanos(30);
-            result.outcomes.push(AccessOutcome {
+            out.outcomes.push(AccessOutcome {
                 finished_at: served,
                 os_time: Nanos::ZERO,
                 ssd_time: Nanos::ZERO,
@@ -585,7 +584,6 @@ impl Platform for OraclePlatform {
             t = served;
         }
         self.bytes_accessed += bytes;
-        result
     }
 
     fn device_energy(&self, elapsed: Nanos) -> EnergyAccount {

@@ -7,7 +7,7 @@ use hams_core::{
 use hams_energy::{EnergyAccount, PowerParams};
 use hams_nvdimm::{NvdimmConfig, PinnedRegionLayout};
 use hams_nvme::QueueConfig;
-use hams_sim::{LatencyBreakdown, Nanos};
+use hams_sim::{LatencyVector, Nanos};
 use hams_workloads::Access;
 
 use crate::platform::{AccessOutcome, BatchOutcome, BatchRequest, Platform};
@@ -254,16 +254,19 @@ impl Platform for HamsPlatform {
         }
     }
 
-    /// Hardware-automated batch path: the MoS capacity lookup, the outcome
-    /// buffer and the delay-breakdown scratch map are established once per
-    /// batch, and the per-access breakdown maps of [`HamsController::access`]
-    /// (plus their per-access merge into the aggregate stats) collapse into a
-    /// single batch-end merge. Simulated timing is identical to the
+    /// Hardware-automated batch path: the MoS capacity lookup and the
+    /// delay-accumulator scratch are established once per batch, the caller
+    /// reuses one outcome buffer across every batch, and the per-access
+    /// breakdowns of [`HamsController::access`] (plus their per-access merge
+    /// into the aggregate stats) collapse into a single batch-end merge.
+    /// Nothing on the per-access path touches the heap: the scratch
+    /// [`LatencyVector`] is a fixed slot array the controller adds into by
+    /// pre-interned component id. Simulated timing is identical to the
     /// per-access path by the [`Platform::serve_batch`] contract.
-    fn serve_batch(&mut self, batch: &[BatchRequest], start: Nanos) -> BatchOutcome {
+    fn serve_batch_into(&mut self, batch: &[BatchRequest], start: Nanos, out: &mut BatchOutcome) {
+        out.outcomes.clear();
         let capacity = self.controller.mos_capacity_bytes().max(1);
-        let mut scratch = LatencyBreakdown::new();
-        let mut result = BatchOutcome::with_capacity(batch.len());
+        let mut scratch = LatencyVector::new();
         let mut t = start;
         for request in batch {
             let issued_at = t + request.compute;
@@ -275,7 +278,7 @@ impl Platform for HamsPlatform {
                 issued_at,
                 &mut scratch,
             );
-            result.outcomes.push(AccessOutcome {
+            out.outcomes.push(AccessOutcome {
                 finished_at,
                 os_time: Nanos::ZERO,
                 ssd_time: Nanos::ZERO,
@@ -284,7 +287,6 @@ impl Platform for HamsPlatform {
             t = finished_at;
         }
         self.controller.merge_delay(&scratch);
-        result
     }
 
     /// HAMS owns its NVMe engine, so every variant honours the queue shape.
@@ -313,7 +315,7 @@ impl Platform for HamsPlatform {
         true
     }
 
-    fn memory_delay(&self) -> LatencyBreakdown {
+    fn memory_delay(&self) -> LatencyVector {
         self.controller.stats().delay.clone()
     }
 

@@ -8,7 +8,7 @@
 use hams_core::{BackendTopology, ShardConfig};
 use hams_energy::EnergyAccount;
 use hams_nvme::QueueConfig;
-use hams_sim::{LatencyBreakdown, Nanos};
+use hams_sim::{LatencyVector, Nanos};
 use hams_workloads::Access;
 use serde::{Deserialize, Serialize};
 
@@ -110,15 +110,34 @@ pub trait Platform {
     /// instead of re-establishing it per access. Software-mediated platforms
     /// (`mmap`) keep this per-access fallback, mirroring how their real
     /// counterparts cannot batch page faults either.
+    ///
+    /// This convenience form allocates a fresh [`BatchOutcome`] per call;
+    /// the serving loop itself goes through [`Platform::serve_batch_into`],
+    /// which reuses a caller-owned buffer across batches. Platforms
+    /// override `serve_batch_into`, and both forms stay in sync.
     fn serve_batch(&mut self, batch: &[BatchRequest], start: Nanos) -> BatchOutcome {
         let mut result = BatchOutcome::with_capacity(batch.len());
+        self.serve_batch_into(batch, start, &mut result);
+        result
+    }
+
+    /// [`Platform::serve_batch`] writing into a caller-owned outcome buffer —
+    /// the allocation-free form the runner's serving loop uses, so one
+    /// buffer is reused across every batch of a workload replay.
+    ///
+    /// The scratch-reuse contract for implementors: clear `out.outcomes`
+    /// first, then push exactly one [`AccessOutcome`] per request in request
+    /// order (never inherit entries from the previous batch), and produce
+    /// byte-identical outcomes to the [`Platform::access`] loop. Do not
+    /// shrink the buffer — its retained capacity is the point.
+    fn serve_batch_into(&mut self, batch: &[BatchRequest], start: Nanos, out: &mut BatchOutcome) {
+        out.outcomes.clear();
         let mut t = start;
         for request in batch {
             let outcome = self.access(&request.access, t + request.compute);
             t = outcome.finished_at;
-            result.outcomes.push(outcome);
+            out.outcomes.push(outcome);
         }
-        result
     }
 
     /// Opts the platform into a multi-queue NVMe submission model: queue
@@ -170,8 +189,8 @@ pub trait Platform {
 
     /// The platform's share of the memory-delay breakdown of Fig. 18
     /// (`nvdimm` / `dma` / `ssd`), if it distinguishes these components.
-    fn memory_delay(&self) -> LatencyBreakdown {
-        LatencyBreakdown::new()
+    fn memory_delay(&self) -> LatencyVector {
+        LatencyVector::new()
     }
 
     /// Device-side energy consumed so far (everything except the CPU, which

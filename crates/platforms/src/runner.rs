@@ -3,11 +3,11 @@
 
 use hams_energy::{EnergyAccount, PowerParams};
 use hams_host::{CpuConfig, CpuModel};
-use hams_sim::{parallel_map, LatencyBreakdown, Nanos};
+use hams_sim::{parallel_map, ComponentId, LatencyBreakdown, Nanos};
 use hams_workloads::{TraceGenerator, WorkloadClass, WorkloadSpec};
 use serde::{Deserialize, Serialize};
 
-use crate::platform::{BatchRequest, Platform};
+use crate::platform::{BatchOutcome, BatchRequest, Platform};
 use crate::registry::{standard_registry, PlatformRegistry};
 
 /// Number of MoS accesses that constitute one SQLite "operation" when
@@ -241,14 +241,14 @@ impl MetricsFold {
     /// issued at `self.now + compute`.
     fn fold(&mut self, compute: Nanos, outcome: &crate::platform::AccessOutcome) {
         self.accesses += 1;
-        self.exec.add("app", compute);
+        self.exec.add(ComponentId::APP, compute);
         let issued_at = self.now + compute;
         let stall = outcome.latency(issued_at);
         self.cpu.stall(stall);
-        self.exec.add("os", outcome.os_time);
-        self.exec.add("ssd", outcome.ssd_time);
+        self.exec.add(ComponentId::OS, outcome.os_time);
+        self.exec.add(ComponentId::SSD, outcome.ssd_time);
         self.exec.add(
-            "app",
+            ComponentId::APP,
             stall.saturating_sub(outcome.os_time + outcome.ssd_time),
         );
         self.now = outcome.finished_at;
@@ -319,8 +319,12 @@ pub fn run_workload_batched(
     let scaled = scale.scale_spec(spec);
     let mut fold = MetricsFold::new();
     let mut trace = TraceGenerator::new(scaled, scale.seed, scale.accesses);
-    // A batch can never outgrow the trace, so cap the buffer reservation.
+    // A batch can never outgrow the trace, so cap the buffer reservations.
+    // Both the request and the outcome buffer are reused across every batch
+    // of the replay ([`Platform::serve_batch_into`]'s scratch contract), so
+    // the serving loop allocates nothing after warm-up.
     let mut batch: Vec<BatchRequest> = Vec::with_capacity(batch_size.min(scale.accesses));
+    let mut result = BatchOutcome::with_capacity(batch_size.min(scale.accesses));
 
     loop {
         batch.clear();
@@ -334,7 +338,7 @@ pub fn run_workload_batched(
         if batch.is_empty() {
             break;
         }
-        let result = platform.serve_batch(&batch, fold.now);
+        platform.serve_batch_into(&batch, fold.now, &mut result);
         assert_eq!(
             result.outcomes.len(),
             batch.len(),

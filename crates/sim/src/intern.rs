@@ -1,0 +1,204 @@
+//! Process-wide interning of latency-component names.
+//!
+//! Every latency breakdown in the simulator names its components with a
+//! handful of static strings (`"nvdimm"`, `"dma"`, `"ssd"`, `"hams"`, the
+//! flash-internal stages, the MMF software stages, …). The seed code keyed
+//! its accumulators by `String`, which put a heap allocation and a tree
+//! lookup on every `add` of the serving hot path. [`ComponentId`] replaces
+//! the string key with a small dense index into a process-wide intern table:
+//! the well-known names are pre-interned at fixed indices (exposed as
+//! associated constants such as [`ComponentId::NVDIMM`]), so hot paths add
+//! into a fixed slot with no hashing, no allocation and no string compare,
+//! while arbitrary names keep working through [`ComponentId::intern`].
+//!
+//! The table only ever grows (an interned name is a `&'static str` for the
+//! life of the process) and is expected to stay tiny — the workspace uses
+//! about a dozen names; tests may add a few more.
+
+use std::sync::RwLock;
+
+use serde::{Deserialize, Serialize};
+
+/// Names interned ahead of time, at indices `0..PRE_INTERNED.len()`, in
+/// lexicographic order. The associated constants on [`ComponentId`] index
+/// into this list and are what the hot paths use.
+const PRE_INTERNED: [&str; 14] = [
+    "app",
+    "dma",
+    "dram",
+    "flash_array",
+    "flash_channel",
+    "flash_queue",
+    "ftl",
+    "hams",
+    "hil",
+    "io_stack",
+    "mmap",
+    "nvdimm",
+    "os",
+    "ssd",
+];
+
+/// Names interned at runtime (indices `PRE_INTERNED.len()..`). Leaked on
+/// insert so lookups can hand out `&'static str` without copying; bounded by
+/// the number of *distinct* names a process ever uses.
+static DYNAMIC: RwLock<Vec<&'static str>> = RwLock::new(Vec::new());
+
+/// An interned latency-component name: a dense index into the process-wide
+/// component table.
+///
+/// # Example
+///
+/// ```
+/// use hams_sim::ComponentId;
+///
+/// assert_eq!(ComponentId::NVDIMM.name(), "nvdimm");
+/// assert_eq!(ComponentId::intern("nvdimm"), ComponentId::NVDIMM);
+/// let custom = ComponentId::intern("my_stage");
+/// assert_eq!(custom.name(), "my_stage");
+/// assert_eq!(ComponentId::intern("my_stage"), custom);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ComponentId(u16);
+
+impl ComponentId {
+    /// `"app"` — application compute time (execution breakdown, Fig. 17).
+    pub const APP: ComponentId = ComponentId(0);
+    /// `"dma"` — PCIe / DDR4 / CXL data movement (memory delay, Fig. 18).
+    pub const DMA: ComponentId = ComponentId(1);
+    /// `"dram"` — SSD-internal DRAM buffer time.
+    pub const DRAM: ComponentId = ComponentId(2);
+    /// `"flash_array"` — Z-NAND sense/program/erase time.
+    pub const FLASH_ARRAY: ComponentId = ComponentId(3);
+    /// `"flash_channel"` — flash-channel transfer time.
+    pub const FLASH_CHANNEL: ComponentId = ComponentId(4);
+    /// `"flash_queue"` — queueing for busy flash dies/channels.
+    pub const FLASH_QUEUE: ComponentId = ComponentId(5);
+    /// `"ftl"` — flash-translation-layer firmware time.
+    pub const FTL: ComponentId = ComponentId(6);
+    /// `"hams"` — HAMS controller overhead (memory delay, Fig. 18).
+    pub const HAMS: ComponentId = ComponentId(7);
+    /// `"hil"` — SSD host-interface-layer overhead.
+    pub const HIL: ComponentId = ComponentId(8);
+    /// `"io_stack"` — filesystem + blk-mq + NVMe-driver software time.
+    pub const IO_STACK: ComponentId = ComponentId(9);
+    /// `"mmap"` — page-fault handling + context switches (Fig. 7a).
+    pub const MMAP: ComponentId = ComponentId(10);
+    /// `"nvdimm"` — NVDIMM array + channel time (memory delay, Fig. 18).
+    pub const NVDIMM: ComponentId = ComponentId(11);
+    /// `"os"` — OS / software-stack stall time (execution breakdown).
+    pub const OS: ComponentId = ComponentId(12);
+    /// `"ssd"` — storage-device stall time (both breakdowns).
+    pub const SSD: ComponentId = ComponentId(13);
+
+    /// Interns `name`, returning its id (existing or freshly assigned).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the process interns more than `u16::MAX` distinct names —
+    /// far beyond the ~dozen the workspace defines.
+    #[must_use]
+    pub fn intern(name: &str) -> ComponentId {
+        if let Some(id) = Self::lookup(name) {
+            return id;
+        }
+        let mut dynamic = DYNAMIC.write().expect("component table poisoned");
+        // Re-check under the write lock: another thread may have interned the
+        // same name between our read and write.
+        if let Some(i) = dynamic.iter().position(|&n| n == name) {
+            return ComponentId((PRE_INTERNED.len() + i) as u16);
+        }
+        let index = PRE_INTERNED.len() + dynamic.len();
+        assert!(index <= usize::from(u16::MAX), "component table overflow");
+        dynamic.push(Box::leak(name.to_owned().into_boxed_str()));
+        ComponentId(index as u16)
+    }
+
+    /// The id of `name` if it has been interned, without interning it.
+    #[must_use]
+    pub fn lookup(name: &str) -> Option<ComponentId> {
+        if let Ok(i) = PRE_INTERNED.binary_search(&name) {
+            return Some(ComponentId(i as u16));
+        }
+        let dynamic = DYNAMIC.read().expect("component table poisoned");
+        dynamic
+            .iter()
+            .position(|&n| n == name)
+            .map(|i| ComponentId((PRE_INTERNED.len() + i) as u16))
+    }
+
+    /// The interned name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        let i = usize::from(self.0);
+        if i < PRE_INTERNED.len() {
+            PRE_INTERNED[i]
+        } else {
+            DYNAMIC.read().expect("component table poisoned")[i - PRE_INTERNED.len()]
+        }
+    }
+
+    /// The dense table index backing this id.
+    #[must_use]
+    pub fn index(self) -> usize {
+        usize::from(self.0)
+    }
+
+    /// Reconstructs an id from a table index previously obtained through
+    /// [`ComponentId::index`]. Crate-internal: accumulators use it to walk
+    /// their slot arrays without re-interning.
+    pub(crate) fn from_index(index: usize) -> ComponentId {
+        ComponentId(index as u16)
+    }
+}
+
+impl From<&str> for ComponentId {
+    /// Interning conversion, so accumulator APIs can accept either a
+    /// pre-interned id (hot paths) or a name (edge layer) through one
+    /// generic parameter.
+    fn from(name: &str) -> Self {
+        ComponentId::intern(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preregistered_names_are_sorted_and_match_their_constants() {
+        let mut sorted = PRE_INTERNED;
+        sorted.sort_unstable();
+        assert_eq!(sorted, PRE_INTERNED, "binary_search needs sorted names");
+        for (i, name) in PRE_INTERNED.iter().enumerate() {
+            assert_eq!(ComponentId::intern(name).index(), i);
+            assert_eq!(ComponentId(i as u16).name(), *name);
+        }
+        assert_eq!(ComponentId::APP.name(), "app");
+        assert_eq!(ComponentId::SSD.name(), "ssd");
+        assert_eq!(ComponentId::HAMS, ComponentId::intern("hams"));
+    }
+
+    #[test]
+    fn dynamic_names_round_trip_and_deduplicate() {
+        let a = ComponentId::intern("intern_test_alpha");
+        let b = ComponentId::intern("intern_test_beta");
+        assert_ne!(a, b);
+        assert_eq!(a.name(), "intern_test_alpha");
+        assert_eq!(ComponentId::intern("intern_test_alpha"), a);
+        assert_eq!(ComponentId::lookup("intern_test_beta"), Some(b));
+        assert!(a.index() >= PRE_INTERNED.len());
+    }
+
+    #[test]
+    fn lookup_of_unknown_names_does_not_intern() {
+        assert_eq!(ComponentId::lookup("never_interned_name_xyzzy"), None);
+        assert_eq!(ComponentId::lookup("never_interned_name_xyzzy"), None);
+    }
+
+    #[test]
+    fn from_str_interns() {
+        let id: ComponentId = "dma".into();
+        assert_eq!(id, ComponentId::DMA);
+    }
+}

@@ -35,6 +35,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod event;
+pub mod intern;
 pub mod par;
 pub mod resource;
 pub mod rng;
@@ -42,7 +43,8 @@ pub mod stats;
 pub mod time;
 
 pub use event::{CompletionSource, EventQueue, ScheduledEvent};
+pub use intern::ComponentId;
 pub use par::parallel_map;
 pub use resource::{Grant, MultiResource, Resource};
-pub use stats::{Counter, Histogram, LatencyBreakdown, RunningStats};
+pub use stats::{Counter, Histogram, LatencyBreakdown, LatencyVector, RunningStats};
 pub use time::{Nanos, SimClock};

@@ -3,15 +3,18 @@
 //! * [`Counter`] — a named monotonically increasing event count,
 //! * [`RunningStats`] — online mean/min/max over a stream of samples,
 //! * [`Histogram`] — fixed-width-bucket latency histogram with percentiles,
-//! * [`LatencyBreakdown`] — named time components (e.g. `"mmap"`, `"io_stack"`,
+//! * [`LatencyVector`] — named time components (e.g. `"mmap"`, `"io_stack"`,
 //!   `"ssd"`, `"cpu"`) that sum to a total, used for the stacked-bar figures
-//!   (Fig. 7a, 17, 18, 19).
+//!   (Fig. 7a, 17, 18, 19). Components are slot-indexed by an interned
+//!   [`ComponentId`], so the serving hot path accumulates into a fixed
+//!   array with no heap traffic; [`LatencyBreakdown`] is the historical
+//!   name, kept as an alias.
 
-use std::collections::BTreeMap;
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
+use crate::intern::ComponentId;
 use crate::time::Nanos;
 
 /// A named monotonically increasing counter.
@@ -265,13 +268,19 @@ impl Histogram {
 
     /// The `p`-th percentile (0 < p ≤ 100), approximated at bucket-boundary
     /// resolution. Returns `None` when no samples have been recorded.
+    /// Overflow samples resolve to the range maximum (the last bucket's
+    /// upper edge).
+    ///
+    /// One query is a single allocation-free bucket walk; to resolve
+    /// several percentiles of the same histogram, [`Histogram::percentiles`]
+    /// shares one cumulative pass across all of them instead of rescanning
+    /// from bucket zero per query.
     #[must_use]
     pub fn percentile(&self, p: f64) -> Option<Nanos> {
         if self.count == 0 {
             return None;
         }
-        let p = p.clamp(0.0, 100.0);
-        let target = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let target = Self::rank_of(p, self.count);
         let mut seen = 0;
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
@@ -280,6 +289,55 @@ impl Histogram {
             }
         }
         Some(self.bucket_width * self.buckets.len() as u64)
+    }
+
+    /// Resolves every percentile in `ps` (each 0 < p ≤ 100) in **one**
+    /// cumulative pass over the buckets, instead of rescanning from bucket
+    /// zero per query. Results are index-aligned with `ps`; each entry is
+    /// `None` when the histogram is empty, and identical to what
+    /// [`Histogram::percentile`] returns for that `p`.
+    #[must_use]
+    pub fn percentiles(&self, ps: &[f64]) -> Vec<Option<Nanos>> {
+        if self.count == 0 {
+            return vec![None; ps.len()];
+        }
+        // Rank each percentile, then resolve the ranks in ascending order
+        // while a single cumulative count walks the buckets.
+        let mut targets: Vec<(usize, u64)> = ps
+            .iter()
+            .map(|p| Self::rank_of(*p, self.count))
+            .enumerate()
+            .collect();
+        targets.sort_by_key(|&(_, target)| target);
+
+        let range_max = self.bucket_width * self.buckets.len() as u64;
+        let mut results = vec![Some(range_max); ps.len()];
+        let mut next = targets.iter().peekable();
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            while let Some(&&(slot, target)) = next.peek() {
+                if seen < target {
+                    break;
+                }
+                results[slot] = Some(self.bucket_width * (i as u64 + 1));
+                next.next();
+            }
+            if next.peek().is_none() {
+                break;
+            }
+        }
+        // Unresolved targets sit in the overflow bucket and keep the
+        // pre-filled range maximum.
+        results
+    }
+
+    /// The 1-based sample rank percentile `p` resolves to among `count`
+    /// samples — the shared definition behind [`Histogram::percentile`] and
+    /// [`Histogram::percentiles`].
+    fn rank_of(p: f64, count: u64) -> u64 {
+        let p = p.clamp(0.0, 100.0);
+        ((p / 100.0) * count as f64).ceil().max(1.0) as u64
     }
 
     /// Clears all recorded samples.
@@ -291,52 +349,124 @@ impl Histogram {
     }
 }
 
+/// Number of fixed accumulator slots in a [`LatencyVector`]. Ids below this
+/// index add in O(1) with zero heap traffic; the workspace's pre-interned
+/// names all fit with room to spare, and rarer (test-only) names spill to a
+/// sorted side list.
+pub const INLINE_COMPONENTS: usize = 32;
+
 /// Named time components that sum to a total — the stacked bars of the
 /// paper's breakdown figures.
 ///
-/// Components are stored in a `BTreeMap` so iteration order (and therefore
-/// printed output) is deterministic.
+/// The accumulator is a fixed `[Nanos; INLINE_COMPONENTS]` array indexed by
+/// interned [`ComponentId`]s plus a presence bitmask, so `add` and `merge`
+/// on the serving hot path touch no heap at all (the seed implementation
+/// keyed a `BTreeMap` by `String`, paying an allocation per `add` and a
+/// tree walk per merge). Ids past the inline slots — only reachable by
+/// interning many distinct names — spill to a small sorted list.
+///
+/// The string-facing API is a thin edge layer: [`LatencyVector::add`]
+/// accepts either a name or a pre-interned id, and iteration yields
+/// components in **name order**, exactly as the old `BTreeMap` did, so
+/// printed output and the golden snapshots (which render through
+/// [`LatencyVector::component`]) are unchanged.
+///
+/// Serde caveat: the derives keep the workspace's swap-the-shim contract
+/// compiling, but the derived wire format is the slot representation, and
+/// ids past the pre-interned set depend on process-local intern order. A
+/// breakdown that must cross process boundaries should be emitted through
+/// [`LatencyVector::iter`] (name → time, as the golden renderer does), not
+/// through serde.
 ///
 /// # Example
 ///
 /// ```
-/// use hams_sim::{LatencyBreakdown, Nanos};
+/// use hams_sim::{ComponentId, LatencyVector, Nanos};
 ///
-/// let mut b = LatencyBreakdown::new();
+/// let mut b = LatencyVector::new();
 /// b.add("os", Nanos::from_micros(15));
-/// b.add("ssd", Nanos::from_micros(3));
+/// b.add(ComponentId::SSD, Nanos::from_micros(3));
 /// b.add("app", Nanos::from_micros(12));
 /// assert_eq!(b.total(), Nanos::from_micros(30));
 /// assert!((b.fraction("os") - 0.5).abs() < 1e-9);
+/// let names: Vec<&str> = b.names().collect();
+/// assert_eq!(names, ["app", "os", "ssd"]); // name order, like the old map
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
-pub struct LatencyBreakdown {
-    components: BTreeMap<String, Nanos>,
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyVector {
+    /// Fixed accumulator slots, indexed by `ComponentId::index()`.
+    inline: [Nanos; INLINE_COMPONENTS],
+    /// Bit `i` set ⇔ inline slot `i` has been explicitly added to (a
+    /// component added with zero time is *present*, matching map semantics).
+    present: u32,
+    /// Components with ids past the inline slots, sorted by id. Empty (and
+    /// unallocated) in every workspace code path.
+    spill: Vec<(ComponentId, Nanos)>,
 }
 
-impl LatencyBreakdown {
-    /// Creates an empty breakdown.
+/// The historical name of [`LatencyVector`], kept so existing call sites and
+/// docs keep reading naturally.
+pub type LatencyBreakdown = LatencyVector;
+
+impl LatencyVector {
+    /// Creates an empty breakdown. Allocation-free.
     #[must_use]
     pub fn new() -> Self {
-        Self::default()
+        LatencyVector {
+            inline: [Nanos::ZERO; INLINE_COMPONENTS],
+            present: 0,
+            spill: Vec::new(),
+        }
     }
 
-    /// Adds `t` to the component named `name`, creating it if necessary.
-    pub fn add(&mut self, name: impl Into<String>, t: Nanos) {
-        let entry = self.components.entry(name.into()).or_insert(Nanos::ZERO);
-        *entry += t;
+    /// Adds `t` to a component, creating it if necessary. Accepts a
+    /// pre-interned [`ComponentId`] (the hot-path form: one array index, no
+    /// allocation) or a `&str` name (the edge layer, which interns).
+    pub fn add(&mut self, component: impl Into<ComponentId>, t: Nanos) {
+        let id = component.into();
+        let i = id.index();
+        if i < INLINE_COMPONENTS {
+            self.inline[i] += t;
+            self.present |= 1 << i;
+        } else {
+            match self.spill.binary_search_by_key(&id, |e| e.0) {
+                Ok(pos) => self.spill[pos].1 += t,
+                Err(pos) => self.spill.insert(pos, (id, t)),
+            }
+        }
     }
 
-    /// The accumulated time of component `name`, or zero if absent.
+    /// The accumulated time of component `name`, or zero if absent. Never
+    /// interns: asking for an unknown name is free.
     #[must_use]
     pub fn component(&self, name: &str) -> Nanos {
-        self.components.get(name).copied().unwrap_or(Nanos::ZERO)
+        ComponentId::lookup(name).map_or(Nanos::ZERO, |id| self.value(id))
+    }
+
+    /// The accumulated time of an interned component, or zero if absent.
+    #[must_use]
+    pub fn value(&self, id: ComponentId) -> Nanos {
+        let i = id.index();
+        if i < INLINE_COMPONENTS {
+            self.inline[i]
+        } else {
+            self.spill
+                .binary_search_by_key(&id, |e| e.0)
+                .map_or(Nanos::ZERO, |pos| self.spill[pos].1)
+        }
     }
 
     /// The sum of all components.
     #[must_use]
     pub fn total(&self) -> Nanos {
-        self.components.values().copied().sum()
+        let mut total = Nanos::ZERO;
+        for slot in &self.inline {
+            total += *slot;
+        }
+        for (_, t) in &self.spill {
+            total += *t;
+        }
+        total
     }
 
     /// Component `name` as a fraction of the total, in `[0, 1]`.
@@ -350,41 +480,82 @@ impl LatencyBreakdown {
         self.component(name).as_nanos() as f64 / total.as_nanos() as f64
     }
 
+    /// The present components as `(id, time)` pairs, sorted by name — the
+    /// deterministic order the old `BTreeMap` iterated in.
+    fn sorted_entries(&self) -> Vec<(ComponentId, Nanos)> {
+        let mut entries: Vec<(ComponentId, Nanos)> =
+            Vec::with_capacity(self.present.count_ones() as usize + self.spill.len());
+        let mut mask = self.present;
+        while mask != 0 {
+            let i = mask.trailing_zeros() as usize;
+            // Present inline slots were set through `add`, whose interning
+            // guarantees the id exists in the table.
+            entries.push((ComponentId::from_index(i), self.inline[i]));
+            mask &= mask - 1;
+        }
+        entries.extend(self.spill.iter().copied());
+        entries.sort_by_key(|(id, _)| id.name());
+        entries
+    }
+
     /// Iterates over `(component, time)` pairs in name order.
-    pub fn iter(&self) -> impl Iterator<Item = (&str, Nanos)> {
-        self.components.iter().map(|(k, v)| (k.as_str(), *v))
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, Nanos)> {
+        self.sorted_entries()
+            .into_iter()
+            .map(|(id, t)| (id.name(), t))
     }
 
     /// Component names present in the breakdown, in name order.
-    pub fn names(&self) -> impl Iterator<Item = &str> {
-        self.components.keys().map(String::as_str)
+    pub fn names(&self) -> impl Iterator<Item = &'static str> {
+        self.iter().map(|(name, _)| name)
     }
 
     /// Returns `true` if no components have been added.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.components.is_empty()
+        self.present == 0 && self.spill.is_empty()
     }
 
-    /// Merges another breakdown into this one component-by-component.
-    pub fn merge(&mut self, other: &LatencyBreakdown) {
-        for (name, t) in other.iter() {
-            self.add(name, t);
+    /// Merges another breakdown into this one component-by-component:
+    /// O(`present` slots), no allocation on the inline path.
+    pub fn merge(&mut self, other: &LatencyVector) {
+        let mut mask = other.present;
+        while mask != 0 {
+            let i = mask.trailing_zeros() as usize;
+            self.inline[i] += other.inline[i];
+            mask &= mask - 1;
         }
+        self.present |= other.present;
+        for &(id, t) in &other.spill {
+            self.add(id, t);
+        }
+    }
+
+    /// Resets to the empty breakdown without touching the spill capacity —
+    /// the scratch-reuse form of [`LatencyVector::new`].
+    pub fn clear(&mut self) {
+        self.inline = [Nanos::ZERO; INLINE_COMPONENTS];
+        self.present = 0;
+        self.spill.clear();
     }
 
     /// Returns the breakdown normalised so that components sum to 1.0.
     /// Components of a zero-total breakdown normalise to 0.
     #[must_use]
     pub fn normalized(&self) -> Vec<(String, f64)> {
-        self.components
-            .keys()
-            .map(|k| (k.clone(), self.fraction(k)))
+        self.iter()
+            .map(|(name, _)| (name.to_owned(), self.fraction(name)))
             .collect()
     }
 }
 
-impl fmt::Display for LatencyBreakdown {
+impl Default for LatencyVector {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Display for LatencyVector {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let total = self.total();
         write!(f, "total={total}")?;
@@ -520,5 +691,117 @@ mod tests {
         assert!(b.is_empty());
         assert_eq!(b.total(), Nanos::ZERO);
         assert_eq!(b.fraction("anything"), 0.0);
+    }
+
+    #[test]
+    fn vector_accepts_ids_and_names_interchangeably() {
+        let mut by_name = LatencyVector::new();
+        by_name.add("nvdimm", Nanos::from_nanos(7));
+        by_name.add("dma", Nanos::from_nanos(3));
+        let mut by_id = LatencyVector::new();
+        by_id.add(ComponentId::NVDIMM, Nanos::from_nanos(7));
+        by_id.add(ComponentId::DMA, Nanos::from_nanos(3));
+        assert_eq!(by_name, by_id);
+        assert_eq!(by_id.value(ComponentId::NVDIMM), Nanos::from_nanos(7));
+        assert_eq!(by_id.component("nvdimm"), Nanos::from_nanos(7));
+    }
+
+    #[test]
+    fn vector_iterates_in_name_order_like_the_old_map() {
+        let mut b = LatencyVector::new();
+        b.add(ComponentId::SSD, Nanos::from_nanos(1));
+        b.add(ComponentId::APP, Nanos::from_nanos(2));
+        b.add(ComponentId::NVDIMM, Nanos::from_nanos(3));
+        b.add("io_stack", Nanos::from_nanos(4));
+        let names: Vec<&str> = b.names().collect();
+        assert_eq!(names, ["app", "io_stack", "nvdimm", "ssd"]);
+    }
+
+    #[test]
+    fn zero_valued_components_are_present_like_map_entries() {
+        let mut b = LatencyVector::new();
+        b.add("os", Nanos::ZERO);
+        assert!(!b.is_empty());
+        assert_eq!(b.names().collect::<Vec<_>>(), ["os"]);
+        let empty = LatencyVector::new();
+        assert_ne!(b, empty, "an explicit zero entry is not the empty map");
+    }
+
+    #[test]
+    fn vector_clear_resets_to_empty() {
+        let mut b = LatencyVector::new();
+        b.add(ComponentId::HAMS, Nanos::from_nanos(9));
+        b.clear();
+        assert!(b.is_empty());
+        assert_eq!(b, LatencyVector::new());
+    }
+
+    #[test]
+    fn spilled_components_merge_and_iterate() {
+        // Intern enough distinct names to push past the inline slots.
+        let ids: Vec<ComponentId> = (0..INLINE_COMPONENTS + 4)
+            .map(|i| ComponentId::intern(&format!("spill_test_{i:03}")))
+            .collect();
+        let over = *ids.last().unwrap();
+        assert!(over.index() >= INLINE_COMPONENTS);
+        let mut a = LatencyVector::new();
+        a.add(over, Nanos::from_nanos(5));
+        let mut b = LatencyVector::new();
+        b.add(over, Nanos::from_nanos(6));
+        b.add(ComponentId::DMA, Nanos::from_nanos(1));
+        a.merge(&b);
+        assert_eq!(a.value(over), Nanos::from_nanos(11));
+        assert_eq!(a.total(), Nanos::from_nanos(12));
+        assert!(a.names().any(|n| n == over.name()));
+    }
+
+    #[test]
+    fn histogram_percentile_edge_cases() {
+        // 10 buckets of 10ns: samples 10, 20, ..., 90 land in buckets 1..9
+        // (sample i*10 falls exactly on a boundary, landing in bucket i),
+        // one 1000ns sample overflows.
+        let mut h = Histogram::new(Nanos::from_nanos(10), 10);
+        for i in 1..=9u64 {
+            h.record(Nanos::from_nanos(i * 10));
+        }
+        h.record(Nanos::from_nanos(1_000));
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.overflow(), 1);
+        // p50 → target rank 5 → the fifth sample (50ns) in bucket 5 → upper
+        // edge 60ns.
+        assert_eq!(h.percentile(50.0), Some(Nanos::from_nanos(60)));
+        // p99 → rank 10 → the overflow sample → range maximum.
+        assert_eq!(h.percentile(99.0), Some(Nanos::from_nanos(100)));
+        // p0 clamps to the first sample's bucket.
+        assert_eq!(h.percentile(0.0), Some(Nanos::from_nanos(20)));
+        // Out-of-range p clamps to 100.
+        assert_eq!(h.percentile(250.0), h.percentile(100.0));
+    }
+
+    #[test]
+    fn percentiles_match_percentile_in_one_pass() {
+        let mut h = Histogram::new(Nanos::from_nanos(100), 64);
+        for i in 0..500u64 {
+            h.record(Nanos::from_nanos(i * 17 % 8_000));
+        }
+        let ps = [99.9, 1.0, 50.0, 90.0, 99.0, 25.0, 75.0];
+        let batch = h.percentiles(&ps);
+        for (p, got) in ps.iter().zip(&batch) {
+            assert_eq!(*got, h.percentile(*p), "p{p} diverged from the batch");
+        }
+        // Empty histograms resolve every percentile to None.
+        let empty = Histogram::new(Nanos::from_nanos(10), 4);
+        assert_eq!(empty.percentiles(&ps), vec![None; ps.len()]);
+    }
+
+    #[test]
+    fn all_overflow_percentiles_return_the_range_maximum() {
+        let mut h = Histogram::new(Nanos::from_nanos(10), 4);
+        for _ in 0..8 {
+            h.record(Nanos::from_micros(1));
+        }
+        assert_eq!(h.overflow(), 8);
+        assert_eq!(h.percentile(50.0), Some(Nanos::from_nanos(40)));
+        assert_eq!(h.percentile(99.0), Some(Nanos::from_nanos(40)));
     }
 }

@@ -1,7 +1,58 @@
 //! Property-based tests for the simulation primitives.
 
-use hams_sim::{EventQueue, Histogram, LatencyBreakdown, Nanos, Resource, RunningStats};
+use std::collections::BTreeMap;
+
+use hams_sim::{
+    ComponentId, EventQueue, Histogram, LatencyBreakdown, LatencyVector, Nanos, Resource,
+    RunningStats,
+};
 use proptest::prelude::*;
+
+/// The name pool the `LatencyVector` equivalence properties draw from: the
+/// pre-interned hot-path names plus enough synthetic ones to push ids past
+/// the vector's inline slots, so the spill path is exercised too.
+const EQUIV_NAMES: [&str; 40] = [
+    "app",
+    "dma",
+    "dram",
+    "flash_array",
+    "flash_channel",
+    "flash_queue",
+    "ftl",
+    "hams",
+    "hil",
+    "io_stack",
+    "mmap",
+    "nvdimm",
+    "os",
+    "ssd",
+    "prop_c00",
+    "prop_c01",
+    "prop_c02",
+    "prop_c03",
+    "prop_c04",
+    "prop_c05",
+    "prop_c06",
+    "prop_c07",
+    "prop_c08",
+    "prop_c09",
+    "prop_c10",
+    "prop_c11",
+    "prop_c12",
+    "prop_c13",
+    "prop_c14",
+    "prop_c15",
+    "prop_c16",
+    "prop_c17",
+    "prop_c18",
+    "prop_c19",
+    "prop_c20",
+    "prop_c21",
+    "prop_c22",
+    "prop_c23",
+    "prop_c24",
+    "prop_c25",
+];
 
 proptest! {
     /// Saturating arithmetic never panics and never goes below zero.
@@ -100,5 +151,95 @@ proptest! {
         } else {
             prop_assert!((sum - 1.0).abs() < 1e-9);
         }
+    }
+
+    /// The slot-indexed `LatencyVector` is observationally equivalent to the
+    /// seed implementation — a `BTreeMap<String, Nanos>` — on arbitrary add
+    /// streams: same components, same totals, same name-ordered iteration.
+    #[test]
+    fn latency_vector_matches_the_btreemap_model_on_add_streams(
+        stream in proptest::collection::vec((0usize..40, 0u64..1_000_000), 0..80),
+    ) {
+        let mut vector = LatencyVector::new();
+        let mut model: BTreeMap<String, Nanos> = BTreeMap::new();
+        for (idx, v) in &stream {
+            let name = EQUIV_NAMES[*idx];
+            let t = Nanos::from_nanos(*v);
+            vector.add(name, t);
+            *model.entry(name.to_owned()).or_insert(Nanos::ZERO) += t;
+        }
+        prop_assert_eq!(vector.is_empty(), model.is_empty());
+        prop_assert_eq!(vector.total(), model.values().copied().sum::<Nanos>());
+        for name in EQUIV_NAMES {
+            prop_assert_eq!(
+                vector.component(name),
+                model.get(name).copied().unwrap_or(Nanos::ZERO),
+                "component {} diverged", name
+            );
+        }
+        // Iteration order and contents match the map exactly.
+        let vector_entries: Vec<(String, Nanos)> =
+            vector.iter().map(|(n, t)| (n.to_owned(), t)).collect();
+        let model_entries: Vec<(String, Nanos)> =
+            model.iter().map(|(n, t)| (n.clone(), *t)).collect();
+        prop_assert_eq!(vector_entries, model_entries);
+    }
+
+    /// Merging two vectors built from split streams equals building one
+    /// vector (and one map model) from the concatenation — add/merge
+    /// commute exactly as they did for the `BTreeMap`.
+    #[test]
+    fn latency_vector_merge_matches_the_btreemap_model(
+        left in proptest::collection::vec((0usize..40, 0u64..1_000_000), 0..50),
+        right in proptest::collection::vec((0usize..40, 0u64..1_000_000), 0..50),
+    ) {
+        let build = |stream: &[(usize, u64)]| {
+            let mut v = LatencyVector::new();
+            for (idx, val) in stream {
+                v.add(EQUIV_NAMES[*idx], Nanos::from_nanos(*val));
+            }
+            v
+        };
+        let mut merged = build(&left);
+        merged.merge(&build(&right));
+
+        let mut model: BTreeMap<String, Nanos> = BTreeMap::new();
+        for (idx, val) in left.iter().chain(right.iter()) {
+            *model.entry(EQUIV_NAMES[*idx].to_owned()).or_insert(Nanos::ZERO) +=
+                Nanos::from_nanos(*val);
+        }
+        let merged_entries: Vec<(String, Nanos)> =
+            merged.iter().map(|(n, t)| (n.to_owned(), t)).collect();
+        let model_entries: Vec<(String, Nanos)> =
+            model.iter().map(|(n, t)| (n.clone(), *t)).collect();
+        prop_assert_eq!(merged_entries, model_entries);
+        prop_assert_eq!(merged.total(), model.values().copied().sum::<Nanos>());
+
+        // Merge order over the same component set never changes the result.
+        let mut flipped = build(&right);
+        flipped.merge(&build(&left));
+        prop_assert_eq!(merged, flipped);
+    }
+
+    /// Ids and names are interchangeable: adding through pre-interned
+    /// constants equals adding through the string edge layer.
+    #[test]
+    fn latency_vector_ids_and_names_agree(
+        stream in proptest::collection::vec((0usize..14, 1u64..1_000_000), 0..40),
+    ) {
+        let ids = [
+            ComponentId::APP, ComponentId::DMA, ComponentId::DRAM,
+            ComponentId::FLASH_ARRAY, ComponentId::FLASH_CHANNEL,
+            ComponentId::FLASH_QUEUE, ComponentId::FTL, ComponentId::HAMS,
+            ComponentId::HIL, ComponentId::IO_STACK, ComponentId::MMAP,
+            ComponentId::NVDIMM, ComponentId::OS, ComponentId::SSD,
+        ];
+        let mut by_id = LatencyVector::new();
+        let mut by_name = LatencyVector::new();
+        for (idx, v) in &stream {
+            by_id.add(ids[*idx], Nanos::from_nanos(*v));
+            by_name.add(EQUIV_NAMES[*idx], Nanos::from_nanos(*v));
+        }
+        prop_assert_eq!(by_id, by_name);
     }
 }

@@ -69,21 +69,32 @@ impl FioJob {
     /// Generates `count` requests of this job, deterministically from `seed`.
     #[must_use]
     pub fn requests(&self, seed: u64, count: usize) -> Vec<IoRequest> {
+        let mut out = Vec::with_capacity(count);
+        self.requests_into(seed, count, &mut out);
+        out
+    }
+
+    /// [`Self::requests`] writing into a caller-owned buffer — the
+    /// allocation-free form for harnesses that replay many jobs back to
+    /// back and reuse one request vector across them. The buffer is cleared
+    /// first and holds exactly the same `count` requests `requests` returns
+    /// for the same `seed`.
+    pub fn requests_into(&self, seed: u64, count: usize, out: &mut Vec<IoRequest>) {
+        out.clear();
+        out.reserve(count);
         let mut rng = derived_rng(seed, &self.label());
         let slots = (self.span_bytes / self.request_bytes).max(1);
-        (0..count)
-            .map(|i| {
-                let slot = match self.pattern {
-                    FioPattern::Sequential => i as u64 % slots,
-                    FioPattern::Random => rng.gen_range(0..slots),
-                };
-                IoRequest {
-                    offset: slot * self.request_bytes,
-                    bytes: self.request_bytes,
-                    is_write: self.is_write,
-                }
-            })
-            .collect()
+        for i in 0..count {
+            let slot = match self.pattern {
+                FioPattern::Sequential => i as u64 % slots,
+                FioPattern::Random => rng.gen_range(0..slots),
+            };
+            out.push(IoRequest {
+                offset: slot * self.request_bytes,
+                bytes: self.request_bytes,
+                is_write: self.is_write,
+            });
+        }
     }
 
     /// The four job corners of Fig. 5 at a given I/O depth.
@@ -138,5 +149,24 @@ mod tests {
         let job = FioJob::four_kib(FioPattern::Random, false, 4);
         assert_eq!(job.requests(5, 100), job.requests(5, 100));
         assert_ne!(job.requests(5, 100), job.requests(6, 100));
+    }
+
+    #[test]
+    fn requests_into_matches_requests_and_clears_the_buffer() {
+        let job = FioJob::four_kib(FioPattern::Random, true, 8);
+        let mut buffer = vec![
+            IoRequest {
+                offset: 99,
+                bytes: 1,
+                is_write: false,
+            };
+            3
+        ];
+        job.requests_into(11, 50, &mut buffer);
+        assert_eq!(buffer, job.requests(11, 50));
+        // Reuse with a different job: stale entries never leak through.
+        let seq = FioJob::four_kib(FioPattern::Sequential, false, 1);
+        seq.requests_into(11, 5, &mut buffer);
+        assert_eq!(buffer, seq.requests(11, 5));
     }
 }
