@@ -14,19 +14,33 @@
 //! ```text
 //! cargo run -p hams-bench --release --bin throughput -- --label after
 //! cargo run -p hams-bench --release --bin throughput -- --quick --label ci-smoke
+//! cargo run -p hams-bench --release --bin throughput -- --scaling --label scaling
 //! cargo run -p hams-bench --release --bin throughput -- --out /tmp/scratch.json
+//! cargo run -p hams-bench --release --bin throughput -- \
+//!     --quick --label ci-smoke --out /tmp/smoke.json --gate BENCH_hotpath.json
 //! ```
 //!
 //! `--quick` runs a reduced grid (`mmap`, `hams-TE`, `oracle` ×
 //! `rndRd`, `rndWr`, fewer accesses, one repetition) for CI smoke runs.
-//! The harness takes the best of `reps` repetitions per cell, which filters
-//! scheduler noise; absolute numbers are machine-dependent and only
-//! comparable within one machine (the JSON records the methodology).
+//! `--scaling` runs the serving-path scaling sweep instead of the platform
+//! grid: `hams-TE` × `rndRd` through the serial path, the batched path, and
+//! the intra-cell parallel path at 1/2/4/8 cell threads, asserting along the
+//! way that every path produces byte-identical simulated metrics. `--gate`
+//! makes the run enforcing: each fresh cell is compared against the most
+//! recent same-label run in the given trajectory file, and the process exits
+//! non-zero if any cell regressed by more than [`GATE_RATIO`]. The harness
+//! takes the best of `reps` repetitions per cell, which filters scheduler
+//! noise; absolute numbers are machine-dependent and only comparable within
+//! one machine (the JSON records the methodology) — the gate's generous
+//! ratio absorbs machine-to-machine variance while still catching a
+//! hot-path collapse.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use hams_platforms::{run_workload, PlatformKind, ScaleProfile};
+use hams_platforms::{
+    run_workload, run_workload_cell_parallel, run_workload_serial, PlatformKind, ScaleProfile,
+};
 use hams_workloads::WorkloadSpec;
 
 /// One measured (platform, workload) cell.
@@ -39,10 +53,16 @@ struct Cell {
     ns_per_access: f64,
 }
 
+/// Per-cell regression ratio above which a `--gate` run fails: fresh
+/// ns/access must stay below `GATE_RATIO ×` the committed same-label cell.
+const GATE_RATIO: f64 = 2.5;
+
 struct Config {
     label: String,
     out: String,
     quick: bool,
+    scaling: bool,
+    gate: Option<String>,
 }
 
 fn parse_args() -> Config {
@@ -50,11 +70,20 @@ fn parse_args() -> Config {
         label: "run".to_owned(),
         out: "BENCH_hotpath.json".to_owned(),
         quick: false,
+        scaling: false,
+        gate: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => config.quick = true,
+            "--scaling" => config.scaling = true,
+            "--gate" => {
+                config.gate = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--gate needs a baseline trajectory path");
+                    std::process::exit(2);
+                }));
+            }
             "--label" => {
                 let label = args.next().unwrap_or_else(|| {
                     eprintln!("--label needs a value");
@@ -81,7 +110,10 @@ fn parse_args() -> Config {
                 });
             }
             other => {
-                eprintln!("unknown argument {other:?}; flags: --quick --label <s> --out <path>");
+                eprintln!(
+                    "unknown argument {other:?}; flags: --quick --scaling --label <s> \
+                     --out <path> --gate <baseline>"
+                );
                 std::process::exit(2);
             }
         }
@@ -144,6 +176,76 @@ fn measure(
             );
             cells.push(cell);
         }
+    }
+    cells
+}
+
+/// Serving paths covered by the `--scaling` sweep. The "platform" column of
+/// the emitted cells carries the path so the trajectory file keeps its
+/// fixed cell shape.
+const SCALING_VARIANTS: &[(&str, ServingPath)] = &[
+    ("hams-TE/serial", ServingPath::Serial),
+    ("hams-TE/batched", ServingPath::Batched),
+    ("hams-TE/cell@1", ServingPath::Cell(1)),
+    ("hams-TE/cell@2", ServingPath::Cell(2)),
+    ("hams-TE/cell@4", ServingPath::Cell(4)),
+    ("hams-TE/cell@8", ServingPath::Cell(8)),
+];
+
+#[derive(Clone, Copy)]
+enum ServingPath {
+    Serial,
+    Batched,
+    Cell(usize),
+}
+
+/// The scaling sweep: one platform × workload corner (`hams-TE` × `rndRd`,
+/// the miss-heavy read corner the equivalence tiers lean on) replayed
+/// through every serving path. Each repetition asserts the paths produce
+/// byte-identical simulated metrics — a wall-clock harness that quietly
+/// measured a divergent path would be worthless.
+fn measure_scaling(scale: &ScaleProfile, reps: usize) -> Vec<Cell> {
+    let spec = WorkloadSpec::by_name("rndRd").expect("known workload");
+    let kind = PlatformKind::HamsTE;
+    let mut cells = Vec::new();
+    let mut reference = None;
+    for &(label, path) in SCALING_VARIANTS {
+        let mut best = u128::MAX;
+        for _ in 0..reps {
+            let mut platform = kind.build(scale);
+            let start = Instant::now();
+            let metrics = match path {
+                ServingPath::Serial => run_workload_serial(platform.as_mut(), spec, scale),
+                ServingPath::Batched => run_workload(platform.as_mut(), spec, scale),
+                ServingPath::Cell(workers) => {
+                    run_workload_cell_parallel(platform.as_mut(), spec, scale, workers)
+                }
+            };
+            let elapsed = start.elapsed().as_nanos();
+            assert_eq!(metrics.accesses, scale.accesses as u64);
+            match &reference {
+                None => reference = Some(metrics),
+                Some(r) => assert_eq!(
+                    r, &metrics,
+                    "{label} diverged from the serial path's metrics"
+                ),
+            }
+            best = best.min(elapsed.max(1));
+        }
+        let secs = best as f64 / 1e9;
+        let cell = Cell {
+            platform: label,
+            workload: "rndRd",
+            accesses: scale.accesses as u64,
+            best_wall_ns: best,
+            accesses_per_sec: scale.accesses as f64 / secs,
+            ns_per_access: best as f64 / scale.accesses as f64,
+        };
+        println!(
+            "{:<16} {:<6} {:>9.0} accesses/s  {:>8.1} ns/access",
+            cell.platform, cell.workload, cell.accesses_per_sec, cell.ns_per_access
+        );
+        cells.push(cell);
     }
     cells
 }
@@ -216,31 +318,137 @@ fn write_trajectory(path: &str, run: &str) {
     println!("wrote {path}");
 }
 
+/// Extracts the string value of `"key": "..."` from a JSON line emitted by
+/// [`render_run`] (the gate only ever reads files this harness wrote, so a
+/// line-oriented scan is sufficient and keeps the harness dependency-free).
+fn json_str_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\": \"");
+    let start = line.find(&needle)? + needle.len();
+    let end = line[start..].find('"')?;
+    Some(&line[start..start + end])
+}
+
+/// Extracts the numeric value of `"key": <number>` from a JSON line.
+fn json_num_field(line: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\": ");
+    let start = line.find(&needle)? + needle.len();
+    let end = line[start..]
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(line.len() - start);
+    line[start..start + end].parse().ok()
+}
+
+/// The most recent run with `label` in a trajectory file, as
+/// `(platform, workload) -> ns_per_access`.
+fn baseline_cells(text: &str, label: &str) -> Vec<(String, String, f64)> {
+    let mut latest = Vec::new();
+    let mut current: Option<Vec<(String, String, f64)>> = None;
+    for line in text.lines() {
+        if let Some(run_label) = json_str_field(line, "label") {
+            // Entering a new run entry: bank the previous matching one.
+            if let Some(cells) = current.take() {
+                latest = cells;
+            }
+            if run_label == label {
+                current = Some(Vec::new());
+            }
+        } else if let (Some(cells), Some(platform)) =
+            (current.as_mut(), json_str_field(line, "platform"))
+        {
+            if let (Some(workload), Some(ns)) = (
+                json_str_field(line, "workload"),
+                json_num_field(line, "ns_per_access"),
+            ) {
+                cells.push((platform.to_owned(), workload.to_owned(), ns));
+            }
+        }
+    }
+    if let Some(cells) = current.take() {
+        latest = cells;
+    }
+    latest
+}
+
+/// Enforces the perf gate: every fresh cell with a committed counterpart in
+/// the latest same-label baseline run must stay within [`GATE_RATIO`] of it.
+/// A missing baseline file, label, or cell is reported but never fails the
+/// gate — the first run of a new label cannot regress against anything.
+fn enforce_gate(baseline_path: &str, label: &str, cells: &[Cell]) {
+    let Ok(text) = std::fs::read_to_string(baseline_path) else {
+        println!("gate: no baseline file {baseline_path}; passing by default");
+        return;
+    };
+    let baseline = baseline_cells(&text, label);
+    if baseline.is_empty() {
+        println!("gate: no run labelled {label:?} in {baseline_path}; passing by default");
+        return;
+    }
+    let mut failures = Vec::new();
+    for cell in cells {
+        let Some((_, _, base_ns)) = baseline
+            .iter()
+            .find(|(p, w, _)| p == cell.platform && w == cell.workload)
+        else {
+            println!(
+                "gate: {} {} has no committed baseline cell; skipping",
+                cell.platform, cell.workload
+            );
+            continue;
+        };
+        let ratio = cell.ns_per_access / base_ns;
+        let verdict = if ratio > GATE_RATIO { "FAIL" } else { "ok" };
+        println!(
+            "gate: {:<16} {:<6} {:>8.1} ns/access vs baseline {:>8.1} = {:.2}x [{verdict}]",
+            cell.platform, cell.workload, cell.ns_per_access, base_ns, ratio
+        );
+        if ratio > GATE_RATIO {
+            failures.push(format!(
+                "{} {}: {:.1} ns/access is {:.2}x the committed {:.1} (limit {GATE_RATIO}x)",
+                cell.platform, cell.workload, cell.ns_per_access, ratio, base_ns
+            ));
+        }
+    }
+    if !failures.is_empty() {
+        eprintln!("perf gate failed ({} cell(s) regressed):", failures.len());
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
+    }
+    println!("gate: all cells within {GATE_RATIO}x of the committed {label:?} baseline");
+}
+
 fn main() {
     let config = parse_args();
     let scale = scale_for(config.quick);
-    let (kinds, workloads, reps): (Vec<PlatformKind>, Vec<&'static str>, usize) = if config.quick {
-        (
-            vec![
-                PlatformKind::Mmap,
-                PlatformKind::HamsTE,
-                PlatformKind::Oracle,
-            ],
-            vec!["rndRd", "rndWr"],
-            1,
-        )
+    println!(
+        "throughput: label={} quick={} scaling={} accesses={}",
+        config.label, config.quick, config.scaling, scale.accesses
+    );
+    let (cells, reps) = if config.scaling {
+        let reps = if config.quick { 1 } else { 3 };
+        (measure_scaling(&scale, reps), reps)
+    } else if config.quick {
+        let kinds = [
+            PlatformKind::Mmap,
+            PlatformKind::HamsTE,
+            PlatformKind::Oracle,
+        ];
+        (measure(&kinds, &["rndRd", "rndWr"], &scale, 1), 1)
     } else {
         (
-            PlatformKind::all(),
-            vec!["seqRd", "rndRd", "seqWr", "rndWr"],
+            measure(
+                &PlatformKind::all(),
+                &["seqRd", "rndRd", "seqWr", "rndWr"],
+                &scale,
+                3,
+            ),
             3,
         )
     };
-    println!(
-        "throughput: label={} quick={} accesses={} reps={reps}",
-        config.label, config.quick, scale.accesses
-    );
-    let cells = measure(&kinds, &workloads, &scale, reps);
+    if let Some(baseline) = &config.gate {
+        enforce_gate(baseline, &config.label, &cells);
+    }
     let run = render_run(&config.label, &scale, reps, &cells);
     write_trajectory(&config.out, &run);
 }

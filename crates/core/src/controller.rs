@@ -29,13 +29,13 @@ use hams_interconnect::{
 };
 use hams_nvdimm::{Nvdimm, PinnedRegion};
 use hams_nvme::NvmeCommand;
-use hams_sim::{ComponentId, LatencyVector, Nanos};
+use hams_sim::{scoped_partition_map, ComponentId, LatencyVector, Nanos};
 use serde::{Deserialize, Serialize};
 
 use crate::config::{AttachMode, HamsConfig, PersistMode};
 use crate::engine::NvmeEngine;
 use crate::prp_pool::PrpPool;
-use crate::tag_array::{ShardConfig, ShardedTagArray, TagProbe};
+use crate::tag_array::{BankPlanner, ShardConfig, ShardedTagArray, TagProbe};
 
 /// The result of one MoS access.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -97,6 +97,50 @@ impl HamsStats {
     }
 }
 
+/// Reusable scratch for [`HamsController::plan_batch`]: the per-bank routing
+/// tables and the planned classification of every access in a batch, indexed
+/// by original batch position. Owned by the caller so the serving hot path
+/// reuses the buffers batch after batch instead of allocating.
+#[derive(Debug, Default)]
+pub struct CellPlan {
+    /// Per original batch position, the planned classification.
+    planned: Vec<TagProbe>,
+    /// Per bank: `(original index, page, is_write)` in original batch order.
+    bank_inputs: Vec<Vec<(u32, u64, bool)>>,
+    /// Per bank: classifications parallel to `bank_inputs`.
+    bank_outputs: Vec<Vec<TagProbe>>,
+}
+
+impl CellPlan {
+    /// An empty plan; buffers grow on first use and are then reused.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The planned classification of the `k`-th access of the batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range of the last planned batch.
+    #[must_use]
+    pub fn planned(&self, k: usize) -> TagProbe {
+        self.planned[k]
+    }
+
+    /// Number of accesses covered by the last planned batch.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.planned.len()
+    }
+
+    /// Whether no batch has been planned (or the last batch was empty).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.planned.is_empty()
+    }
+}
+
 /// What a power failure found in flight.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PowerFailureEvent {
@@ -151,6 +195,17 @@ pub struct HamsController {
     /// new command before this.
     persist_gate: Nanos,
     stats: HamsStats,
+    /// Reused drain buffer for [`NvmeEngine::retire_due_into`]: the retire
+    /// scan runs once or twice per access, so the hot path never allocates
+    /// a fresh page list.
+    retire_scratch: Vec<u64>,
+    /// Reused buffers for the multi-stripe fill path (one fill per miss):
+    /// stripe LBA ranges, issued segment descriptors, per-stripe completion
+    /// times, and coalesced MSI delivery times.
+    fill_ranges: Vec<(u64, u64)>,
+    fill_segments: Vec<(u16, u64, u64)>,
+    fill_completions: Vec<Nanos>,
+    fill_delivered: Vec<Nanos>,
 }
 
 impl HamsController {
@@ -187,6 +242,11 @@ impl HamsController {
             prp_pool: PrpPool::new(prp_slots),
             persist_gate: Nanos::ZERO,
             stats: HamsStats::default(),
+            retire_scratch: Vec::new(),
+            fill_ranges: Vec::new(),
+            fill_segments: Vec::new(),
+            fill_completions: Vec::new(),
+            fill_delivered: Vec::new(),
             nvdimm,
             pinned,
             config,
@@ -326,7 +386,7 @@ impl HamsController {
         breakdown.add(ComponentId::HAMS, self.config.controller_overhead);
 
         // Retire anything whose device service has completed.
-        self.engine.retire_due(t);
+        self.engine.retire_due_into(t, &mut self.retire_scratch);
 
         // Tag lookup: a tCL plus a few tBURSTs out of the NVDIMM (<20 ns).
         let tag_read = Nanos::from_nanos(15);
@@ -339,7 +399,7 @@ impl HamsController {
             self.stats.wait_stalls += 1;
             breakdown.add(ComponentId::HAMS, free_at - t);
             t = free_at;
-            self.engine.retire_due(t);
+            self.engine.retire_due_into(t, &mut self.retire_scratch);
         }
 
         let probe = self.tags.probe(page);
@@ -396,6 +456,157 @@ impl HamsController {
     /// per-access merge [`Self::access`] performs.
     pub fn merge_delay(&mut self, breakdown: &LatencyVector) {
         self.stats.delay.merge(breakdown);
+    }
+
+    /// Plan phase of cell-parallel batch serving: classifies every access of
+    /// a batch against the directory, serving each bank's sub-batch on its
+    /// own scoped worker (`workers` as in
+    /// [`hams_sim::scoped_partition_map`]; `0` means the `HAMS_CELL_THREADS`
+    /// default). Classification is a pure function of the access sequence —
+    /// never of simulated time — so banks plan concurrently with no shared
+    /// state; see [`BankPlanner`] for the field discipline. The results land
+    /// in `plan`, indexed by original batch position, for the serial
+    /// [`Self::commit_planned_into`] replay.
+    pub fn plan_batch(&mut self, accesses: &[(u64, bool)], workers: usize, plan: &mut CellPlan) {
+        let banks = usize::from(self.tags.num_shards());
+        plan.bank_inputs.resize_with(banks, Vec::new);
+        plan.bank_outputs.resize_with(banks, Vec::new);
+        for input in &mut plan.bank_inputs {
+            input.clear();
+        }
+        for (i, &(addr, is_write)) in accesses.iter().enumerate() {
+            let page = self.page_of(addr);
+            let bank = usize::from(self.tags.shard_of_page(page));
+            plan.bank_inputs[bank].push((i as u32, page, is_write));
+        }
+
+        struct BankTask<'a> {
+            planner: BankPlanner<'a>,
+            input: &'a [(u32, u64, bool)],
+            output: &'a mut Vec<TagProbe>,
+        }
+        let mut tasks: Vec<BankTask> = self
+            .tags
+            .bank_planners()
+            .into_iter()
+            .zip(plan.bank_inputs.iter().zip(plan.bank_outputs.iter_mut()))
+            .map(|(planner, (input, output))| BankTask {
+                planner,
+                input,
+                output,
+            })
+            .collect();
+        scoped_partition_map(&mut tasks, workers, |_, task| {
+            task.output.clear();
+            for &(_, page, is_write) in task.input {
+                task.output.push(task.planner.plan_access(page, is_write));
+            }
+        });
+
+        // Scatter the per-bank results back to original batch order.
+        plan.planned.clear();
+        plan.planned.resize(accesses.len(), TagProbe::Hit);
+        for (input, output) in plan.bank_inputs.iter().zip(plan.bank_outputs.iter()) {
+            for (&(i, _, _), &probe) in input.iter().zip(output.iter()) {
+                plan.planned[i as usize] = probe;
+            }
+        }
+    }
+
+    /// Commit phase of cell-parallel batch serving: replays the timing of
+    /// one access whose classification `planned` was produced by
+    /// [`Self::plan_batch`]. Must be called for every access of the batch in
+    /// original batch order. Byte-identical to [`Self::access_into`]: the
+    /// probe, tag install and dirty marking already happened at plan time,
+    /// and every timing decision — retires, the wait queue, fills,
+    /// evictions, the persist gate — runs here, serially, exactly as the
+    /// serial path runs it. Returns `(finished_at, hit)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` lies beyond the MoS capacity.
+    pub fn commit_planned_into(
+        &mut self,
+        addr: u64,
+        is_write: bool,
+        size: u64,
+        planned: TagProbe,
+        now: Nanos,
+        breakdown: &mut LatencyVector,
+    ) -> (Nanos, bool) {
+        assert!(
+            addr < self.mos_capacity_bytes(),
+            "MoS address {addr:#x} beyond capacity"
+        );
+        let page = self.page_of(addr);
+        let mut t = now + self.config.controller_overhead;
+        breakdown.add(ComponentId::HAMS, self.config.controller_overhead);
+
+        self.engine.retire_due_into(t, &mut self.retire_scratch);
+
+        let tag_read = Nanos::from_nanos(15);
+        breakdown.add(ComponentId::NVDIMM, tag_read);
+        t += tag_read;
+
+        if let Some(free_at) = self.tags.busy_until(page, t) {
+            self.stats.wait_stalls += 1;
+            breakdown.add(ComponentId::HAMS, free_at - t);
+            t = free_at;
+            self.engine.retire_due_into(t, &mut self.retire_scratch);
+        }
+
+        self.stats.accesses += 1;
+        let hit = matches!(planned, TagProbe::Hit);
+        if hit {
+            self.stats.hits += 1;
+        } else {
+            self.stats.misses += 1;
+        }
+
+        match planned {
+            TagProbe::Hit => {}
+            TagProbe::MissEmpty => {
+                t = self.commit_fill(page, is_write, t, breakdown);
+            }
+            TagProbe::MissClean { .. } => {
+                self.stats.clean_replacements += 1;
+                t = self.commit_fill(page, is_write, t, breakdown);
+            }
+            TagProbe::MissDirty { victim_page } => {
+                let (slot_free_at, eviction_done) = self.evict(victim_page, t, breakdown);
+                let fill_start = match self.config.persist {
+                    PersistMode::Persist => eviction_done,
+                    PersistMode::Extend => slot_free_at,
+                };
+                t = self.commit_fill(page, is_write, fill_start, breakdown);
+            }
+        }
+
+        let ddr_t = self.ddr.transfer(size, t);
+        let array = if is_write {
+            self.nvdimm.write(size)
+        } else {
+            self.nvdimm.read(size)
+        };
+        breakdown.add(ComponentId::NVDIMM, ddr_t.latency() + array);
+        t = ddr_t.finished_at + array;
+
+        // The dirty marking already happened at plan time.
+        (t, hit)
+    }
+
+    /// The commit-phase fill: timing via [`Self::fill_inner`], then the busy
+    /// hand-off alone — the tag install happened at plan time.
+    fn commit_fill(
+        &mut self,
+        page: u64,
+        is_write: bool,
+        now: Nanos,
+        breakdown: &mut LatencyVector,
+    ) -> Nanos {
+        let data_ready = self.fill_inner(page, is_write, now, breakdown);
+        self.tags.force_busy(page, data_ready);
+        data_ready
     }
 
     /// Reconfigures the NVMe submission path (queue count, ring depth, MSI
@@ -643,6 +854,25 @@ impl HamsController {
         now: Nanos,
         breakdown: &mut LatencyVector,
     ) -> Nanos {
+        let data_ready = self.fill_inner(page, is_write, now, breakdown);
+        self.tags.fill(page);
+        self.tags.set_busy(page, data_ready);
+        data_ready
+    }
+
+    /// Everything a fill does *except* the directory update: command
+    /// submission, archive service, the page transfer into NVDIMM and the
+    /// persist gate. The serial [`Self::fill`] follows this with the tag
+    /// install plus a fresh busy window; the cell-parallel commit phase
+    /// follows it with [`ShardedTagArray::force_busy`] alone, because the
+    /// tag/valid/dirty transition already happened at plan time.
+    fn fill_inner(
+        &mut self,
+        page: u64,
+        is_write: bool,
+        now: Nanos,
+        breakdown: &mut LatencyVector,
+    ) -> Nanos {
         let page_bytes = self.config.mos_page_size;
         let start = match self.config.persist {
             PersistMode::Persist => now.max(self.persist_gate),
@@ -686,11 +916,19 @@ impl HamsController {
             let base_slba = self.slba_of(page);
             let base_addr = self.nvdimm_addr_of(page);
             // One stripe command per queue pair over the page's LBA range.
-            let ranges = hams_nvme::stripe_ranges(page_bytes / LBA_SIZE, stripes);
-            let mut segments: Vec<(u16, u64, u64)> = Vec::with_capacity(ranges.len());
-            let mut completions: Vec<Nanos> = Vec::with_capacity(ranges.len());
+            // The stripe bookkeeping runs in controller-owned scratch buffers
+            // (one fill per miss makes this the hottest allocation site); the
+            // buffers are taken out of `self` for the duration of the loop so
+            // the iteration can borrow them alongside `&mut self` calls.
+            let mut ranges = std::mem::take(&mut self.fill_ranges);
+            let mut segments = std::mem::take(&mut self.fill_segments);
+            let mut completions = std::mem::take(&mut self.fill_completions);
+            let mut delivered = std::mem::take(&mut self.fill_delivered);
+            hams_nvme::stripe_ranges_into(page_bytes / LBA_SIZE, stripes, &mut ranges);
+            segments.clear();
+            completions.clear();
             let mut submit_t = start;
-            for (s, (lba_offset, count)) in ranges.into_iter().enumerate() {
+            for (s, &(lba_offset, count)) in ranges.iter().enumerate() {
                 let slba = base_slba + lba_offset;
                 let length = count * LBA_SIZE;
                 // Doorbell writes serialize over the command interface; each
@@ -715,13 +953,13 @@ impl HamsController {
             }
             // The cache logic learns of the fill through the coalesced MSI
             // covering the last stripe completion.
-            let delivered = self.engine.deliver_times(&completions);
+            self.engine.deliver_times_into(&completions, &mut delivered);
             let flash_ready = delivered.last().copied().unwrap_or(submit_t).max(submit_t);
             breakdown.add(ComponentId::SSD, flash_ready - submit_t);
             let transferred = self.transfer_page(flash_ready, breakdown);
             let array = self.nvdimm.write(page_bytes);
             breakdown.add(ComponentId::NVDIMM, array);
-            for (queue, slba, length) in segments {
+            for &(queue, slba, length) in &segments {
                 let _ = self.engine.issue_read_on(
                     queue,
                     page,
@@ -731,14 +969,16 @@ impl HamsController {
                     transferred + array,
                 );
             }
+            self.fill_ranges = ranges;
+            self.fill_segments = segments;
+            self.fill_completions = completions;
+            self.fill_delivered = delivered;
             transferred + array
         };
 
         if matches!(self.config.persist, PersistMode::Persist) {
             self.persist_gate = self.persist_gate.max(data_ready);
         }
-        self.tags.fill(page);
-        self.tags.set_busy(page, data_ready);
         data_ready
     }
 
@@ -774,7 +1014,7 @@ impl HamsController {
 
     /// Injects a power failure at `now`.
     pub fn power_fail(&mut self, now: Nanos) -> PowerFailureEvent {
-        self.engine.retire_due(now);
+        self.engine.retire_due_into(now, &mut self.retire_scratch);
         let incomplete = self.engine.journaled_incomplete(now).len();
         // Completions scheduled for after the failure died with the power;
         // without this, a later retire_due would post success CQ entries

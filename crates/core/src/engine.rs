@@ -13,13 +13,11 @@
 //! [`MsiCoalescer`]; [`QueueConfig::single`] reproduces the original
 //! single-queue engine exactly.
 
-use std::collections::HashMap;
-
 use hams_nvme::{
     CommandId, MsiCoalescer, MsiCoalescerStats, MsiTable, NvmeCommand, NvmeOpcode, NvmeStatus,
     PrpList, QueueConfig, QueueError, QueueSet,
 };
-use hams_sim::{CompletionSource, Nanos};
+use hams_sim::{CompletionSource, FastHashMap, Nanos};
 use serde::{Deserialize, Serialize};
 
 use crate::tag_array::ShardConfig;
@@ -91,7 +89,10 @@ pub struct NvmeEngine {
     msi: MsiTable,
     coalescer: MsiCoalescer,
     completions: CompletionSource<CommandId>,
-    tracked: HashMap<CommandId, TrackedCommand>,
+    /// Outstanding commands by id. Touched several times per simulated miss
+    /// (insert at issue, remove at retire), so it uses the simulator's fast
+    /// deterministic hasher rather than `SipHash`.
+    tracked: FastHashMap<CommandId, TrackedCommand>,
     stats: EngineStats,
 }
 
@@ -137,7 +138,7 @@ impl NvmeEngine {
             msi: MsiTable::new(),
             coalescer: MsiCoalescer::new(config.coalescing),
             completions: CompletionSource::new(),
-            tracked: HashMap::new(),
+            tracked: FastHashMap::default(),
             stats: EngineStats::default(),
             config,
             shards,
@@ -353,15 +354,33 @@ impl NvmeEngine {
         self.coalescer.deliver(completions)
     }
 
+    /// [`Self::deliver_times`] into a caller-owned buffer — the hot-path form
+    /// used by the fill path, which reuses one buffer across misses. `out` is
+    /// cleared first.
+    pub fn deliver_times_into(&mut self, completions: &[Nanos], out: &mut Vec<Nanos>) {
+        self.coalescer.deliver_into(completions, out);
+    }
+
     /// Processes every completion whose device service has finished by `now`,
     /// in global completion order across all queues: posts the CQ entry,
     /// raises and consumes the MSI, clears the journal tag and removes the
     /// command from the outstanding set. Returns the MoS pages whose
     /// commands retired.
     pub fn retire_due(&mut self, now: Nanos) -> Vec<u64> {
-        let due = self.completions.drain_due(now);
-        let mut pages = Vec::with_capacity(due.len());
-        for event in due {
+        let mut pages = Vec::new();
+        self.retire_due_into(now, &mut pages);
+        pages
+    }
+
+    /// [`Self::retire_due`] into a caller-owned scratch buffer — the hot-path
+    /// form. The controller calls this once or twice per simulated access;
+    /// with a reused buffer the drain allocates nothing, and when no
+    /// completion is due (the overwhelmingly common case) it costs a single
+    /// heap peek. `pages` is cleared and then filled with the MoS pages whose
+    /// commands retired, in ascending page order.
+    pub fn retire_due_into(&mut self, now: Nanos, pages: &mut Vec<u64>) {
+        pages.clear();
+        while let Some(event) = self.completions.pop_due(now) {
             let id = event.payload;
             if self.queues.complete(id, NvmeStatus::Success).is_ok() {
                 self.msi.raise(id.queue);
@@ -374,7 +393,6 @@ impl NvmeEngine {
             self.stats.completions += 1;
         }
         pages.sort_unstable();
-        pages
     }
 
     /// Commands whose journal tag is still set at `now` — exactly what the

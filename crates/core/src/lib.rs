@@ -55,11 +55,12 @@ pub mod tag_array;
 
 pub use config::{AttachMode, HamsConfig, PersistMode};
 pub use controller::{
-    HamsController, HamsStats, MosAccessResult, PowerFailureEvent, RecoveryReport,
+    CellPlan, HamsController, HamsStats, MosAccessResult, PowerFailureEvent, RecoveryReport,
 };
 pub use engine::{EngineStats, NvmeEngine, TrackedCommand};
 pub use hams_flash::{ArchiveSet, BackendTopology};
 pub use prp_pool::{CloneSlot, PrpPool};
 pub use tag_array::{
-    MosTagArray, ShardConfig, ShardHashPolicy, ShardedTagArray, TagArrayStats, TagEntry, TagProbe,
+    BankPlanner, MosTagArray, ShardConfig, ShardHashPolicy, ShardedTagArray, TagArrayStats,
+    TagEntry, TagProbe,
 };

@@ -8,9 +8,9 @@
 //! exposes the buffer as an optional component with explicit hit/miss/dirty
 //! accounting and an LRU policy.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
-use hams_sim::Nanos;
+use hams_sim::{FastHashMap, Nanos};
 use serde::{Deserialize, Serialize};
 
 /// Outcome of offering an access to the internal DRAM.
@@ -73,7 +73,7 @@ pub struct InternalDram {
     capacity_pages: usize,
     access_latency: Nanos,
     /// lpn -> (last-use tick, dirty)
-    resident: HashMap<u64, (u64, bool)>,
+    resident: FastHashMap<u64, (u64, bool)>,
     /// last-use tick -> lpn (ticks are unique), so the LRU victim is the
     /// first entry — O(log n) instead of a full scan of `resident` per
     /// eviction, which dominated the device-service hot path.
@@ -90,7 +90,7 @@ impl InternalDram {
         InternalDram {
             capacity_pages,
             access_latency,
-            resident: HashMap::new(),
+            resident: FastHashMap::default(),
             order: BTreeMap::new(),
             tick: 0,
             stats: DramStats::default(),

@@ -6,7 +6,9 @@
 //! out-of-place, and a greedy garbage collector reclaims the block with the
 //! fewest valid pages when the free-block pool runs low.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
+
+use hams_sim::FastHashMap;
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
@@ -102,8 +104,8 @@ pub struct Ftl {
     geometry: FlashGeometry,
     /// Fraction of blocks held back as over-provisioning (not exported).
     over_provisioning: f64,
-    map: HashMap<u64, u64>,
-    reverse: HashMap<u64, u64>,
+    map: FastHashMap<u64, u64>,
+    reverse: FastHashMap<u64, u64>,
     blocks: Vec<BlockInfo>,
     /// Per-plane pools of fully-erased blocks.
     free_blocks: Vec<VecDeque<usize>>,
@@ -146,8 +148,8 @@ impl Ftl {
         Ftl {
             geometry,
             over_provisioning,
-            map: HashMap::new(),
-            reverse: HashMap::new(),
+            map: FastHashMap::default(),
+            reverse: FastHashMap::default(),
             blocks,
             free_blocks,
             active_blocks: vec![None; planes],

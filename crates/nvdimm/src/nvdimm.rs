@@ -105,6 +105,15 @@ pub struct Nvdimm {
     config: NvdimmConfig,
     state: NvdimmPowerState,
     stats: NvdimmStats,
+    /// Rolling memo of the last access sizes' array latencies. The serving
+    /// path reads/writes the same one or two sizes (the CPU granule and the
+    /// MoS page) millions of times per run, and the `f64` bandwidth division
+    /// in [`Self::access_latency`] dominated the per-access bookkeeping. The
+    /// memo caches the exact `access_latency` result per byte count, so
+    /// timing stays byte-identical. The default entries map 0 bytes to zero
+    /// time — exactly `access_latency(0)` — so a cold memo is valid.
+    #[serde(skip)]
+    latency_memo: [(u64, Nanos); 2],
 }
 
 impl Nvdimm {
@@ -115,6 +124,7 @@ impl Nvdimm {
             config,
             state: NvdimmPowerState::Operational,
             stats: NvdimmStats::default(),
+            latency_memo: [(0, Nanos::ZERO); 2],
         }
     }
 
@@ -154,18 +164,34 @@ impl Nvdimm {
         self.config.array_latency + stream
     }
 
+    /// [`Self::access_latency`] through the rolling memo (hot-path form).
+    #[inline]
+    fn memoized_latency(&mut self, bytes: u64) -> Nanos {
+        if self.latency_memo[0].0 == bytes {
+            return self.latency_memo[0].1;
+        }
+        if self.latency_memo[1].0 == bytes {
+            self.latency_memo.swap(0, 1);
+            return self.latency_memo[0].1;
+        }
+        let latency = self.access_latency(bytes);
+        self.latency_memo[1] = self.latency_memo[0];
+        self.latency_memo[0] = (bytes, latency);
+        latency
+    }
+
     /// Records a read of `bytes` and returns its array latency.
     pub fn read(&mut self, bytes: u64) -> Nanos {
         self.stats.reads += 1;
         self.stats.bytes_read += bytes;
-        self.access_latency(bytes)
+        self.memoized_latency(bytes)
     }
 
     /// Records a write of `bytes` and returns its array latency.
     pub fn write(&mut self, bytes: u64) -> Nanos {
         self.stats.writes += 1;
         self.stats.bytes_written += bytes;
-        self.access_latency(bytes)
+        self.memoized_latency(bytes)
     }
 
     /// Duration of a full backup of the DRAM contents to the on-DIMM flash.
@@ -247,6 +273,23 @@ mod tests {
         assert_eq!(s.writes, 2);
         assert_eq!(s.bytes_read, 4096);
         assert_eq!(s.bytes_written, 128);
+    }
+
+    #[test]
+    fn memoized_accesses_match_access_latency_for_alternating_sizes() {
+        let mut dimm = Nvdimm::new(NvdimmConfig::hpe_8gb());
+        let reference = Nvdimm::new(NvdimmConfig::hpe_8gb());
+        // Alternate three sizes so the two-entry memo keeps evicting; every
+        // recorded access must still equal the uncached computation.
+        for i in 0..64u64 {
+            let bytes = [64u64, 8192, 65, 0][i as usize % 4];
+            let got = if i % 2 == 0 {
+                dimm.read(bytes)
+            } else {
+                dimm.write(bytes)
+            };
+            assert_eq!(got, reference.access_latency(bytes), "bytes={bytes}");
+        }
     }
 
     #[test]

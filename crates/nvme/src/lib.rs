@@ -48,6 +48,6 @@ pub use command::{CommandId, NvmeCommand, NvmeOpcode, NvmeStatus};
 pub use msi::{MsiCoalescer, MsiCoalescerStats, MsiCoalescing, MsiTable, MsiVector};
 pub use prp::{PrpEntry, PrpList};
 pub use queue::{
-    stripe_ranges, CompletionEntry, CompletionQueue, QueueConfig, QueueError, QueuePair, QueueSet,
-    SubmissionQueue,
+    stripe_ranges, stripe_ranges_into, CompletionEntry, CompletionQueue, QueueConfig, QueueError,
+    QueuePair, QueueSet, SubmissionQueue,
 };

@@ -6,6 +6,8 @@
 //! service routine. The model records delivered vectors so tests and the
 //! platform runner can assert on interrupt traffic.
 
+use std::collections::VecDeque;
+
 use hams_sim::Nanos;
 use serde::{Deserialize, Serialize};
 
@@ -121,34 +123,44 @@ impl MsiCoalescer {
     /// `threshold` completions.
     #[must_use]
     pub fn deliver(&mut self, completions: &[Nanos]) -> Vec<Nanos> {
-        let mut times: Vec<Nanos> = completions.to_vec();
-        times.sort_unstable();
-        let n = times.len();
+        let mut out = Vec::new();
+        self.deliver_into(completions, &mut out);
+        out
+    }
+
+    /// [`Self::deliver`] into a caller-owned buffer — the hot-path form. The
+    /// HAMS fill path runs one burst per striped miss, so a reused buffer
+    /// keeps the delivery computation allocation-free. `out` is cleared,
+    /// filled with the sorted completion times, and then each group is
+    /// overwritten in place with its interrupt delivery time.
+    pub fn deliver_into(&mut self, completions: &[Nanos], out: &mut Vec<Nanos>) {
+        out.clear();
+        out.extend_from_slice(completions);
+        out.sort_unstable();
+        let n = out.len();
         let threshold = (self.config.threshold as usize).min(n).max(1);
-        let mut delivered = vec![Nanos::ZERO; n];
         let mut i = 0;
         while i < n {
-            let deadline = times[i].saturating_add(self.config.timeout);
+            let deadline = out[i].saturating_add(self.config.timeout);
             // Collect up to `threshold` completions arriving by the deadline.
             let mut j = i + 1;
-            while j < n && j - i < threshold && times[j] <= deadline {
+            while j < n && j - i < threshold && out[j] <= deadline {
                 j += 1;
             }
             // A filled group posts when its last member arrives; a timed-out
             // group posts when the aggregation timer expires.
             let fire = if j - i == threshold {
-                times[j - 1]
+                out[j - 1]
             } else {
                 deadline
             };
-            for slot in &mut delivered[i..j] {
+            for slot in &mut out[i..j] {
                 *slot = fire;
             }
             self.stats.interrupts += 1;
             self.stats.completions += (j - i) as u64;
             i = j;
         }
-        delivered
     }
 }
 
@@ -179,7 +191,10 @@ pub struct MsiVector {
 /// ```
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MsiTable {
-    pending: Vec<MsiVector>,
+    /// FIFO of delivered-but-unconsumed vectors: consumed from the front on
+    /// every retired completion, so a ring buffer rather than a `Vec` whose
+    /// `remove(0)` would shift the tail on each consume.
+    pending: VecDeque<MsiVector>,
     delivered: u64,
 }
 
@@ -197,17 +212,13 @@ impl MsiTable {
             sequence: self.delivered,
         };
         self.delivered += 1;
-        self.pending.push(v);
+        self.pending.push_back(v);
         v
     }
 
     /// Host/HAMS side: consumes the oldest pending interrupt.
     pub fn consume(&mut self) -> Option<MsiVector> {
-        if self.pending.is_empty() {
-            None
-        } else {
-            Some(self.pending.remove(0))
-        }
+        self.pending.pop_front()
     }
 
     /// Number of pending (unconsumed) interrupts.

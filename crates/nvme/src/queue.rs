@@ -606,20 +606,29 @@ impl QueueSet {
 /// ```
 #[must_use]
 pub fn stripe_ranges(lbas: u64, lanes: u64) -> Vec<(u64, u64)> {
+    let mut ranges = Vec::new();
+    stripe_ranges_into(lbas, lanes, &mut ranges);
+    ranges
+}
+
+/// [`stripe_ranges`] into a caller-owned buffer — the hot-path form used by
+/// the HAMS fill path, which partitions one page per simulated miss and
+/// reuses the buffer across misses. `out` is cleared first.
+pub fn stripe_ranges_into(lbas: u64, lanes: u64, out: &mut Vec<(u64, u64)>) {
+    out.clear();
     if lbas == 0 {
-        return Vec::new();
+        return;
     }
     let lanes = lanes.clamp(1, lbas);
     let per = lbas / lanes;
     let extra = lbas % lanes;
-    let mut ranges = Vec::with_capacity(lanes as usize);
+    out.reserve(lanes as usize);
     let mut next = 0u64;
     for lane in 0..lanes {
         let count = per + u64::from(lane < extra);
-        ranges.push((next, count));
+        out.push((next, count));
         next += count;
     }
-    ranges
 }
 
 #[cfg(test)]

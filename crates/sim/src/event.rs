@@ -189,6 +189,14 @@ impl<T: Eq> CompletionSource<T> {
         due
     }
 
+    /// Removes and returns the earliest completion if it fires at or before
+    /// `now` — the allocation-free way to drain: callers loop until `None`
+    /// instead of collecting a [`Self::drain_due`] vector. The first call
+    /// costs one heap peek when nothing is due.
+    pub fn pop_due(&mut self, now: Nanos) -> Option<ScheduledEvent<T>> {
+        self.events.pop_due(now)
+    }
+
     /// The firing time of the earliest pending completion.
     #[must_use]
     pub fn next_at(&self) -> Option<Nanos> {

@@ -35,6 +35,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod event;
+pub mod hash;
 pub mod intern;
 pub mod par;
 pub mod resource;
@@ -43,8 +44,9 @@ pub mod stats;
 pub mod time;
 
 pub use event::{CompletionSource, EventQueue, ScheduledEvent};
+pub use hash::{FastBuildHasher, FastHashMap, FastHashSet};
 pub use intern::ComponentId;
-pub use par::parallel_map;
+pub use par::{cell_workers, parallel_map, scoped_partition_map};
 pub use resource::{Grant, MultiResource, Resource};
 pub use stats::{Counter, Histogram, LatencyBreakdown, LatencyVector, RunningStats};
 pub use time::{Nanos, SimClock};

@@ -1,0 +1,117 @@
+//! The intra-cell parallel serving contract.
+//!
+//! `run_workload_cell_parallel` partitions each batch by owning tag-array
+//! shard, plans the sub-batches concurrently on scoped worker threads, and
+//! replays the commit phase serially in the original access order. The
+//! worker count is *pure scheduling*: it decides which thread touches which
+//! bank's plan, never what any access observes. The pinned contract:
+//!
+//! 1. for all 11 platforms, every cell-thread count produces metrics
+//!    byte-identical to the per-access serial reference (the CI matrix
+//!    re-runs this suite under `HAMS_CELL_THREADS` ∈ {1, 4}),
+//! 2. the cell-parallel path composes with the other serving axes — the
+//!    batched path and the sharded path — without changing a byte,
+//! 3. `0` workers defers to the `HAMS_CELL_THREADS` environment default and
+//!    still matches.
+
+use hams::platforms::{
+    run_workload, run_workload_cell_parallel, run_workload_serial, run_workload_sharded,
+    PlatformKind, ScaleProfile, ShardConfig,
+};
+use hams::workloads::WorkloadSpec;
+
+fn tiny() -> ScaleProfile {
+    ScaleProfile {
+        capacity_divisor: 4096,
+        accesses: 1_200,
+        seed: 23,
+    }
+}
+
+#[test]
+fn cell_parallel_serving_is_byte_identical_to_serial_on_all_platforms() {
+    let scale = tiny();
+    for workload in ["rndRd", "update"] {
+        let spec = WorkloadSpec::by_name(workload).unwrap();
+        for kind in PlatformKind::all() {
+            let mut serial = kind.build(&scale);
+            let reference = run_workload_serial(serial.as_mut(), spec, &scale);
+            for workers in [1usize, 2, 8] {
+                let mut parallel = kind.build(&scale);
+                let m = run_workload_cell_parallel(parallel.as_mut(), spec, &scale, workers);
+                assert_eq!(
+                    m,
+                    reference,
+                    "{} on {workload}: {workers} cell threads diverged from serial",
+                    kind.label()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn cell_parallel_matches_the_batched_path() {
+    let scale = tiny();
+    let spec = WorkloadSpec::by_name("rndWr").unwrap();
+    for kind in PlatformKind::all() {
+        let mut batched = kind.build(&scale);
+        let b = run_workload(batched.as_mut(), spec, &scale);
+        let mut parallel = kind.build(&scale);
+        let m = run_workload_cell_parallel(parallel.as_mut(), spec, &scale, 4);
+        assert_eq!(
+            m,
+            b,
+            "{}: the cell-parallel path diverged from the batched path",
+            kind.label()
+        );
+    }
+}
+
+#[test]
+fn zero_workers_defer_to_the_environment_default() {
+    let scale = tiny();
+    let spec = WorkloadSpec::by_name("seqRd").unwrap();
+    for kind in [
+        PlatformKind::HamsTE,
+        PlatformKind::HamsLP,
+        PlatformKind::Mmap,
+    ] {
+        let mut serial = kind.build(&scale);
+        let reference = run_workload_serial(serial.as_mut(), spec, &scale);
+        // 0 resolves to HAMS_CELL_THREADS (1 when unset); either way the
+        // metrics must not move.
+        let mut parallel = kind.build(&scale);
+        let m = run_workload_cell_parallel(parallel.as_mut(), spec, &scale, 0);
+        assert_eq!(
+            m,
+            reference,
+            "{}: the HAMS_CELL_THREADS default diverged from serial",
+            kind.label()
+        );
+    }
+}
+
+#[test]
+fn cell_threads_compose_with_tag_array_sharding() {
+    let scale = tiny();
+    let spec = WorkloadSpec::by_name("rndRd").unwrap();
+    for kind in [PlatformKind::HamsTE, PlatformKind::HamsLE] {
+        // The sharded batched path is the reference: cell threads layered on
+        // top of a multi-bank tag array must be invisible too.
+        let mut sharded = kind.build(&scale);
+        let reference =
+            run_workload_sharded(sharded.as_mut(), spec, &scale, ShardConfig::interleaved(4));
+        for workers in [2usize, 8] {
+            let mut parallel = kind.build(&scale);
+            parallel.configure_shards(ShardConfig::interleaved(4));
+            let m = run_workload_cell_parallel(parallel.as_mut(), spec, &scale, workers);
+            assert_eq!(
+                m,
+                reference,
+                "{}: {workers} cell threads over 4 shards diverged",
+                kind.label()
+            );
+        }
+    }
+}
