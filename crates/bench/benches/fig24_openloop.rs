@@ -1,0 +1,48 @@
+//! Fig. 24 — open-loop latency vs offered load (this reproduction's study,
+//! not a figure of the original paper).
+//!
+//! Each platform is calibrated closed-loop, then served Poisson arrivals at
+//! rising fractions of its service rate through the bounded admission queue;
+//! the knee of the sojourn-tail curve is its max sustainable throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hams_bench::{bench_scale, fig24_knees, fig24_latency_vs_load, print_rows};
+use hams_platforms::PlatformKind;
+
+const KINDS: &[PlatformKind] = &[
+    PlatformKind::Mmap,
+    PlatformKind::HamsTE,
+    PlatformKind::Oracle,
+];
+const FRACTIONS: &[f64] = &[0.5, 0.9, 1.25];
+const WORKLOADS: &[&str] = &["rndRd", "update"];
+
+fn bench(c: &mut Criterion) {
+    let scale = bench_scale();
+    for w in WORKLOADS {
+        let rows = fig24_latency_vs_load(&scale, w, KINDS, FRACTIONS);
+        print_rows(
+            &format!("Figure 24: open-loop latency vs load ({w})"),
+            &rows,
+        );
+        for (platform, knee) in fig24_knees(&rows) {
+            match knee {
+                Some(row) => println!(
+                    "  knee {platform}: {:.0}/s at {:.2}x calibrated rate",
+                    row.achieved_per_sec, row.offered_frac
+                ),
+                None => println!("  knee {platform}: saturated at the lowest offered load"),
+            }
+        }
+    }
+
+    let mut group = c.benchmark_group("fig24");
+    group.sample_size(10);
+    group.bench_function("openloop_sweep_rndRd", |b| {
+        b.iter(|| fig24_latency_vs_load(&scale, "rndRd", &[PlatformKind::HamsTE], &[0.9]))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -3,12 +3,13 @@
 //!
 //! Usage: `cargo run -p hams-bench --release --bin figures [-- <id> ...]`
 //! where `<id>` is one of `table1 table2 table3 fig5 fig6 fig7 fig10 fig16
-//! fig17 fig18 fig19 fig20 fig21 fig22 fig23`; with no arguments every
+//! fig17 fig18 fig19 fig20 fig21 fig22 fig23 fig24`; with no arguments every
 //! artefact is produced (`fig21` is this reproduction's NVMe queue-count
 //! sensitivity study, `fig22` its tag-array shard-count study — pinned flat
-//! by the shard-invariance contract — and `fig23` its archive device-scaling
-//! study over the RAID-0 / CXL-attached backends; none is a figure of the
-//! original paper).
+//! by the shard-invariance contract — `fig23` its archive device-scaling
+//! study over the RAID-0 / CXL-attached backends, and `fig24` its open-loop
+//! latency-vs-offered-load study locating each platform's max sustainable
+//! throughput; none is a figure of the original paper).
 
 use hams_bench::*;
 use hams_platforms::{feature_table, paper_config, PlatformKind};
@@ -16,7 +17,7 @@ use hams_workloads::WorkloadSpec;
 
 const ALL: &[&str] = &[
     "table1", "table2", "table3", "fig5", "fig6", "fig7", "fig10", "fig16", "fig17", "fig18",
-    "fig19", "fig20", "fig21", "fig22", "fig23",
+    "fig19", "fig20", "fig21", "fig22", "fig23", "fig24",
 ];
 
 fn main() {
@@ -187,6 +188,32 @@ fn main() {
                         &format!("Figure 23: archive device scaling ({w})"),
                         &fig_device_scaling(&scale, w, &[1, 2, 4, 8]),
                     );
+                }
+            }
+            "fig24" => {
+                for w in ["rndRd", "update"] {
+                    let rows = fig24_latency_vs_load(
+                        &scale,
+                        w,
+                        &PlatformKind::all(),
+                        &[0.25, 0.5, 0.75, 0.9, 1.05, 1.25],
+                    );
+                    print_rows(
+                        &format!("Figure 24: open-loop latency vs load ({w})"),
+                        &rows,
+                    );
+                    println!("--- max sustainable throughput ({w}) ---");
+                    for (platform, knee) in fig24_knees(&rows) {
+                        match knee {
+                            Some(row) => println!(
+                                "{:<12} {:>12.0}/s at {:.2}x calibrated rate \
+                                 (p99 sojourn {:.1}us)",
+                                platform, row.achieved_per_sec, row.offered_frac, row.p99_us
+                            ),
+                            None => println!("{platform:<12} saturated at the lowest offered load"),
+                        }
+                    }
+                    println!();
                 }
             }
             other => eprintln!("unknown figure id: {other}"),

@@ -15,6 +15,7 @@
 //! cargo run -p hams-bench --release --bin throughput -- --label after
 //! cargo run -p hams-bench --release --bin throughput -- --quick --label ci-smoke
 //! cargo run -p hams-bench --release --bin throughput -- --scaling --label scaling
+//! cargo run -p hams-bench --release --bin throughput -- --openloop --label openloop
 //! cargo run -p hams-bench --release --bin throughput -- --out /tmp/scratch.json
 //! cargo run -p hams-bench --release --bin throughput -- \
 //!     --quick --label ci-smoke --out /tmp/smoke.json --gate BENCH_hotpath.json
@@ -25,7 +26,11 @@
 //! `--scaling` runs the serving-path scaling sweep instead of the platform
 //! grid: `hams-TE` × `rndRd` through the serial path, the batched path, and
 //! the intra-cell parallel path at 1/2/4/8 cell threads, asserting along the
-//! way that every path produces byte-identical simulated metrics. `--gate`
+//! way that every path produces byte-identical simulated metrics.
+//! `--openloop` times the open-loop engine instead: each variant calibrates
+//! the platform's closed-loop service rate, offers a Poisson fraction of it
+//! through [`run_workload_open_loop`], and reports wall-clock per arrival
+//! plus simulated sojourn p50/p99/p999. `--gate`
 //! makes the run enforcing: each fresh cell is compared against the most
 //! recent same-label run in the given trajectory file, and the process exits
 //! non-zero if any cell regressed by more than [`GATE_RATIO`]. The harness
@@ -39,7 +44,8 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use hams_platforms::{
-    run_workload, run_workload_cell_parallel, run_workload_serial, PlatformKind, ScaleProfile,
+    run_workload, run_workload_cell_parallel, run_workload_open_loop, run_workload_serial,
+    OpenLoopConfig, PlatformKind, ScaleProfile,
 };
 use hams_workloads::WorkloadSpec;
 
@@ -62,6 +68,7 @@ struct Config {
     out: String,
     quick: bool,
     scaling: bool,
+    openloop: bool,
     gate: Option<String>,
 }
 
@@ -71,6 +78,7 @@ fn parse_args() -> Config {
         out: "BENCH_hotpath.json".to_owned(),
         quick: false,
         scaling: false,
+        openloop: false,
         gate: None,
     };
     let mut args = std::env::args().skip(1);
@@ -78,6 +86,7 @@ fn parse_args() -> Config {
         match arg.as_str() {
             "--quick" => config.quick = true,
             "--scaling" => config.scaling = true,
+            "--openloop" => config.openloop = true,
             "--gate" => {
                 config.gate = Some(args.next().unwrap_or_else(|| {
                     eprintln!("--gate needs a baseline trajectory path");
@@ -111,12 +120,16 @@ fn parse_args() -> Config {
             }
             other => {
                 eprintln!(
-                    "unknown argument {other:?}; flags: --quick --scaling --label <s> \
-                     --out <path> --gate <baseline>"
+                    "unknown argument {other:?}; flags: --quick --scaling --openloop \
+                     --label <s> --out <path> --gate <baseline>"
                 );
                 std::process::exit(2);
             }
         }
+    }
+    if config.scaling && config.openloop {
+        eprintln!("--scaling and --openloop are mutually exclusive modes");
+        std::process::exit(2);
     }
     config
 }
@@ -250,6 +263,73 @@ fn measure_scaling(scale: &ScaleProfile, reps: usize) -> Vec<Cell> {
     cells
 }
 
+/// Open-loop variants: (trajectory label, platform, offered fraction of the
+/// platform's calibrated closed-loop service rate). Fractions below 1.0 are
+/// sustainable; the hams-TE pair brackets the knee region the `fig24` sweep
+/// maps in full.
+const OPENLOOP_VARIANTS: &[(&str, PlatformKind, f64)] = &[
+    ("mmap/ol@0.9", PlatformKind::Mmap, 0.9),
+    ("hams-TE/ol@0.5", PlatformKind::HamsTE, 0.5),
+    ("hams-TE/ol@0.9", PlatformKind::HamsTE, 0.9),
+    ("oracle/ol@0.9", PlatformKind::Oracle, 0.9),
+];
+
+/// The open-loop sweep: wall-clock cost of the open-loop engine itself per
+/// arrival, plus the simulated sojourn tail it reports. Calibration (one
+/// closed-loop run per variant, outside the timer) converts each fraction
+/// into an absolute Poisson rate, so the cells stay meaningful as the
+/// simulator's service times evolve across PRs.
+fn measure_openloop(scale: &ScaleProfile, reps: usize) -> Vec<Cell> {
+    let spec = WorkloadSpec::by_name("rndRd").expect("known workload");
+    let mut cells = Vec::new();
+    for &(label, kind, fraction) in OPENLOOP_VARIANTS {
+        let service_rate = {
+            let mut platform = kind.build(scale);
+            let m = run_workload(platform.as_mut(), spec, scale);
+            m.accesses as f64 / m.total_time.as_secs_f64().max(1e-12)
+        };
+        let config = OpenLoopConfig::poisson(fraction * service_rate);
+        let mut best = u128::MAX;
+        let mut last_metrics = None;
+        for _ in 0..reps {
+            let mut platform = kind.build(scale);
+            let start = Instant::now();
+            let metrics = run_workload_open_loop(platform.as_mut(), spec, scale, &config);
+            let elapsed = start.elapsed().as_nanos();
+            assert_eq!(metrics.arrivals, scale.accesses as u64);
+            best = best.min(elapsed.max(1));
+            last_metrics = Some(metrics);
+        }
+        let metrics = last_metrics.expect("reps >= 1");
+        let [p50, p99, p999] = metrics.sojourn_p50_p99_p999();
+        let us = |t: Option<hams_sim::Nanos>| t.map_or(f64::NAN, hams_sim::Nanos::as_micros_f64);
+        let secs = best as f64 / 1e9;
+        let cell = Cell {
+            platform: label,
+            workload: "rndRd",
+            accesses: scale.accesses as u64,
+            best_wall_ns: best,
+            accesses_per_sec: scale.accesses as f64 / secs,
+            ns_per_access: best as f64 / scale.accesses as f64,
+        };
+        println!(
+            "{:<16} {:<6} {:>9.0} arrivals/s  {:>8.1} ns/arrival  sojourn p50/p99/p999 \
+             {:>8.1}/{:>8.1}/{:>8.1} us  served {} dropped {}",
+            cell.platform,
+            cell.workload,
+            cell.accesses_per_sec,
+            cell.ns_per_access,
+            us(p50),
+            us(p99),
+            us(p999),
+            metrics.served,
+            metrics.dropped
+        );
+        cells.push(cell);
+    }
+    cells
+}
+
 /// Renders one run entry (the object inside the top-level `"runs"` array).
 fn render_run(label: &str, scale: &ScaleProfile, reps: usize, cells: &[Cell]) -> String {
     let mut out = String::new();
@@ -311,6 +391,12 @@ fn write_trajectory(path: &str, run: &str) {
             format!("{{\n  \"methodology\": \"{METHODOLOGY}\",\n  \"runs\": [\n{run}\n{FILE_TAIL}")
         }
     };
+    // Round-trip check: the file this harness writes must always be a valid
+    // JSON document, or the next --gate run would fail on its own baseline.
+    if let Err(e) = serde_json::from_str(&rendered) {
+        eprintln!("internal error: rendered trajectory for {path} is not valid JSON: {e}");
+        std::process::exit(1);
+    }
     std::fs::write(path, rendered).unwrap_or_else(|e| {
         eprintln!("cannot write {path}: {e}");
         std::process::exit(1);
@@ -318,67 +404,73 @@ fn write_trajectory(path: &str, run: &str) {
     println!("wrote {path}");
 }
 
-/// Extracts the string value of `"key": "..."` from a JSON line emitted by
-/// [`render_run`] (the gate only ever reads files this harness wrote, so a
-/// line-oriented scan is sufficient and keeps the harness dependency-free).
-fn json_str_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
-    let needle = format!("\"{key}\": \"");
-    let start = line.find(&needle)? + needle.len();
-    let end = line[start..].find('"')?;
-    Some(&line[start..start + end])
-}
-
-/// Extracts the numeric value of `"key": <number>` from a JSON line.
-fn json_num_field(line: &str, key: &str) -> Option<f64> {
-    let needle = format!("\"{key}\": ");
-    let start = line.find(&needle)? + needle.len();
-    let end = line[start..]
-        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
-        .unwrap_or(line.len() - start);
-    line[start..start + end].parse().ok()
-}
-
-/// The most recent run with `label` in a trajectory file, as
-/// `(platform, workload) -> ns_per_access`.
-fn baseline_cells(text: &str, label: &str) -> Vec<(String, String, f64)> {
-    let mut latest = Vec::new();
-    let mut current: Option<Vec<(String, String, f64)>> = None;
-    for line in text.lines() {
-        if let Some(run_label) = json_str_field(line, "label") {
-            // Entering a new run entry: bank the previous matching one.
-            if let Some(cells) = current.take() {
-                latest = cells;
-            }
-            if run_label == label {
-                current = Some(Vec::new());
-            }
-        } else if let (Some(cells), Some(platform)) =
-            (current.as_mut(), json_str_field(line, "platform"))
-        {
-            if let (Some(workload), Some(ns)) = (
-                json_str_field(line, "workload"),
-                json_num_field(line, "ns_per_access"),
-            ) {
-                cells.push((platform.to_owned(), workload.to_owned(), ns));
-            }
+/// The most recent run labelled `label` in a trajectory document, as
+/// `(platform, workload, ns_per_access)` cells.
+///
+/// The document is parsed structurally (the `serde_json` shim), so a
+/// malformed trajectory — bad JSON, a run without a string label, a cell
+/// missing its fields — is a loud, positioned error instead of a silently
+/// dropped cell. When labels repeat, the *last* matching run wins
+/// deterministically: the trajectory file is append-only, so the latest
+/// same-label entry is the most recent measurement.
+fn baseline_cells(text: &str, label: &str) -> Result<Vec<(String, String, f64)>, String> {
+    let doc = serde_json::from_str(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    let runs = doc
+        .get("runs")
+        .and_then(serde_json::Value::as_array)
+        .ok_or("missing top-level \"runs\" array")?;
+    let mut latest: Option<(usize, &serde_json::Value)> = None;
+    for (i, run) in runs.iter().enumerate() {
+        let run_label = run
+            .get("label")
+            .and_then(serde_json::Value::as_str)
+            .ok_or_else(|| format!("run #{i} has no string \"label\""))?;
+        if run_label == label {
+            latest = Some((i, run));
         }
     }
-    if let Some(cells) = current.take() {
-        latest = cells;
+    let Some((run_idx, run)) = latest else {
+        return Ok(Vec::new());
+    };
+    let cells = run
+        .get("cells")
+        .and_then(serde_json::Value::as_array)
+        .ok_or_else(|| format!("run #{run_idx} ({label:?}) has no \"cells\" array"))?;
+    let mut out = Vec::with_capacity(cells.len());
+    for (j, cell) in cells.iter().enumerate() {
+        let field = |key: &str| {
+            cell.get(key)
+                .ok_or_else(|| format!("run #{run_idx} ({label:?}) cell #{j} is missing {key:?}"))
+        };
+        let platform = field("platform")?
+            .as_str()
+            .ok_or_else(|| format!("run #{run_idx} cell #{j}: \"platform\" is not a string"))?;
+        let workload = field("workload")?
+            .as_str()
+            .ok_or_else(|| format!("run #{run_idx} cell #{j}: \"workload\" is not a string"))?;
+        let ns = field("ns_per_access")?.as_f64().ok_or_else(|| {
+            format!("run #{run_idx} cell #{j}: \"ns_per_access\" is not a number")
+        })?;
+        out.push((platform.to_owned(), workload.to_owned(), ns));
     }
-    latest
+    Ok(out)
 }
 
 /// Enforces the perf gate: every fresh cell with a committed counterpart in
 /// the latest same-label baseline run must stay within [`GATE_RATIO`] of it.
 /// A missing baseline file, label, or cell is reported but never fails the
-/// gate — the first run of a new label cannot regress against anything.
+/// gate — the first run of a new label cannot regress against anything. A
+/// *malformed* baseline, on the other hand, always fails: a gate that
+/// silently skipped corrupt cells would pass exactly when it mattered most.
 fn enforce_gate(baseline_path: &str, label: &str, cells: &[Cell]) {
     let Ok(text) = std::fs::read_to_string(baseline_path) else {
         println!("gate: no baseline file {baseline_path}; passing by default");
         return;
     };
-    let baseline = baseline_cells(&text, label);
+    let baseline = baseline_cells(&text, label).unwrap_or_else(|e| {
+        eprintln!("gate: baseline {baseline_path} is malformed: {e}");
+        std::process::exit(2);
+    });
     if baseline.is_empty() {
         println!("gate: no run labelled {label:?} in {baseline_path}; passing by default");
         return;
@@ -422,12 +514,15 @@ fn main() {
     let config = parse_args();
     let scale = scale_for(config.quick);
     println!(
-        "throughput: label={} quick={} scaling={} accesses={}",
-        config.label, config.quick, config.scaling, scale.accesses
+        "throughput: label={} quick={} scaling={} openloop={} accesses={}",
+        config.label, config.quick, config.scaling, config.openloop, scale.accesses
     );
     let (cells, reps) = if config.scaling {
         let reps = if config.quick { 1 } else { 3 };
         (measure_scaling(&scale, reps), reps)
+    } else if config.openloop {
+        let reps = if config.quick { 1 } else { 3 };
+        (measure_openloop(&scale, reps), reps)
     } else if config.quick {
         let kinds = [
             PlatformKind::Mmap,
@@ -451,4 +546,79 @@ fn main() {
     }
     let run = render_run(&config.label, &scale, reps, &cells);
     write_trajectory(&config.out, &run);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(platform: &'static str, ns: f64) -> Cell {
+        Cell {
+            platform,
+            workload: "rndRd",
+            accesses: 100,
+            best_wall_ns: (ns * 100.0) as u128,
+            accesses_per_sec: 1e9 / ns,
+            ns_per_access: ns,
+        }
+    }
+
+    fn doc(runs: &str) -> String {
+        format!("{{\n  \"methodology\": \"m\",\n  \"runs\": [\n{runs}\n  ]\n}}\n")
+    }
+
+    #[test]
+    fn render_run_output_parses_structurally() {
+        let scale = scale_for(true);
+        let cells = [cell("mmap", 540.0), cell("hams-TE", 650.0)];
+        let run = render_run("ci-smoke", &scale, 1, &cells);
+        let parsed = baseline_cells(&doc(&run), "ci-smoke").unwrap();
+        assert_eq!(
+            parsed,
+            vec![
+                ("mmap".to_owned(), "rndRd".to_owned(), 540.0),
+                ("hams-TE".to_owned(), "rndRd".to_owned(), 650.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn latest_same_label_run_wins_when_labels_repeat() {
+        let scale = scale_for(true);
+        let old = render_run("ci-smoke", &scale, 1, &[cell("mmap", 100.0)]);
+        let other = render_run("nightly", &scale, 1, &[cell("mmap", 999.0)]);
+        let new = render_run("ci-smoke", &scale, 1, &[cell("mmap", 200.0)]);
+        let text = doc(&format!("{old},\n{other},\n{new}"));
+        let parsed = baseline_cells(&text, "ci-smoke").unwrap();
+        assert_eq!(parsed, vec![("mmap".to_owned(), "rndRd".to_owned(), 200.0)]);
+    }
+
+    #[test]
+    fn missing_label_is_empty_not_an_error() {
+        let scale = scale_for(true);
+        let run = render_run("ci-smoke", &scale, 1, &[cell("mmap", 100.0)]);
+        assert_eq!(baseline_cells(&doc(&run), "absent").unwrap(), vec![]);
+    }
+
+    #[test]
+    fn malformed_cells_error_loudly_instead_of_dropping() {
+        // The old line-oriented parser silently skipped cells whose fields it
+        // could not slice out; the structural parser must refuse the run.
+        let text = doc(
+            "    {\"label\": \"ci-smoke\", \"cells\": [\n        \
+             {\"platform\": \"mmap\", \"workload\": \"rndRd\", \"ns_per_access\": \"oops\"}\n    ]}",
+        );
+        let err = baseline_cells(&text, "ci-smoke").unwrap_err();
+        assert!(err.contains("ns_per_access"), "unhelpful error: {err}");
+
+        let missing = doc("    {\"label\": \"ci-smoke\", \"cells\": [{\"platform\": \"mmap\"}]}");
+        assert!(baseline_cells(&missing, "ci-smoke").is_err());
+
+        let unlabelled = doc("    {\"cells\": []}");
+        let err = baseline_cells(&unlabelled, "ci-smoke").unwrap_err();
+        assert!(err.contains("label"), "unhelpful error: {err}");
+
+        let invalid = "not json at all";
+        assert!(baseline_cells(invalid, "ci-smoke").is_err());
+    }
 }

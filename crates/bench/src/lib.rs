@@ -20,8 +20,8 @@ use hams_nvme::{NvmeCommand, PrpList};
 use hams_platforms::{
     build_cxl_platform, build_raid_sweep_platform, queue_sweep_label, register_hams_queue_sweep,
     register_hams_shard_sweep, run_grid, run_grid_with, run_matrix, run_workload,
-    shard_sweep_label, HamsPlatform, MmapPlatform, PlatformKind, PlatformRegistry, RunMetrics,
-    ScaleProfile,
+    run_workload_open_loop, shard_sweep_label, HamsPlatform, MmapPlatform, OpenLoopConfig,
+    PlatformKind, PlatformRegistry, RunMetrics, ScaleProfile,
 };
 use hams_sim::parallel_map;
 use hams_sim::Nanos;
@@ -986,6 +986,175 @@ pub fn fig_device_scaling(
     rows
 }
 
+// ---------------------------------------------------------------------------
+// Figure 24 — open-loop latency vs offered load (this reproduction's study)
+// ---------------------------------------------------------------------------
+
+/// Maximum drop fraction an offered load may show and still count as
+/// sustained.
+pub const SUSTAINABLE_MAX_DROP_FRACTION: f64 = 0.001;
+
+/// Minimum achieved/offered throughput ratio for an offered load to count as
+/// sustained.
+pub const SUSTAINABLE_MIN_ACHIEVED_FRACTION: f64 = 0.90;
+
+/// One point of the fig24 sweep: a platform serving one offered load
+/// open-loop, with its sojourn tail.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpenLoopRow {
+    /// Platform label.
+    pub platform: String,
+    /// Workload name.
+    pub workload: String,
+    /// Offered load as a fraction of the platform's calibrated closed-loop
+    /// service rate.
+    pub offered_frac: f64,
+    /// Offered arrival rate in requests per second.
+    pub offered_per_sec: f64,
+    /// Achieved service rate in requests per second of simulated time.
+    pub achieved_per_sec: f64,
+    /// Arrivals rejected by the bounded admission queue.
+    pub dropped: u64,
+    /// Total arrivals offered.
+    pub arrivals: u64,
+    /// Median sojourn time (queueing + service) in microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile sojourn time in microseconds.
+    pub p99_us: f64,
+    /// 99.9th-percentile sojourn time in microseconds.
+    pub p999_us: f64,
+    /// Whether the platform sustained this offered load (see
+    /// [`openloop_sustainable`]).
+    pub sustainable: bool,
+}
+
+impl fmt::Display for OpenLoopRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<12} {:<6} offered={:>4.2}x ({:>10}/s) achieved={:>10}/s drops={:<5} \
+             p50={:>8}us p99={:>8}us p999={:>8}us [{}]",
+            self.platform,
+            self.workload,
+            self.offered_frac,
+            cell(self.offered_per_sec),
+            cell(self.achieved_per_sec),
+            self.dropped,
+            cell(self.p50_us),
+            cell(self.p99_us),
+            cell(self.p999_us),
+            if self.sustainable { "ok" } else { "SATURATED" }
+        )
+    }
+}
+
+/// Whether an offered load counts as sustained: (almost) nothing dropped and
+/// achieved throughput within [`SUSTAINABLE_MIN_ACHIEVED_FRACTION`] of
+/// offered.
+#[must_use]
+pub fn openloop_sustainable(
+    offered_per_sec: f64,
+    achieved_per_sec: f64,
+    dropped: u64,
+    arrivals: u64,
+) -> bool {
+    let drop_frac = if arrivals == 0 {
+        0.0
+    } else {
+        dropped as f64 / arrivals as f64
+    };
+    drop_frac <= SUSTAINABLE_MAX_DROP_FRACTION
+        && achieved_per_sec >= SUSTAINABLE_MIN_ACHIEVED_FRACTION * offered_per_sec
+}
+
+/// Fig. 24: open-loop sojourn latency versus offered load. Each platform is
+/// first calibrated closed-loop (its service rate with one outstanding
+/// batch), then served Poisson arrivals at every fraction of that rate in
+/// `fractions`, through the bounded admission queue. Rows are platform-major
+/// in the order of `kinds`, ascending fraction within a platform — the shape
+/// [`fig24_knee`] expects.
+#[must_use]
+pub fn fig24_latency_vs_load(
+    scale: &ScaleProfile,
+    workload: &str,
+    kinds: &[PlatformKind],
+    fractions: &[f64],
+) -> Vec<OpenLoopRow> {
+    let Some(spec) = WorkloadSpec::by_name(workload) else {
+        return Vec::new();
+    };
+    let per_platform = parallel_map(kinds, |kind| {
+        let service_rate = {
+            let mut platform = kind.build(scale);
+            let m = run_workload(platform.as_mut(), spec, scale);
+            m.accesses as f64 / m.total_time.as_secs_f64().max(1e-12)
+        };
+        fractions
+            .iter()
+            .map(|&frac| {
+                let mut platform = kind.build(scale);
+                let config = OpenLoopConfig::poisson(frac * service_rate);
+                let m = run_workload_open_loop(platform.as_mut(), spec, scale, &config);
+                let [p50, p99, p999] = m.sojourn_p50_p99_p999();
+                let us = |t: Option<Nanos>| t.map_or(0.0, Nanos::as_micros_f64);
+                OpenLoopRow {
+                    platform: kind.label().to_owned(),
+                    workload: workload.to_owned(),
+                    offered_frac: frac,
+                    offered_per_sec: m.offered_rate_per_sec,
+                    achieved_per_sec: m.achieved_per_sec(),
+                    dropped: m.dropped,
+                    arrivals: m.arrivals,
+                    p50_us: us(p50),
+                    p99_us: us(p99),
+                    p999_us: us(p999),
+                    sustainable: openloop_sustainable(
+                        m.offered_rate_per_sec,
+                        m.achieved_per_sec(),
+                        m.dropped,
+                        m.arrivals,
+                    ),
+                }
+            })
+            .collect::<Vec<_>>()
+    });
+    per_platform.into_iter().flatten().collect()
+}
+
+/// The knee of one platform's latency-throughput curve: the index of the
+/// last sustained offered load in a rising sweep (`None` when even the
+/// lowest offered load saturates). `rows` must be one platform's points in
+/// ascending offered-load order; the knee is the end of the leading
+/// sustained prefix, so one unsustained point caps the curve even if a
+/// higher load happens to look sustained again (noise past saturation).
+#[must_use]
+pub fn fig24_knee(rows: &[OpenLoopRow]) -> Option<usize> {
+    rows.iter()
+        .take_while(|r| r.sustainable)
+        .count()
+        .checked_sub(1)
+}
+
+/// Splits a platform-major fig24 sweep into `(platform, knee row)` pairs —
+/// the per-platform max-sustainable-throughput summary the figure reports.
+#[must_use]
+pub fn fig24_knees(rows: &[OpenLoopRow]) -> Vec<(String, Option<OpenLoopRow>)> {
+    let mut out: Vec<(String, Option<OpenLoopRow>)> = Vec::new();
+    let mut start = 0;
+    while start < rows.len() {
+        let platform = rows[start].platform.clone();
+        let end = rows[start..]
+            .iter()
+            .take_while(|r| r.platform == platform)
+            .count()
+            + start;
+        let knee = fig24_knee(&rows[start..end]).map(|i| rows[start + i].clone());
+        out.push((platform, knee));
+        start = end;
+    }
+    out
+}
+
 /// Prints any row type list under a header (used by the `figures` binary and
 /// the benches so each bench also regenerates its figure's series).
 pub fn print_rows<T: fmt::Display>(header: &str, rows: &[T]) {
@@ -1209,5 +1378,72 @@ mod tests {
         let get = |p: &str| rows.iter().find(|r| r.platform == p).unwrap().ops_per_sec;
         assert!(get("oracle") >= get("hams-TE"));
         assert!(get("hams-TE") > get("mmap"));
+    }
+
+    #[test]
+    fn fig24_sweep_shape_and_accounting() {
+        let scale = tiny();
+        let kinds = [PlatformKind::HamsTE, PlatformKind::Oracle];
+        let fractions = [0.5, 1.25];
+        let rows = fig24_latency_vs_load(&scale, "rndRd", &kinds, &fractions);
+        assert_eq!(rows.len(), kinds.len() * fractions.len());
+        for row in &rows {
+            assert_eq!(row.arrivals, scale.accesses as u64);
+            assert!(row.offered_per_sec > 0.0);
+            assert!(row.achieved_per_sec > 0.0);
+            assert!(row.p50_us <= row.p99_us && row.p99_us <= row.p999_us);
+        }
+        // Rows are platform-major in `kinds` order, ascending fraction
+        // within a platform — the shape the knee finder expects.
+        assert_eq!(rows[0].platform, "hams-TE");
+        assert_eq!(rows[2].platform, "oracle");
+        assert!(rows[0].offered_frac < rows[1].offered_frac);
+        // At half the calibrated closed-loop rate every platform keeps up.
+        assert!(rows[0].sustainable && rows[2].sustainable);
+        let knees = fig24_knees(&rows);
+        assert_eq!(knees.len(), kinds.len());
+        for (platform, knee) in &knees {
+            let knee = knee
+                .as_ref()
+                .unwrap_or_else(|| panic!("{platform} saturated at half its own service rate"));
+            assert!(knee.sustainable);
+        }
+    }
+
+    #[test]
+    fn fig24_knee_is_the_end_of_the_sustained_prefix() {
+        let row = |platform: &str, frac: f64, sustainable: bool| OpenLoopRow {
+            platform: platform.to_owned(),
+            workload: "rndRd".to_owned(),
+            offered_frac: frac,
+            offered_per_sec: frac * 1e6,
+            achieved_per_sec: if sustainable { frac * 1e6 } else { 9e5 },
+            dropped: 0,
+            arrivals: 100,
+            p50_us: 1.0,
+            p99_us: 2.0,
+            p999_us: 3.0,
+            sustainable,
+        };
+        assert_eq!(fig24_knee(&[]), None);
+        assert_eq!(fig24_knee(&[row("a", 0.5, false)]), None);
+        let curve = [
+            row("a", 0.25, true),
+            row("a", 0.5, true),
+            row("a", 0.9, false),
+            // Noise past saturation must not reopen the curve.
+            row("a", 1.25, true),
+        ];
+        assert_eq!(fig24_knee(&curve), Some(1));
+
+        let mut rows = curve.to_vec();
+        rows.push(row("b", 0.25, false));
+        rows.push(row("b", 0.5, true));
+        let knees = fig24_knees(&rows);
+        assert_eq!(knees.len(), 2);
+        assert_eq!(knees[0].0, "a");
+        assert_eq!(knees[0].1.as_ref().map(|r| r.offered_frac), Some(0.5));
+        assert_eq!(knees[1].0, "b");
+        assert!(knees[1].1.is_none(), "b saturated at its lowest load");
     }
 }

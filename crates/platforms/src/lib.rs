@@ -37,6 +37,7 @@ pub mod cache;
 pub mod direct;
 pub mod hams;
 pub mod mmap;
+pub mod openloop;
 pub mod platform;
 pub mod registry;
 pub mod runner;
@@ -48,6 +49,9 @@ pub use hams::{HamsPlatform, SCALED_MOS_PAGE_BYTES};
 pub use hams_core::{BackendTopology, ShardConfig, ShardHashPolicy};
 pub use hams_nvme::QueueConfig;
 pub use mmap::MmapPlatform;
+pub use openloop::{
+    run_workload_open_loop, AdmissionPolicy, OpenLoopConfig, OpenLoopMetrics, OpenLoopRecord,
+};
 pub use platform::{AccessOutcome, BatchOutcome, BatchRequest, Platform};
 pub use registry::{
     build_cxl_platform, build_raid_sweep_platform, cxl_label, queue_sweep_label, raid_sweep_label,

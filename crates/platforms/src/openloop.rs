@@ -1,0 +1,527 @@
+//! Open-loop serving: a bounded admission queue between an arrival process
+//! and the platform, with sojourn-time (queueing + service) accounting.
+//!
+//! The closed-loop runner ([`crate::run_workload`]) issues the next access
+//! when the previous one finishes, so the offered load always equals the
+//! service rate — saturation behaviour, the regime where HAMS's hardware
+//! automation is supposed to beat the software stacks, is invisible. The
+//! open-loop driver here decouples the two: an
+//! [`ArrivalGenerator`](hams_workloads::ArrivalGenerator) schedules when
+//! requests *arrive*, an [`AdmissionQueue`] of configurable depth holds them
+//! at the platform boundary (dropping or back-pressuring when full), and the
+//! platform serves FIFO batches through the same
+//! [`Platform::serve_batch_into`] hot path as closed-loop replay. Each served
+//! request records arrival → enqueue → dispatch → finish timestamps, and the
+//! sojourn time (finish − arrival) feeds a [`Histogram`] for p50/p99/p999
+//! reporting.
+//!
+//! The engine is pinned to the rest of the test tower by a degenerate
+//! contract: at arrival-rate → ∞ ([`ArrivalProcess::Saturate`]) with a
+//! depth-1 blocking queue and batch size 1, every dispatch instant equals the
+//! previous finish, which is exactly the closed-loop serial schedule —
+//! [`run_workload_open_loop`] must then produce [`RunMetrics`] byte-identical
+//! to [`crate::run_workload_serial`] (`tests/openloop_equivalence.rs`).
+
+use hams_sim::{Histogram, Nanos};
+use hams_workloads::{Access, ArrivalGenerator, ArrivalProcess, TraceGenerator, WorkloadSpec};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::iter::Peekable;
+
+use crate::platform::{BatchOutcome, BatchRequest, Platform};
+use crate::runner::{MetricsFold, RunMetrics, ScaleProfile, DEFAULT_BATCH_SIZE};
+
+/// What the admission queue does with an arrival that finds it full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AdmissionPolicy {
+    /// Reject the request; it is counted in
+    /// [`OpenLoopMetrics::dropped`] and never reaches the platform.
+    Drop,
+    /// Hold the request at the door until a slot frees (the client blocks);
+    /// its enqueue timestamp becomes the instant the slot freed.
+    Block,
+}
+
+/// Configuration of one open-loop run: the arrival process plus the
+/// admission-queue and histogram knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OpenLoopConfig {
+    /// When requests arrive.
+    pub arrivals: ArrivalProcess,
+    /// Maximum number of requests waiting at the platform boundary.
+    pub queue_depth: usize,
+    /// What happens to an arrival that finds the queue full.
+    pub policy: AdmissionPolicy,
+    /// Requests dispatched to [`Platform::serve_batch_into`] per call
+    /// (capped by what is queued; `0` is treated as `1`).
+    pub batch_size: usize,
+    /// Bucket width of the sojourn-time histogram.
+    pub sojourn_bucket: Nanos,
+    /// Bucket count of the sojourn-time histogram.
+    pub sojourn_buckets: usize,
+}
+
+impl OpenLoopConfig {
+    /// A Poisson run at `rate_per_sec` with production-flavoured defaults:
+    /// a deep dropping queue and a 256 ns × 65 536-bucket sojourn histogram
+    /// (~16.8 ms of range before the overflow bucket's true-max tracking
+    /// takes over).
+    #[must_use]
+    pub fn poisson(rate_per_sec: f64) -> Self {
+        OpenLoopConfig {
+            arrivals: ArrivalProcess::Poisson { rate_per_sec },
+            queue_depth: 4096,
+            policy: AdmissionPolicy::Drop,
+            batch_size: DEFAULT_BATCH_SIZE,
+            sojourn_bucket: Nanos::from_nanos(256),
+            sojourn_buckets: 65_536,
+        }
+    }
+
+    /// The degenerate configuration that reproduces closed-loop serial
+    /// serving: all arrivals at t = 0, one slot, blocking admission, batch
+    /// size 1. Pinned byte-identical to [`crate::run_workload_serial`].
+    #[must_use]
+    pub fn degenerate_serial() -> Self {
+        OpenLoopConfig {
+            arrivals: ArrivalProcess::Saturate,
+            queue_depth: 1,
+            policy: AdmissionPolicy::Block,
+            batch_size: 1,
+            sojourn_bucket: Nanos::from_nanos(256),
+            sojourn_buckets: 65_536,
+        }
+    }
+
+    /// Returns a copy with a different arrival process.
+    #[must_use]
+    pub fn with_arrivals(mut self, arrivals: ArrivalProcess) -> Self {
+        self.arrivals = arrivals;
+        self
+    }
+
+    /// Returns a copy with a different queue depth.
+    #[must_use]
+    pub fn with_queue_depth(mut self, depth: usize) -> Self {
+        self.queue_depth = depth;
+        self
+    }
+
+    /// Returns a copy with a different admission policy.
+    #[must_use]
+    pub fn with_policy(mut self, policy: AdmissionPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+}
+
+/// The life of one served request, as the four instants the engine records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpenLoopRecord {
+    /// When the request arrived at the platform boundary.
+    pub arrival: Nanos,
+    /// When it entered the admission queue (equals `arrival` unless a
+    /// blocking queue held it at the door).
+    pub enqueued: Nanos,
+    /// When the platform started serving it.
+    pub started: Nanos,
+    /// When its outcome completed.
+    pub finished: Nanos,
+}
+
+impl OpenLoopRecord {
+    /// Total time in the system: queueing plus service.
+    #[must_use]
+    pub fn sojourn(&self) -> Nanos {
+        self.finished.saturating_sub(self.arrival)
+    }
+
+    /// Service time alone (dispatch to completion).
+    #[must_use]
+    pub fn service(&self) -> Nanos {
+        self.finished.saturating_sub(self.started)
+    }
+
+    /// Time spent waiting before dispatch (door plus queue).
+    #[must_use]
+    pub fn queue_wait(&self) -> Nanos {
+        self.started.saturating_sub(self.arrival)
+    }
+}
+
+/// Everything one open-loop run reports: the closed-loop-compatible
+/// [`RunMetrics`] plus arrival/drop accounting and the sojourn distribution.
+#[derive(Debug)]
+pub struct OpenLoopMetrics {
+    /// The same per-run metrics closed-loop replay produces (timing folded
+    /// over served requests only).
+    pub run: RunMetrics,
+    /// Mean offered arrival rate (requests per second; infinite for
+    /// [`ArrivalProcess::Saturate`]).
+    pub offered_rate_per_sec: f64,
+    /// Requests the arrival process generated.
+    pub arrivals: u64,
+    /// Requests actually served.
+    pub served: u64,
+    /// Requests rejected by a full [`AdmissionPolicy::Drop`] queue.
+    pub dropped: u64,
+    /// Sojourn-time (queueing + service) distribution over served requests.
+    pub sojourn: Histogram,
+    /// Per-request timestamp records, in service order.
+    pub records: Vec<OpenLoopRecord>,
+}
+
+impl OpenLoopMetrics {
+    /// Achieved throughput in served requests per second of simulated time.
+    #[must_use]
+    pub fn achieved_per_sec(&self) -> f64 {
+        self.served as f64 / self.run.total_time.as_secs_f64().max(1e-12)
+    }
+
+    /// Fraction of arrivals that were dropped.
+    #[must_use]
+    pub fn drop_fraction(&self) -> f64 {
+        if self.arrivals == 0 {
+            0.0
+        } else {
+            self.dropped as f64 / self.arrivals as f64
+        }
+    }
+
+    /// The sojourn percentiles the paper-style tail report uses:
+    /// (p50, p99, p999). `None` entries mean no request was served.
+    #[must_use]
+    pub fn sojourn_p50_p99_p999(&self) -> [Option<Nanos>; 3] {
+        let ps = self.sojourn.percentiles(&[50.0, 99.0, 99.9]);
+        [ps[0], ps[1], ps[2]]
+    }
+}
+
+/// One request waiting at the platform boundary.
+#[derive(Debug, Clone, Copy)]
+struct Queued {
+    access: Access,
+    arrival: Nanos,
+    enqueued: Nanos,
+}
+
+/// The bounded FIFO between the arrival process and the platform.
+///
+/// `door` models [`AdmissionPolicy::Block`]: the one client the full queue is
+/// back-pressuring. While it is occupied no later arrival can be admitted
+/// (open-loop clients are independent, but admission is a single FIFO door),
+/// which is exactly the head-of-line blocking a bounded listen queue shows.
+#[derive(Debug)]
+struct AdmissionQueue {
+    depth: usize,
+    policy: AdmissionPolicy,
+    queue: VecDeque<Queued>,
+    door: Option<(Access, Nanos)>,
+    dropped: u64,
+    /// The instant the most recent blocked client got its slot; later
+    /// arrivals cannot have enqueued before it.
+    unblocked_at: Nanos,
+}
+
+impl AdmissionQueue {
+    fn new(depth: usize, policy: AdmissionPolicy) -> Self {
+        AdmissionQueue {
+            depth: depth.max(1),
+            policy,
+            queue: VecDeque::with_capacity(depth.max(1)),
+            door: None,
+            dropped: 0,
+            unblocked_at: Nanos::ZERO,
+        }
+    }
+
+    /// Admits every arrival with instant ≤ `t`, in arrival order, applying
+    /// the overflow policy. The blocked door client (if any) is first in
+    /// line and enqueues at `t` itself — the moment its slot freed.
+    fn admit_until<I>(&mut self, source: &mut Peekable<I>, t: Nanos)
+    where
+        I: Iterator<Item = (Access, Nanos)>,
+    {
+        loop {
+            let (item, from_door) = if let Some(blocked) = self.door.take() {
+                (blocked, true)
+            } else if source.peek().is_some_and(|&(_, arrival)| arrival <= t) {
+                (source.next().expect("peeked"), false)
+            } else {
+                return;
+            };
+            let (access, arrival) = item;
+            if self.queue.len() < self.depth {
+                if from_door {
+                    self.unblocked_at = t;
+                }
+                self.queue.push_back(Queued {
+                    access,
+                    arrival,
+                    enqueued: arrival.max(self.unblocked_at),
+                });
+            } else {
+                match self.policy {
+                    AdmissionPolicy::Drop => self.dropped += 1,
+                    AdmissionPolicy::Block => {
+                        self.door = Some((access, arrival));
+                        return;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Runs one workload through the open-loop engine on one platform.
+///
+/// The trace and arrival streams are zipped (request *i* of the trace
+/// arrives at instant *i* of the arrival schedule), so open-loop and
+/// closed-loop runs of the same [`ScaleProfile`] serve exactly the same
+/// accesses in the same FIFO order — only the dispatch instants differ.
+///
+/// # Panics
+///
+/// Panics when the platform violates the batch contract (wrong outcome
+/// count) or the config fails
+/// [`ArrivalProcess::validate`](hams_workloads::ArrivalProcess::validate).
+pub fn run_workload_open_loop(
+    platform: &mut dyn Platform,
+    spec: WorkloadSpec,
+    scale: &ScaleProfile,
+    config: &OpenLoopConfig,
+) -> OpenLoopMetrics {
+    let batch_size = config.batch_size.max(1);
+    let scaled = scale.scale_spec(spec);
+    let mut fold = MetricsFold::new();
+    let mut sojourn = Histogram::new(config.sojourn_bucket, config.sojourn_buckets.max(1));
+    let mut records = Vec::with_capacity(scale.accesses);
+
+    let trace = TraceGenerator::new(scaled, scale.seed, scale.accesses);
+    let arrivals = ArrivalGenerator::new(config.arrivals, scale.seed, scale.accesses);
+    let mut source = trace.zip(arrivals).peekable();
+    let mut queue = AdmissionQueue::new(config.queue_depth, config.policy);
+
+    let mut batch: Vec<BatchRequest> = Vec::with_capacity(batch_size.min(scale.accesses.max(1)));
+    let mut meta: Vec<(Nanos, Nanos)> = Vec::with_capacity(batch_size.min(scale.accesses.max(1)));
+    let mut out = BatchOutcome::with_capacity(batch_size.min(scale.accesses.max(1)));
+    // The instant the platform finished its last dispatched batch; it sits
+    // idle from here until the next dispatch.
+    let mut server_free = Nanos::ZERO;
+
+    loop {
+        // Catch the queue up to the server's clock, then — if it is idle and
+        // empty — jump it forward to the next arrival.
+        queue.admit_until(&mut source, server_free);
+        if queue.queue.is_empty() {
+            debug_assert!(
+                queue.door.is_none(),
+                "a blocked client implies a full queue"
+            );
+            let Some(&(_, next_arrival)) = source.peek() else {
+                break;
+            };
+            queue.admit_until(&mut source, server_free.max(next_arrival));
+        }
+
+        // FIFO dispatch: the batch starts when the server is free and its
+        // head request is in the queue.
+        let head_enqueued = queue.queue.front().expect("non-empty").enqueued;
+        let start = server_free.max(head_enqueued);
+
+        batch.clear();
+        meta.clear();
+        while batch.len() < batch_size {
+            let Some(q) = queue.queue.pop_front() else {
+                break;
+            };
+            // Compute phases are priced in dispatch order, which is trace
+            // order (FIFO admission of a zipped stream), so the CPU model
+            // sees exactly the closed-loop instruction sequence.
+            let compute = fold.cpu.retire(q.access.compute_instructions + 1);
+            batch.push(BatchRequest {
+                access: q.access,
+                compute,
+            });
+            meta.push((q.arrival, q.enqueued));
+        }
+
+        platform.serve_batch_into(&batch, start, &mut out);
+        assert_eq!(
+            out.outcomes.len(),
+            batch.len(),
+            "{} returned {} outcomes for an open-loop batch of {}",
+            platform.name(),
+            out.outcomes.len(),
+            batch.len()
+        );
+
+        let mut ready = start;
+        for ((request, outcome), &(arrival, enqueued)) in batch.iter().zip(&out.outcomes).zip(&meta)
+        {
+            fold.fold_from(ready, request.compute, outcome);
+            let record = OpenLoopRecord {
+                arrival,
+                enqueued,
+                started: ready,
+                finished: outcome.finished_at,
+            };
+            sojourn.record(record.sojourn());
+            records.push(record);
+            ready = outcome.finished_at;
+        }
+        server_free = out.finished_at(start);
+    }
+
+    let served = records.len() as u64;
+    let dropped = queue.dropped;
+    let run = fold.finish(platform, spec, scaled);
+    OpenLoopMetrics {
+        run,
+        offered_rate_per_sec: config.arrivals.mean_rate_per_sec(),
+        arrivals: served + dropped,
+        served,
+        dropped,
+        sojourn,
+        records,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{run_workload_serial, PlatformKind};
+
+    fn tiny_scale() -> ScaleProfile {
+        ScaleProfile {
+            capacity_divisor: 2048,
+            accesses: 1_200,
+            seed: 17,
+        }
+    }
+
+    fn spec() -> WorkloadSpec {
+        WorkloadSpec::by_name("rndRd").unwrap()
+    }
+
+    #[test]
+    fn degenerate_open_loop_matches_serial_on_hams_te() {
+        let scale = tiny_scale();
+        let mut serial = PlatformKind::HamsTE.build(&scale);
+        let mut open = PlatformKind::HamsTE.build(&scale);
+        let reference = run_workload_serial(serial.as_mut(), spec(), &scale);
+        let ol = run_workload_open_loop(
+            open.as_mut(),
+            spec(),
+            &scale,
+            &OpenLoopConfig::degenerate_serial(),
+        );
+        assert_eq!(ol.run, reference);
+        assert_eq!(ol.served, scale.accesses as u64);
+        assert_eq!(ol.dropped, 0);
+    }
+
+    #[test]
+    fn drop_policy_accounts_every_arrival() {
+        let scale = tiny_scale();
+        let mut p = PlatformKind::Mmap.build(&scale);
+        // Saturate + a shallow dropping queue: nearly everything past the
+        // first window is rejected.
+        let config = OpenLoopConfig {
+            arrivals: ArrivalProcess::Saturate,
+            queue_depth: 8,
+            policy: AdmissionPolicy::Drop,
+            batch_size: 4,
+            sojourn_bucket: Nanos::from_nanos(256),
+            sojourn_buckets: 1024,
+        };
+        let m = run_workload_open_loop(p.as_mut(), spec(), &scale, &config);
+        assert_eq!(m.arrivals, scale.accesses as u64);
+        assert_eq!(m.arrivals, m.served + m.dropped);
+        assert!(m.dropped > 0, "a full dropping queue must drop");
+        assert_eq!(m.served, m.records.len() as u64);
+        assert_eq!(m.sojourn.count(), m.served);
+    }
+
+    #[test]
+    fn block_policy_never_drops() {
+        let scale = tiny_scale();
+        let mut p = PlatformKind::Mmap.build(&scale);
+        let config = OpenLoopConfig {
+            arrivals: ArrivalProcess::Saturate,
+            queue_depth: 3,
+            policy: AdmissionPolicy::Block,
+            batch_size: 2,
+            sojourn_bucket: Nanos::from_nanos(256),
+            sojourn_buckets: 1024,
+        };
+        let m = run_workload_open_loop(p.as_mut(), spec(), &scale, &config);
+        assert_eq!(m.dropped, 0);
+        assert_eq!(m.served, scale.accesses as u64);
+    }
+
+    #[test]
+    fn sojourn_decomposes_into_wait_plus_service() {
+        let scale = tiny_scale();
+        let mut p = PlatformKind::Oracle.build(&scale);
+        let m = run_workload_open_loop(
+            p.as_mut(),
+            spec(),
+            &scale,
+            &OpenLoopConfig::poisson(2_000_000.0),
+        );
+        for r in &m.records {
+            assert!(r.arrival <= r.enqueued);
+            assert!(r.enqueued <= r.started);
+            assert!(r.started <= r.finished);
+            assert_eq!(r.sojourn(), r.queue_wait() + r.service());
+        }
+    }
+
+    #[test]
+    fn deeper_queue_drops_no_more() {
+        let scale = tiny_scale();
+        let base = OpenLoopConfig::poisson(50_000_000.0).with_queue_depth(4);
+        let mut shallow = PlatformKind::Mmap.build(&scale);
+        let mut deep = PlatformKind::Mmap.build(&scale);
+        let s = run_workload_open_loop(shallow.as_mut(), spec(), &scale, &base);
+        let d = run_workload_open_loop(deep.as_mut(), spec(), &scale, &base.with_queue_depth(4096));
+        assert!(
+            d.dropped <= s.dropped,
+            "deepening the queue added drops ({} -> {})",
+            s.dropped,
+            d.dropped
+        );
+    }
+
+    #[test]
+    fn light_load_leaves_the_server_idle_between_arrivals() {
+        let scale = ScaleProfile {
+            capacity_divisor: 2048,
+            accesses: 300,
+            seed: 9,
+        };
+        // 1000 req/s against a microsecond-scale service time: every request
+        // should find an empty queue and wait for nothing.
+        let mut p = PlatformKind::Oracle.build(&scale);
+        let m = run_workload_open_loop(
+            p.as_mut(),
+            spec(),
+            &scale,
+            &OpenLoopConfig::poisson(1_000.0),
+        );
+        assert_eq!(m.dropped, 0);
+        let waited = m
+            .records
+            .iter()
+            .filter(|r| !r.queue_wait().is_zero())
+            .count();
+        assert!(
+            waited * 10 < m.records.len(),
+            "{waited} of {} underloaded requests queued",
+            m.records.len()
+        );
+        // Total time spans the arrival schedule, not just the service time.
+        assert!(m.run.total_time >= m.records.last().unwrap().arrival);
+    }
+}

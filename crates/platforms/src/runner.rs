@@ -218,16 +218,17 @@ impl PlatformKind {
 /// that the request buffer stays cache-resident.
 pub const DEFAULT_BATCH_SIZE: usize = 256;
 
-/// Shared metric-folding state for the serial and batched serving paths.
-struct MetricsFold {
-    cpu: CpuModel,
+/// Shared metric-folding state for the serial, batched and open-loop serving
+/// paths.
+pub(crate) struct MetricsFold {
+    pub(crate) cpu: CpuModel,
     exec: LatencyBreakdown,
     accesses: u64,
-    now: Nanos,
+    pub(crate) now: Nanos,
 }
 
 impl MetricsFold {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         MetricsFold {
             cpu: CpuModel::new(CpuConfig::paper_default()),
             exec: LatencyBreakdown::new(),
@@ -240,9 +241,25 @@ impl MetricsFold {
     /// the stall its outcome caused. `outcome` must come from an access
     /// issued at `self.now + compute`.
     fn fold(&mut self, compute: Nanos, outcome: &crate::platform::AccessOutcome) {
+        let ready = self.now;
+        self.fold_from(ready, compute, outcome);
+    }
+
+    /// [`MetricsFold::fold`] with an explicit core-ready instant. The
+    /// closed-loop paths always resume at `self.now` (the previous access's
+    /// finish); the open-loop driver resumes each request at its dispatch
+    /// instant, which can sit past `now` while the server idles waiting for
+    /// an arrival. `outcome` must come from an access issued at
+    /// `ready + compute`.
+    pub(crate) fn fold_from(
+        &mut self,
+        ready: Nanos,
+        compute: Nanos,
+        outcome: &crate::platform::AccessOutcome,
+    ) {
         self.accesses += 1;
         self.exec.add(ComponentId::APP, compute);
-        let issued_at = self.now + compute;
+        let issued_at = ready + compute;
         let stall = outcome.latency(issued_at);
         self.cpu.stall(stall);
         self.exec.add(ComponentId::OS, outcome.os_time);
@@ -255,7 +272,7 @@ impl MetricsFold {
     }
 
     /// Finalizes the run into the paper's metrics.
-    fn finish(
+    pub(crate) fn finish(
         self,
         platform: &dyn Platform,
         spec: WorkloadSpec,

@@ -189,7 +189,12 @@ impl RunningStats {
 /// queries.
 ///
 /// Samples above the configured range accumulate in an overflow bucket that
-/// still participates in percentile queries (returning the range maximum).
+/// still participates in percentile queries: the histogram tracks the true
+/// maximum of the overflowed samples, and any percentile that lands in the
+/// overflow bucket resolves to that maximum rather than to the range edge.
+/// (The seed implementation clamped overflow percentiles to the range
+/// maximum, which silently flattened p999 exactly when a platform
+/// saturates — the regime where the tail matters most.)
 ///
 /// # Example
 ///
@@ -209,6 +214,9 @@ pub struct Histogram {
     bucket_width: Nanos,
     buckets: Vec<u64>,
     overflow: u64,
+    /// Largest sample that landed in the overflow bucket (zero when none
+    /// has). Overflow-landing percentiles resolve to this value.
+    overflow_max: Nanos,
     count: u64,
     sum: u128,
 }
@@ -227,6 +235,7 @@ impl Histogram {
             bucket_width,
             buckets: vec![0; buckets],
             overflow: 0,
+            overflow_max: Nanos::ZERO,
             count: 0,
             sum: 0,
         }
@@ -239,6 +248,7 @@ impl Histogram {
             self.buckets[idx] += 1;
         } else {
             self.overflow += 1;
+            self.overflow_max = self.overflow_max.max(t);
         }
         self.count += 1;
         self.sum += u128::from(t.as_nanos());
@@ -256,6 +266,14 @@ impl Histogram {
         self.overflow
     }
 
+    /// The largest sample that fell past the last bucket, or `None` when no
+    /// sample has overflowed. This is the exact value overflow-landing
+    /// percentiles resolve to.
+    #[must_use]
+    pub fn overflow_max(&self) -> Option<Nanos> {
+        (self.overflow > 0).then_some(self.overflow_max)
+    }
+
     /// Mean of all recorded samples, or zero when empty.
     #[must_use]
     pub fn mean(&self) -> Nanos {
@@ -268,8 +286,9 @@ impl Histogram {
 
     /// The `p`-th percentile (0 < p ≤ 100), approximated at bucket-boundary
     /// resolution. Returns `None` when no samples have been recorded.
-    /// Overflow samples resolve to the range maximum (the last bucket's
-    /// upper edge).
+    /// Percentiles that land in the overflow bucket resolve to the true
+    /// maximum of the overflowed samples ([`Histogram::overflow_max`]), not
+    /// to the range edge.
     ///
     /// One query is a single allocation-free bucket walk; to resolve
     /// several percentiles of the same histogram, [`Histogram::percentiles`]
@@ -288,7 +307,9 @@ impl Histogram {
                 return Some(self.bucket_width * (i as u64 + 1));
             }
         }
-        Some(self.bucket_width * self.buckets.len() as u64)
+        // The target rank exceeds the bucketed sample count, so at least one
+        // sample overflowed and `overflow_max` is the true observed value.
+        Some(self.overflow_max)
     }
 
     /// Resolves every percentile in `ps` (each 0 < p ≤ 100) in **one**
@@ -310,8 +331,10 @@ impl Histogram {
             .collect();
         targets.sort_by_key(|&(_, target)| target);
 
-        let range_max = self.bucket_width * self.buckets.len() as u64;
-        let mut results = vec![Some(range_max); ps.len()];
+        // Pre-fill with the overflow resolution: targets the bucket walk
+        // never reaches sit in the overflow bucket, whose percentile value
+        // is the true maximum of the overflowed samples.
+        let mut results = vec![Some(self.overflow_max); ps.len()];
         let mut next = targets.iter().peekable();
         let mut seen = 0;
         for (i, &c) in self.buckets.iter().enumerate() {
@@ -328,7 +351,7 @@ impl Histogram {
             }
         }
         // Unresolved targets sit in the overflow bucket and keep the
-        // pre-filled range maximum.
+        // pre-filled overflow maximum.
         results
     }
 
@@ -344,6 +367,7 @@ impl Histogram {
     pub fn reset(&mut self) {
         self.buckets.iter_mut().for_each(|b| *b = 0);
         self.overflow = 0;
+        self.overflow_max = Nanos::ZERO;
         self.count = 0;
         self.sum = 0;
     }
@@ -770,8 +794,9 @@ mod tests {
         // p50 → target rank 5 → the fifth sample (50ns) in bucket 5 → upper
         // edge 60ns.
         assert_eq!(h.percentile(50.0), Some(Nanos::from_nanos(60)));
-        // p99 → rank 10 → the overflow sample → range maximum.
-        assert_eq!(h.percentile(99.0), Some(Nanos::from_nanos(100)));
+        // p99 → rank 10 → the overflow sample → its true observed value,
+        // not the 100ns range edge (which would flatten the tail).
+        assert_eq!(h.percentile(99.0), Some(Nanos::from_nanos(1_000)));
         // p0 clamps to the first sample's bucket.
         assert_eq!(h.percentile(0.0), Some(Nanos::from_nanos(20)));
         // Out-of-range p clamps to 100.
@@ -789,19 +814,49 @@ mod tests {
         for (p, got) in ps.iter().zip(&batch) {
             assert_eq!(*got, h.percentile(*p), "p{p} diverged from the batch");
         }
+        // An overflow-heavy histogram must agree between the two paths too.
+        let mut tail = Histogram::new(Nanos::from_nanos(100), 8);
+        for i in 0..200u64 {
+            tail.record(Nanos::from_nanos(i * 311 % 50_000));
+        }
+        assert!(tail.overflow() > 0);
+        for (p, got) in ps.iter().zip(&tail.percentiles(&ps)) {
+            assert_eq!(*got, tail.percentile(*p), "overflow p{p} diverged");
+        }
         // Empty histograms resolve every percentile to None.
         let empty = Histogram::new(Nanos::from_nanos(10), 4);
         assert_eq!(empty.percentiles(&ps), vec![None; ps.len()]);
     }
 
     #[test]
-    fn all_overflow_percentiles_return_the_range_maximum() {
+    fn all_overflow_percentiles_return_the_true_observed_max() {
         let mut h = Histogram::new(Nanos::from_nanos(10), 4);
         for _ in 0..8 {
             h.record(Nanos::from_micros(1));
         }
         assert_eq!(h.overflow(), 8);
-        assert_eq!(h.percentile(50.0), Some(Nanos::from_nanos(40)));
-        assert_eq!(h.percentile(99.0), Some(Nanos::from_nanos(40)));
+        assert_eq!(h.overflow_max(), Some(Nanos::from_micros(1)));
+        // Every percentile lands in the overflow bucket: the answer is the
+        // largest overflowed sample, not the 40ns range maximum the clamped
+        // implementation used to report.
+        assert_eq!(h.percentile(50.0), Some(Nanos::from_micros(1)));
+        assert_eq!(h.percentile(99.0), Some(Nanos::from_micros(1)));
+        assert_eq!(
+            h.percentiles(&[50.0, 99.9]),
+            vec![Some(Nanos::from_micros(1)); 2]
+        );
+        h.reset();
+        assert_eq!(h.overflow_max(), None);
+    }
+
+    #[test]
+    fn boundary_sample_at_range_edge_lands_in_overflow() {
+        // A sample at exactly `buckets * bucket_width` indexes one past the
+        // last bucket: it must count as overflow and become the overflow max.
+        let mut h = Histogram::new(Nanos::from_nanos(10), 4);
+        h.record(Nanos::from_nanos(40));
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.overflow_max(), Some(Nanos::from_nanos(40)));
+        assert_eq!(h.percentile(100.0), Some(Nanos::from_nanos(40)));
     }
 }

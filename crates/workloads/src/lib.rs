@@ -15,8 +15,10 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod arrival;
 pub mod fio;
 pub mod spec;
 
+pub use arrival::{ArrivalGenerator, ArrivalProcess};
 pub use fio::{FioJob, FioPattern, IoRequest};
 pub use spec::{Access, AccessPattern, TraceGenerator, WorkloadClass, WorkloadSpec};

@@ -79,6 +79,47 @@ pub struct WorkloadSpec {
 }
 
 impl WorkloadSpec {
+    /// Checks the load/store ratio accounting and returns the spec with any
+    /// floating-point epsilon overshoot normalized away.
+    ///
+    /// Every instruction is either a load, a store, or compute, so
+    /// `load_ratio + store_ratio` must not exceed 1.0. A sum within a tiny
+    /// epsilon above 1.0 (rounded table data) is rescaled so the ratios sum
+    /// to exactly 1.0; anything larger is a construction error.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either ratio is non-finite or negative, or when the sum
+    /// exceeds 1.0 beyond floating-point noise.
+    #[must_use]
+    pub fn validated(mut self) -> Self {
+        assert!(
+            self.load_ratio.is_finite() && self.load_ratio >= 0.0,
+            "workload {}: load_ratio {} must be finite and non-negative",
+            self.name,
+            self.load_ratio
+        );
+        assert!(
+            self.store_ratio.is_finite() && self.store_ratio >= 0.0,
+            "workload {}: store_ratio {} must be finite and non-negative",
+            self.name,
+            self.store_ratio
+        );
+        let sum = self.load_ratio + self.store_ratio;
+        assert!(
+            sum <= 1.0 + 1e-9,
+            "workload {}: load_ratio {} + store_ratio {} = {sum} exceeds 1.0",
+            self.name,
+            self.load_ratio,
+            self.store_ratio
+        );
+        if sum > 1.0 {
+            self.load_ratio /= sum;
+            self.store_ratio /= sum;
+        }
+        self
+    }
+
     /// Fraction of instructions that reference memory.
     #[must_use]
     pub fn memory_ratio(&self) -> f64 {
@@ -97,9 +138,13 @@ impl WorkloadSpec {
     }
 
     /// Total number of memory accesses the full workload performs.
+    ///
+    /// Rounds to nearest (not truncation) so that every consumer — the
+    /// closed-loop replay, the open-loop arrival generator, and capacity
+    /// planning — derives the same count from the same spec.
     #[must_use]
     pub fn total_memory_accesses(&self) -> u64 {
-        (self.total_instructions as f64 * self.memory_ratio()) as u64
+        (self.total_instructions as f64 * self.memory_ratio()).round() as u64
     }
 
     /// Average non-memory instructions between consecutive memory accesses.
@@ -116,15 +161,18 @@ impl WorkloadSpec {
     #[must_use]
     pub fn microbench() -> Vec<WorkloadSpec> {
         let gb = 1024 * 1024 * 1024;
-        let spec = |name, inst: u64, load, store, pattern| WorkloadSpec {
-            name,
-            class: WorkloadClass::Microbench,
-            total_instructions: inst,
-            load_ratio: load,
-            store_ratio: store,
-            dataset_bytes: 16 * gb,
-            access_bytes: 4096,
-            pattern,
+        let spec = |name, inst: u64, load, store, pattern| {
+            WorkloadSpec {
+                name,
+                class: WorkloadClass::Microbench,
+                total_instructions: inst,
+                load_ratio: load,
+                store_ratio: store,
+                dataset_bytes: 16 * gb,
+                access_bytes: 4096,
+                pattern,
+            }
+            .validated()
         };
         vec![
             spec(
@@ -154,15 +202,18 @@ impl WorkloadSpec {
             hot_fraction: 0.2,
             hot_access_fraction: 0.85,
         };
-        let spec = |name, inst: u64, load, store, pattern| WorkloadSpec {
-            name,
-            class: WorkloadClass::Sqlite,
-            total_instructions: inst,
-            load_ratio: load,
-            store_ratio: store,
-            dataset_bytes: 11 * gb,
-            access_bytes: 64,
-            pattern,
+        let spec = |name, inst: u64, load, store, pattern| {
+            WorkloadSpec {
+                name,
+                class: WorkloadClass::Sqlite,
+                total_instructions: inst,
+                load_ratio: load,
+                store_ratio: store,
+                dataset_bytes: 11 * gb,
+                access_bytes: 64,
+                pattern,
+            }
+            .validated()
         };
         vec![
             spec(
@@ -199,7 +250,8 @@ impl WorkloadSpec {
                 dataset_bytes: 9 * gb,
                 access_bytes: 64,
                 pattern: AccessPattern::Random,
-            },
+            }
+            .validated(),
             WorkloadSpec {
                 name: "KMN",
                 class: WorkloadClass::Rodinia,
@@ -209,7 +261,8 @@ impl WorkloadSpec {
                 dataset_bytes: 5 * gb,
                 access_bytes: 64,
                 pattern: AccessPattern::Sequential,
-            },
+            }
+            .validated(),
             WorkloadSpec {
                 name: "NN",
                 class: WorkloadClass::Rodinia,
@@ -219,7 +272,8 @@ impl WorkloadSpec {
                 dataset_bytes: 7 * gb,
                 access_bytes: 64,
                 pattern: AccessPattern::Sequential,
-            },
+            }
+            .validated(),
         ]
     }
 
@@ -276,8 +330,14 @@ pub struct TraceGenerator {
 
 impl TraceGenerator {
     /// Creates a generator for `count` accesses of `spec`, seeded by `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the spec fails [`WorkloadSpec::validated`] (ratio
+    /// accounting broken at construction).
     #[must_use]
     pub fn new(spec: WorkloadSpec, seed: u64, count: usize) -> Self {
+        let spec = spec.validated();
         TraceGenerator {
             spec,
             rng: derived_rng(seed, spec.name),
@@ -445,6 +505,51 @@ mod tests {
         let g = TraceGenerator::new(spec, 5, 123);
         assert_eq!(g.len(), 123);
         assert_eq!(g.count(), 123);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 1.0")]
+    fn validated_rejects_ratio_sum_above_one() {
+        let mut spec = WorkloadSpec::by_name("rndRd").unwrap();
+        spec.load_ratio = 0.8;
+        spec.store_ratio = 0.4;
+        let _ = spec.validated();
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn validated_rejects_negative_ratio() {
+        let mut spec = WorkloadSpec::by_name("rndRd").unwrap();
+        spec.store_ratio = -0.1;
+        let _ = spec.validated();
+    }
+
+    #[test]
+    fn validated_normalizes_epsilon_overshoot() {
+        let mut spec = WorkloadSpec::by_name("rndRd").unwrap();
+        // Rounded table data can overshoot by floating-point noise; the sum
+        // must come back as exactly 1.0 with the load/store mix preserved.
+        spec.load_ratio = 0.6 + 4e-10;
+        spec.store_ratio = 0.4 + 4e-10;
+        let fixed = spec.validated();
+        assert!(fixed.memory_ratio() <= 1.0);
+        assert!((fixed.memory_ratio() - 1.0).abs() < 1e-9);
+        assert!((fixed.write_fraction() - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn total_memory_accesses_rounds_to_nearest() {
+        let mut spec = WorkloadSpec::by_name("rndRd").unwrap();
+        spec.total_instructions = 1_001;
+        spec.load_ratio = 0.4995;
+        spec.store_ratio = 0.0;
+        // 1_001 * 0.4995 = 500.0495: rounds down, same as truncation.
+        assert_eq!(spec.total_memory_accesses(), 500);
+        spec.load_ratio = 0.4999;
+        spec.store_ratio = 0.0006;
+        // 1_001 * 0.5005 = 500.9505: truncation used to report 500; rounding
+        // gives the 501 every consumer (replay, arrivals) now agrees on.
+        assert_eq!(spec.total_memory_accesses(), 501);
     }
 
     #[test]
