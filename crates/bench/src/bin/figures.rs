@@ -3,13 +3,15 @@
 //!
 //! Usage: `cargo run -p hams-bench --release --bin figures [-- <id> ...]`
 //! where `<id>` is one of `table1 table2 table3 fig5 fig6 fig7 fig10 fig16
-//! fig17 fig18 fig19 fig20 fig21 fig22 fig23 fig24`; with no arguments every
-//! artefact is produced (`fig21` is this reproduction's NVMe queue-count
-//! sensitivity study, `fig22` its tag-array shard-count study — pinned flat
-//! by the shard-invariance contract — `fig23` its archive device-scaling
-//! study over the RAID-0 / CXL-attached backends, and `fig24` its open-loop
-//! latency-vs-offered-load study locating each platform's max sustainable
-//! throughput; none is a figure of the original paper).
+//! fig17 fig18 fig19 fig20 fig21 fig22 fig23 fig24 fig25`; with no arguments
+//! every artefact is produced (`fig21` is this reproduction's NVMe
+//! queue-count sensitivity study, `fig22` its tag-array shard-count study —
+//! pinned flat by the shard-invariance contract — `fig23` its archive
+//! device-scaling study over the RAID-0 / CXL-attached backends, `fig24` its
+//! open-loop latency-vs-offered-load study locating each platform's max
+//! sustainable throughput, and `fig25` its multi-tenant noisy-neighbour
+//! study of a latency-sensitive tenant's sojourn tail under a write-heavy
+//! antagonist; none is a figure of the original paper).
 
 use hams_bench::*;
 use hams_platforms::{feature_table, paper_config, PlatformKind};
@@ -17,7 +19,7 @@ use hams_workloads::WorkloadSpec;
 
 const ALL: &[&str] = &[
     "table1", "table2", "table3", "fig5", "fig6", "fig7", "fig10", "fig16", "fig17", "fig18",
-    "fig19", "fig20", "fig21", "fig22", "fig23", "fig24",
+    "fig19", "fig20", "fig21", "fig22", "fig23", "fig24", "fig25",
 ];
 
 fn main() {
@@ -215,6 +217,31 @@ fn main() {
                     }
                     println!();
                 }
+            }
+            "fig25" => {
+                let rows = fig25_interference(
+                    &scale,
+                    "rndRd",
+                    "update",
+                    &fig25_kinds(),
+                    &[0.25, 0.5, 0.9, 1.25, 1.5, 2.0],
+                );
+                print_rows(
+                    "Figure 25: victim tail latency vs antagonist load (rndRd vs update)",
+                    &rows,
+                );
+                println!("--- victim p99 monotone-in-antagonist-load prefix ---");
+                for (platform, prefix, total) in fig25_summary(&rows) {
+                    println!(
+                        "{platform:<12} {prefix}/{total} points{}",
+                        if prefix == total {
+                            " (monotone across the sweep)"
+                        } else {
+                            ""
+                        }
+                    );
+                }
+                println!();
             }
             other => eprintln!("unknown figure id: {other}"),
         }

@@ -16,6 +16,7 @@
 //! cargo run -p hams-bench --release --bin throughput -- --quick --label ci-smoke
 //! cargo run -p hams-bench --release --bin throughput -- --scaling --label scaling
 //! cargo run -p hams-bench --release --bin throughput -- --openloop --label openloop
+//! cargo run -p hams-bench --release --bin throughput -- --tenants --label tenants
 //! cargo run -p hams-bench --release --bin throughput -- --out /tmp/scratch.json
 //! cargo run -p hams-bench --release --bin throughput -- \
 //!     --quick --label ci-smoke --out /tmp/smoke.json --gate BENCH_hotpath.json
@@ -30,7 +31,11 @@
 //! `--openloop` times the open-loop engine instead: each variant calibrates
 //! the platform's closed-loop service rate, offers a Poisson fraction of it
 //! through [`run_workload_open_loop`], and reports wall-clock per arrival
-//! plus simulated sojourn p50/p99/p999. `--gate`
+//! plus simulated sojourn p50/p99/p999. `--tenants` times the multi-tenant
+//! engine: a latency-sensitive `rndRd` victim and a write-heavy `update`
+//! antagonist share one admission queue through
+//! [`run_tenant_set_open_loop`], reporting wall-clock per merged arrival
+//! plus the victim's simulated sojourn tail and the pair's fairness. `--gate`
 //! makes the run enforcing: each fresh cell is compared against the most
 //! recent same-label run in the given trajectory file, and the process exits
 //! non-zero if any cell regressed by more than [`GATE_RATIO`]. The harness
@@ -43,11 +48,12 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
+use hams_bench::FIG25_VICTIM_FRACTION;
 use hams_platforms::{
-    run_workload, run_workload_cell_parallel, run_workload_open_loop, run_workload_serial,
-    OpenLoopConfig, PlatformKind, ScaleProfile,
+    run_tenant_set_open_loop, run_workload, run_workload_cell_parallel, run_workload_open_loop,
+    run_workload_serial, OpenLoopConfig, PlatformKind, ScaleProfile,
 };
-use hams_workloads::WorkloadSpec;
+use hams_workloads::{ArrivalProcess, TenantSet, TenantSpec, WorkloadSpec};
 
 /// One measured (platform, workload) cell.
 struct Cell {
@@ -69,6 +75,7 @@ struct Config {
     quick: bool,
     scaling: bool,
     openloop: bool,
+    tenants: bool,
     gate: Option<String>,
 }
 
@@ -79,6 +86,7 @@ fn parse_args() -> Config {
         quick: false,
         scaling: false,
         openloop: false,
+        tenants: false,
         gate: None,
     };
     let mut args = std::env::args().skip(1);
@@ -87,6 +95,7 @@ fn parse_args() -> Config {
             "--quick" => config.quick = true,
             "--scaling" => config.scaling = true,
             "--openloop" => config.openloop = true,
+            "--tenants" => config.tenants = true,
             "--gate" => {
                 config.gate = Some(args.next().unwrap_or_else(|| {
                     eprintln!("--gate needs a baseline trajectory path");
@@ -121,14 +130,15 @@ fn parse_args() -> Config {
             other => {
                 eprintln!(
                     "unknown argument {other:?}; flags: --quick --scaling --openloop \
-                     --label <s> --out <path> --gate <baseline>"
+                     --tenants --label <s> --out <path> --gate <baseline>"
                 );
                 std::process::exit(2);
             }
         }
     }
-    if config.scaling && config.openloop {
-        eprintln!("--scaling and --openloop are mutually exclusive modes");
+    if usize::from(config.scaling) + usize::from(config.openloop) + usize::from(config.tenants) > 1
+    {
+        eprintln!("--scaling, --openloop and --tenants are mutually exclusive modes");
         std::process::exit(2);
     }
     config
@@ -288,7 +298,9 @@ fn measure_openloop(scale: &ScaleProfile, reps: usize) -> Vec<Cell> {
             let m = run_workload(platform.as_mut(), spec, scale);
             m.accesses as f64 / m.total_time.as_secs_f64().max(1e-12)
         };
-        let config = OpenLoopConfig::poisson(fraction * service_rate);
+        // A wall-clock harness only reads the histogram; skip the
+        // per-request record Vec.
+        let config = OpenLoopConfig::poisson(fraction * service_rate).with_records(false);
         let mut best = u128::MAX;
         let mut last_metrics = None;
         for _ in 0..reps {
@@ -324,6 +336,101 @@ fn measure_openloop(scale: &ScaleProfile, reps: usize) -> Vec<Cell> {
             us(p999),
             metrics.served,
             metrics.dropped
+        );
+        cells.push(cell);
+    }
+    cells
+}
+
+/// Multi-tenant variants: (trajectory label, platform, antagonist offered
+/// fraction of the platform's calibrated closed-loop service rate). The
+/// victim always offers [`FIG25_VICTIM_FRACTION`]; the hams-TE pair brackets
+/// light and heavy interference, the fig25 sweep maps the curve in full.
+const TENANT_VARIANTS: &[(&str, PlatformKind, f64)] = &[
+    ("mmap/mt@1.5", PlatformKind::Mmap, 1.5),
+    ("hams-TE/mt@0.5", PlatformKind::HamsTE, 0.5),
+    ("hams-TE/mt@1.5", PlatformKind::HamsTE, 1.5),
+    ("oracle/mt@1.5", PlatformKind::Oracle, 1.5),
+];
+
+/// The multi-tenant sweep: wall-clock cost of the merged-stream engine per
+/// arrival (a `rndRd` victim plus an `update` antagonist through one
+/// admission queue), with the victim's simulated sojourn tail and the
+/// pair's fairness alongside. The antagonist's access count scales with its
+/// rate so both tenants stay active over the same simulated window — the
+/// fig25 methodology at smoke size.
+fn measure_tenants(scale: &ScaleProfile, reps: usize) -> Vec<Cell> {
+    let victim = WorkloadSpec::by_name("rndRd").expect("known workload");
+    let antagonist = WorkloadSpec::by_name("update").expect("known workload");
+    let mut cells = Vec::new();
+    for &(label, kind, fraction) in TENANT_VARIANTS {
+        let service_rate = {
+            let mut platform = kind.build(scale);
+            let m = run_workload(platform.as_mut(), victim, scale);
+            m.accesses as f64 / m.total_time.as_secs_f64().max(1e-12)
+        };
+        let antagonist_accesses =
+            ((scale.accesses as f64 * fraction / FIG25_VICTIM_FRACTION).round() as usize).max(1);
+        let set = TenantSet::new(vec![
+            TenantSpec::new(
+                "victim",
+                victim,
+                ArrivalProcess::Poisson {
+                    rate_per_sec: FIG25_VICTIM_FRACTION * service_rate,
+                },
+            ),
+            TenantSpec::new(
+                "antagonist",
+                antagonist,
+                ArrivalProcess::Poisson {
+                    rate_per_sec: fraction * service_rate,
+                },
+            )
+            .with_accesses(antagonist_accesses),
+        ]);
+        let config = OpenLoopConfig::poisson(service_rate).with_records(false);
+        let total_arrivals = (scale.accesses + antagonist_accesses) as u64;
+        let mut best = u128::MAX;
+        let mut last_metrics = None;
+        for _ in 0..reps {
+            let mut platform = kind.build(scale);
+            let start = Instant::now();
+            let metrics = run_tenant_set_open_loop(platform.as_mut(), &set, scale, &config);
+            let elapsed = start.elapsed().as_nanos();
+            assert_eq!(metrics.merged.arrivals, total_arrivals);
+            assert_eq!(
+                metrics.tenants.iter().map(|t| t.served).sum::<u64>(),
+                metrics.merged.served,
+                "{label}: per-tenant served no longer sums to the merged total"
+            );
+            best = best.min(elapsed.max(1));
+            last_metrics = Some(metrics);
+        }
+        let metrics = last_metrics.expect("reps >= 1");
+        let v = &metrics.tenants[0];
+        let [p50, p99, p999] = v.sojourn_p50_p99_p999();
+        let us = |t: Option<hams_sim::Nanos>| t.map_or(f64::NAN, hams_sim::Nanos::as_micros_f64);
+        let secs = best as f64 / 1e9;
+        let cell = Cell {
+            platform: label,
+            workload: "rndRd+update",
+            accesses: total_arrivals,
+            best_wall_ns: best,
+            accesses_per_sec: total_arrivals as f64 / secs,
+            ns_per_access: best as f64 / total_arrivals as f64,
+        };
+        println!(
+            "{:<16} {:<12} {:>9.0} arrivals/s  {:>8.1} ns/arrival  victim p50/p99/p999 \
+             {:>8.1}/{:>8.1}/{:>8.1} us  dropped {}  fairness {:.3}",
+            cell.platform,
+            cell.workload,
+            cell.accesses_per_sec,
+            cell.ns_per_access,
+            us(p50),
+            us(p99),
+            us(p999),
+            metrics.merged.dropped,
+            metrics.fairness()
         );
         cells.push(cell);
     }
@@ -514,8 +621,8 @@ fn main() {
     let config = parse_args();
     let scale = scale_for(config.quick);
     println!(
-        "throughput: label={} quick={} scaling={} openloop={} accesses={}",
-        config.label, config.quick, config.scaling, config.openloop, scale.accesses
+        "throughput: label={} quick={} scaling={} openloop={} tenants={} accesses={}",
+        config.label, config.quick, config.scaling, config.openloop, config.tenants, scale.accesses
     );
     let (cells, reps) = if config.scaling {
         let reps = if config.quick { 1 } else { 3 };
@@ -523,6 +630,9 @@ fn main() {
     } else if config.openloop {
         let reps = if config.quick { 1 } else { 3 };
         (measure_openloop(&scale, reps), reps)
+    } else if config.tenants {
+        let reps = if config.quick { 1 } else { 3 };
+        (measure_tenants(&scale, reps), reps)
     } else if config.quick {
         let kinds = [
             PlatformKind::Mmap,

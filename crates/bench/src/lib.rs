@@ -19,13 +19,15 @@ use hams_interconnect::{Ddr4Channel, Ddr4Config};
 use hams_nvme::{NvmeCommand, PrpList};
 use hams_platforms::{
     build_cxl_platform, build_raid_sweep_platform, queue_sweep_label, register_hams_queue_sweep,
-    register_hams_shard_sweep, run_grid, run_grid_with, run_matrix, run_workload,
-    run_workload_open_loop, shard_sweep_label, HamsPlatform, MmapPlatform, OpenLoopConfig,
-    PlatformKind, PlatformRegistry, RunMetrics, ScaleProfile,
+    register_hams_shard_sweep, run_grid, run_grid_with, run_matrix, run_tenant_set_open_loop,
+    run_workload, run_workload_open_loop, shard_sweep_label, HamsPlatform, MmapPlatform,
+    OpenLoopConfig, PlatformKind, PlatformRegistry, RunMetrics, ScaleProfile,
 };
 use hams_sim::parallel_map;
 use hams_sim::Nanos;
-use hams_workloads::{FioJob, FioPattern, WorkloadClass, WorkloadSpec};
+use hams_workloads::{
+    ArrivalProcess, FioJob, FioPattern, TenantSet, TenantSpec, WorkloadClass, WorkloadSpec,
+};
 
 /// Scale used by the Criterion benches (small enough to keep `cargo bench`
 /// under a few minutes).
@@ -1155,6 +1157,216 @@ pub fn fig24_knees(rows: &[OpenLoopRow]) -> Vec<(String, Option<OpenLoopRow>)> {
     out
 }
 
+// ---------------------------------------------------------------------------
+// Figure 25 — noisy-neighbour interference (this reproduction's study)
+// ---------------------------------------------------------------------------
+
+/// Offered load of the latency-sensitive victim tenant, as a fraction of the
+/// platform's calibrated closed-loop service rate. Low enough that the victim
+/// alone never queues; every tail inflation in the sweep is the antagonist's
+/// doing.
+pub const FIG25_VICTIM_FRACTION: f64 = 0.3;
+
+/// One point of the fig25 sweep: a latency-sensitive victim and a
+/// write-heavy antagonist sharing one platform's admission queue, at one
+/// antagonist offered load.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InterferenceRow {
+    /// Platform label.
+    pub platform: String,
+    /// Victim tenant's workload name.
+    pub victim_workload: String,
+    /// Antagonist tenant's workload name.
+    pub antagonist_workload: String,
+    /// Antagonist offered load as a fraction of the platform's calibrated
+    /// closed-loop service rate.
+    pub antagonist_frac: f64,
+    /// Victim's offered arrival rate in requests per second.
+    pub victim_offered_per_sec: f64,
+    /// Victim's achieved rate over its own simulated wall span.
+    pub victim_achieved_per_sec: f64,
+    /// Victim arrivals rejected by the shared admission queue.
+    pub victim_dropped: u64,
+    /// Victim median sojourn time in microseconds.
+    pub victim_p50_us: f64,
+    /// Victim 99th-percentile sojourn time in microseconds.
+    pub victim_p99_us: f64,
+    /// Victim 99.9th-percentile sojourn time in microseconds.
+    pub victim_p999_us: f64,
+    /// Antagonist's achieved rate over its own simulated wall span.
+    pub antagonist_achieved_per_sec: f64,
+    /// Antagonist arrivals rejected by the shared admission queue.
+    pub antagonist_dropped: u64,
+    /// Jain's fairness index over the pair's weight-normalized achieved
+    /// rates.
+    pub fairness: f64,
+}
+
+impl fmt::Display for InterferenceRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<12} {}@{:.2}x vs {}@{:>4.2}x  victim p50={:>8}us p99={:>8}us \
+             p999={:>8}us drops={:<5} achieved={:>10}/s | antagonist achieved={:>10}/s \
+             drops={:<5} | fairness={:.3}",
+            self.platform,
+            self.victim_workload,
+            FIG25_VICTIM_FRACTION,
+            self.antagonist_workload,
+            self.antagonist_frac,
+            cell(self.victim_p50_us),
+            cell(self.victim_p99_us),
+            cell(self.victim_p999_us),
+            self.victim_dropped,
+            cell(self.victim_achieved_per_sec),
+            cell(self.antagonist_achieved_per_sec),
+            self.antagonist_dropped,
+            self.fairness,
+        )
+    }
+}
+
+/// The platform set the fig25 figure sweeps: the software baselines the
+/// paper compares against plus the four HAMS variants whose persist-gate
+/// serialization the antagonist is meant to expose.
+#[must_use]
+pub fn fig25_kinds() -> Vec<PlatformKind> {
+    vec![
+        PlatformKind::Mmap,
+        PlatformKind::FlatFlashP,
+        PlatformKind::HamsLP,
+        PlatformKind::HamsLE,
+        PlatformKind::HamsTP,
+        PlatformKind::HamsTE,
+    ]
+}
+
+/// Fig. 25: noisy-neighbour interference. Each platform is calibrated
+/// closed-loop on the victim workload; the victim then offers a fixed
+/// [`FIG25_VICTIM_FRACTION`] of that rate while the antagonist's offered
+/// load sweeps `antagonist_fracs`, both as Poisson tenants sharing one
+/// bounded admission queue. Rows are platform-major in the order of `kinds`,
+/// ascending antagonist fraction within a platform — the shape
+/// [`fig25_victim_p99_monotone_prefix`] expects.
+#[must_use]
+pub fn fig25_interference(
+    scale: &ScaleProfile,
+    victim_workload: &str,
+    antagonist_workload: &str,
+    kinds: &[PlatformKind],
+    antagonist_fracs: &[f64],
+) -> Vec<InterferenceRow> {
+    let (Some(victim), Some(antagonist)) = (
+        WorkloadSpec::by_name(victim_workload),
+        WorkloadSpec::by_name(antagonist_workload),
+    ) else {
+        return Vec::new();
+    };
+    let per_platform = parallel_map(kinds, |kind| {
+        let service_rate = {
+            let mut platform = kind.build(scale);
+            let m = run_workload(platform.as_mut(), victim, scale);
+            m.accesses as f64 / m.total_time.as_secs_f64().max(1e-12)
+        };
+        antagonist_fracs
+            .iter()
+            .map(|&frac| {
+                // Match the tenants' arrival windows, not their arrival
+                // counts: a fixed-count antagonist at a high rate finishes
+                // its schedule early and leaves the victim's tail
+                // uncontended, so its access count scales with its rate.
+                let antagonist_accesses = ((scale.accesses as f64 * frac / FIG25_VICTIM_FRACTION)
+                    .round() as usize)
+                    .max(1);
+                let set = TenantSet::new(vec![
+                    TenantSpec::new(
+                        "victim",
+                        victim,
+                        ArrivalProcess::Poisson {
+                            rate_per_sec: FIG25_VICTIM_FRACTION * service_rate,
+                        },
+                    ),
+                    TenantSpec::new(
+                        "antagonist",
+                        antagonist,
+                        ArrivalProcess::Poisson {
+                            rate_per_sec: frac * service_rate,
+                        },
+                    )
+                    .with_accesses(antagonist_accesses),
+                ]);
+                let mut platform = kind.build(scale);
+                // The preset's own arrival process is ignored — each
+                // tenant's Poisson process drives its stream.
+                let config = OpenLoopConfig::poisson(service_rate).with_records(false);
+                let m = run_tenant_set_open_loop(platform.as_mut(), &set, scale, &config);
+                let fairness = m.fairness();
+                let v = &m.tenants[0];
+                let a = &m.tenants[1];
+                let us = |t: Option<Nanos>| t.map_or(0.0, Nanos::as_micros_f64);
+                let [p50, p99, p999] = v.sojourn_p50_p99_p999();
+                InterferenceRow {
+                    platform: kind.label().to_owned(),
+                    victim_workload: victim_workload.to_owned(),
+                    antagonist_workload: antagonist_workload.to_owned(),
+                    antagonist_frac: frac,
+                    victim_offered_per_sec: v.offered_rate_per_sec,
+                    victim_achieved_per_sec: v.achieved_per_sec(),
+                    victim_dropped: v.dropped,
+                    victim_p50_us: us(p50),
+                    victim_p99_us: us(p99),
+                    victim_p999_us: us(p999),
+                    antagonist_achieved_per_sec: a.achieved_per_sec(),
+                    antagonist_dropped: a.dropped,
+                    fairness,
+                }
+            })
+            .collect::<Vec<_>>()
+    });
+    per_platform.into_iter().flatten().collect()
+}
+
+/// Length of the leading prefix of one platform's fig25 curve over which the
+/// victim's p99 rises monotonically (non-strictly) with antagonist load.
+/// `rows` must be one platform's points in ascending antagonist-load order;
+/// a full-length prefix means interference grows with offered antagonist
+/// load across the whole sweep.
+#[must_use]
+pub fn fig25_victim_p99_monotone_prefix(rows: &[InterferenceRow]) -> usize {
+    let mut len = rows.len().min(1);
+    for pair in rows.windows(2) {
+        if pair[1].victim_p99_us + 1e-9 < pair[0].victim_p99_us {
+            break;
+        }
+        len += 1;
+    }
+    len
+}
+
+/// Splits a platform-major fig25 sweep into
+/// `(platform, monotone prefix length, curve length)` triples — the
+/// per-platform summary the figure reports alongside the rows.
+#[must_use]
+pub fn fig25_summary(rows: &[InterferenceRow]) -> Vec<(String, usize, usize)> {
+    let mut out = Vec::new();
+    let mut start = 0;
+    while start < rows.len() {
+        let platform = rows[start].platform.clone();
+        let end = rows[start..]
+            .iter()
+            .take_while(|r| r.platform == platform)
+            .count()
+            + start;
+        out.push((
+            platform,
+            fig25_victim_p99_monotone_prefix(&rows[start..end]),
+            end - start,
+        ));
+        start = end;
+    }
+    out
+}
+
 /// Prints any row type list under a header (used by the `figures` binary and
 /// the benches so each bench also regenerates its figure's series).
 pub fn print_rows<T: fmt::Display>(header: &str, rows: &[T]) {
@@ -1445,5 +1657,86 @@ mod tests {
         assert_eq!(knees[0].1.as_ref().map(|r| r.offered_frac), Some(0.5));
         assert_eq!(knees[1].0, "b");
         assert!(knees[1].1.is_none(), "b saturated at its lowest load");
+    }
+
+    #[test]
+    fn fig25_interference_shape_and_monotone_victim_tail() {
+        // More arrivals than `tiny()` so the victim's p99 (the ~1% worst
+        // sojourns) has enough samples to order the curve points.
+        let scale = ScaleProfile {
+            capacity_divisor: 4096,
+            accesses: 4_000,
+            seed: 5,
+        };
+        let kinds = [PlatformKind::Mmap, PlatformKind::HamsTE];
+        let fracs = [0.25, 0.9, 1.5];
+        let rows = fig25_interference(&scale, "rndRd", "update", &kinds, &fracs);
+        assert_eq!(rows.len(), kinds.len() * fracs.len());
+        for row in &rows {
+            assert!(row.victim_offered_per_sec > 0.0);
+            assert!(row.victim_achieved_per_sec > 0.0);
+            assert!(row.victim_p50_us <= row.victim_p99_us);
+            assert!(row.victim_p99_us <= row.victim_p999_us);
+            assert!(row.fairness > 0.0 && row.fairness <= 1.0 + 1e-12);
+        }
+        // Platform-major in `kinds` order, ascending antagonist load within
+        // a platform — the shape the monotone-prefix scan expects.
+        assert_eq!(rows[0].platform, "mmap");
+        assert_eq!(rows[3].platform, "hams-TE");
+        assert!(rows[0].antagonist_frac < rows[1].antagonist_frac);
+        let summary = fig25_summary(&rows);
+        assert_eq!(summary.len(), kinds.len());
+        // The acceptance pin: on at least one HAMS variant the victim's p99
+        // rises monotonically with antagonist load across the whole sweep.
+        let hams = summary
+            .iter()
+            .find(|(p, _, _)| p == "hams-TE")
+            .expect("hams-TE swept");
+        assert_eq!(
+            hams.1,
+            hams.2,
+            "victim p99 on hams-TE not monotone in antagonist load: {:?}",
+            rows.iter()
+                .filter(|r| r.platform == "hams-TE")
+                .map(|r| r.victim_p99_us)
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn fig25_monotone_prefix_scan() {
+        let row = |platform: &str, frac: f64, p99: f64| InterferenceRow {
+            platform: platform.to_owned(),
+            victim_workload: "rndRd".to_owned(),
+            antagonist_workload: "update".to_owned(),
+            antagonist_frac: frac,
+            victim_offered_per_sec: 1e5,
+            victim_achieved_per_sec: 1e5,
+            victim_dropped: 0,
+            victim_p50_us: p99 / 2.0,
+            victim_p99_us: p99,
+            victim_p999_us: p99 * 2.0,
+            antagonist_achieved_per_sec: frac * 1e6,
+            antagonist_dropped: 0,
+            fairness: 1.0,
+        };
+        assert_eq!(fig25_victim_p99_monotone_prefix(&[]), 0);
+        assert_eq!(fig25_victim_p99_monotone_prefix(&[row("a", 0.5, 2.0)]), 1);
+        let curve = [
+            row("a", 0.25, 1.0),
+            row("a", 0.5, 1.0),
+            row("a", 0.75, 3.0),
+            row("a", 1.0, 2.0),
+            row("a", 1.25, 9.0),
+        ];
+        assert_eq!(fig25_victim_p99_monotone_prefix(&curve), 3);
+        let mut rows = curve.to_vec();
+        rows.push(row("b", 0.25, 4.0));
+        rows.push(row("b", 0.5, 5.0));
+        let summary = fig25_summary(&rows);
+        assert_eq!(
+            summary,
+            vec![("a".to_owned(), 3, 5), ("b".to_owned(), 2, 2)]
+        );
     }
 }

@@ -50,7 +50,8 @@ pub use hams_core::{BackendTopology, ShardConfig, ShardHashPolicy};
 pub use hams_nvme::QueueConfig;
 pub use mmap::MmapPlatform;
 pub use openloop::{
-    run_workload_open_loop, AdmissionPolicy, OpenLoopConfig, OpenLoopMetrics, OpenLoopRecord,
+    run_tenant_set_open_loop, run_workload_open_loop, AdmissionPolicy, MultiTenantMetrics,
+    OpenLoopConfig, OpenLoopMetrics, OpenLoopRecord, TenantMetrics,
 };
 pub use platform::{AccessOutcome, BatchOutcome, BatchRequest, Platform};
 pub use registry::{

@@ -1,5 +1,6 @@
-//! Open-loop serving: a bounded admission queue between an arrival process
-//! and the platform, with sojourn-time (queueing + service) accounting.
+//! Open-loop serving: a bounded admission queue between arrival processes
+//! and the platform, with sojourn-time (queueing + service) accounting —
+//! single-tenant and multi-tenant.
 //!
 //! The closed-loop runner ([`crate::run_workload`]) issues the next access
 //! when the previous one finishes, so the offered load always equals the
@@ -15,15 +16,33 @@
 //! sojourn time (finish − arrival) feeds a [`Histogram`] for p50/p99/p999
 //! reporting.
 //!
-//! The engine is pinned to the rest of the test tower by a degenerate
-//! contract: at arrival-rate → ∞ ([`ArrivalProcess::Saturate`]) with a
-//! depth-1 blocking queue and batch size 1, every dispatch instant equals the
-//! previous finish, which is exactly the closed-loop serial schedule —
-//! [`run_workload_open_loop`] must then produce [`RunMetrics`] byte-identical
-//! to [`crate::run_workload_serial`] (`tests/openloop_equivalence.rs`).
+//! Multi-tenant serving ([`run_tenant_set_open_loop`]) feeds the *same*
+//! engine a [`TenantSet`]'s merged, time-ordered request stream
+//! ([`TenantSource`](hams_workloads::TenantSource)): N independent clients,
+//! each with its own workload, arrival process and QoS weight, share one
+//! admission queue and one platform — the harness for noisy-neighbour
+//! interference studies (`fig25`). The tenant id is threaded through
+//! [`OpenLoopRecord`] and every request is additionally accounted to its
+//! tenant's own sojourn histogram and arrival/served/dropped counters.
+//!
+//! The engine is pinned to the rest of the test tower by two degenerate
+//! contracts (`tests/openloop_equivalence.rs`,
+//! `tests/tenant_equivalence.rs`):
+//!
+//! * at arrival-rate → ∞ ([`ArrivalProcess::Saturate`]) with a depth-1
+//!   blocking queue and batch size 1, every dispatch instant equals the
+//!   previous finish — exactly the closed-loop serial schedule — so
+//!   [`run_workload_open_loop`] must produce [`RunMetrics`] byte-identical
+//!   to [`crate::run_workload_serial`];
+//! * a single-tenant [`TenantSet`] must produce [`OpenLoopMetrics`]
+//!   byte-identical to [`run_workload_open_loop`] (tenant 0 seeds from the
+//!   base seed, the merge of one stream is the stream), and per-tenant
+//!   counters must always sum exactly to the merged totals.
 
 use hams_sim::{Histogram, Nanos};
-use hams_workloads::{Access, ArrivalGenerator, ArrivalProcess, TraceGenerator, WorkloadSpec};
+use hams_workloads::{
+    Access, ArrivalGenerator, ArrivalProcess, TenantSet, TenantSource, TraceGenerator, WorkloadSpec,
+};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::iter::Peekable;
@@ -46,7 +65,8 @@ pub enum AdmissionPolicy {
 /// admission-queue and histogram knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct OpenLoopConfig {
-    /// When requests arrive.
+    /// When requests arrive. Ignored by [`run_tenant_set_open_loop`], where
+    /// each tenant's own [`ArrivalProcess`] drives its stream.
     pub arrivals: ArrivalProcess,
     /// Maximum number of requests waiting at the platform boundary.
     pub queue_depth: usize,
@@ -59,6 +79,11 @@ pub struct OpenLoopConfig {
     pub sojourn_bucket: Nanos,
     /// Bucket count of the sojourn-time histogram.
     pub sojourn_buckets: usize,
+    /// Whether per-request [`OpenLoopRecord`]s are retained in
+    /// [`OpenLoopMetrics::records`]. The sojourn histogram (and every
+    /// derived percentile) is exact either way; wall-clock harnesses over
+    /// millions of arrivals turn this off to keep the run allocation-light.
+    pub keep_records: bool,
 }
 
 impl OpenLoopConfig {
@@ -75,6 +100,7 @@ impl OpenLoopConfig {
             batch_size: DEFAULT_BATCH_SIZE,
             sojourn_bucket: Nanos::from_nanos(256),
             sojourn_buckets: 65_536,
+            keep_records: true,
         }
     }
 
@@ -90,6 +116,7 @@ impl OpenLoopConfig {
             batch_size: 1,
             sojourn_bucket: Nanos::from_nanos(256),
             sojourn_buckets: 65_536,
+            keep_records: true,
         }
     }
 
@@ -113,11 +140,22 @@ impl OpenLoopConfig {
         self.policy = policy;
         self
     }
+
+    /// Returns a copy with per-request record retention switched on or off.
+    #[must_use]
+    pub fn with_records(mut self, keep: bool) -> Self {
+        self.keep_records = keep;
+        self
+    }
 }
 
-/// The life of one served request, as the four instants the engine records.
+/// The life of one served request, as the four instants the engine records,
+/// tagged with the tenant that issued it (0 for single-tenant runs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct OpenLoopRecord {
+    /// Index of the issuing tenant in its [`TenantSet`] (always 0 for
+    /// [`run_workload_open_loop`]).
+    pub tenant: usize,
     /// When the request arrived at the platform boundary.
     pub arrival: Nanos,
     /// When it entered the admission queue (equals `arrival` unless a
@@ -151,7 +189,7 @@ impl OpenLoopRecord {
 
 /// Everything one open-loop run reports: the closed-loop-compatible
 /// [`RunMetrics`] plus arrival/drop accounting and the sojourn distribution.
-#[derive(Debug)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct OpenLoopMetrics {
     /// The same per-run metrics closed-loop replay produces (timing folded
     /// over served requests only).
@@ -165,17 +203,36 @@ pub struct OpenLoopMetrics {
     pub served: u64,
     /// Requests rejected by a full [`AdmissionPolicy::Drop`] queue.
     pub dropped: u64,
+    /// Arrival instant of the first request the arrival process produced
+    /// (zero when nothing arrived).
+    pub first_arrival: Nanos,
+    /// Completion instant of the last served request (zero when nothing was
+    /// served).
+    pub last_finish: Nanos,
     /// Sojourn-time (queueing + service) distribution over served requests.
     pub sojourn: Histogram,
-    /// Per-request timestamp records, in service order.
+    /// Per-request timestamp records, in service order. Empty when
+    /// [`OpenLoopConfig::keep_records`] is off — the histogram above stays
+    /// exact either way.
     pub records: Vec<OpenLoopRecord>,
 }
 
 impl OpenLoopMetrics {
-    /// Achieved throughput in served requests per second of simulated time.
+    /// The simulated wall-clock span of the run: first arrival → last
+    /// finish. This — not the metric fold's busy time — is the denominator
+    /// of [`OpenLoopMetrics::achieved_per_sec`]: under light load the
+    /// server idles between arrivals, and under a late-starting arrival
+    /// schedule the fold's span-from-zero would understate the rate.
+    #[must_use]
+    pub fn wall_span(&self) -> Nanos {
+        self.last_finish.saturating_sub(self.first_arrival)
+    }
+
+    /// Achieved throughput in served requests per second of simulated
+    /// wall-clock time ([`OpenLoopMetrics::wall_span`]).
     #[must_use]
     pub fn achieved_per_sec(&self) -> f64 {
-        self.served as f64 / self.run.total_time.as_secs_f64().max(1e-12)
+        self.served as f64 / self.wall_span().as_secs_f64().max(1e-12)
     }
 
     /// Fraction of arrivals that were dropped.
@@ -197,74 +254,188 @@ impl OpenLoopMetrics {
     }
 }
 
+/// One tenant's share of a multi-tenant open-loop run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantMetrics {
+    /// Tenant index in the [`TenantSet`].
+    pub tenant: usize,
+    /// Tenant name.
+    pub name: String,
+    /// QoS weight (fairness normalizes achieved rates by this).
+    pub weight: f64,
+    /// The tenant's mean offered arrival rate.
+    pub offered_rate_per_sec: f64,
+    /// Requests this tenant's arrival process generated.
+    pub arrivals: u64,
+    /// Requests of this tenant actually served.
+    pub served: u64,
+    /// Requests of this tenant rejected by a full dropping queue.
+    pub dropped: u64,
+    /// Arrival instant of this tenant's first request (zero when none).
+    pub first_arrival: Nanos,
+    /// Completion instant of this tenant's last served request.
+    pub last_finish: Nanos,
+    /// Sojourn distribution over this tenant's served requests.
+    pub sojourn: Histogram,
+}
+
+impl TenantMetrics {
+    /// This tenant's achieved throughput over its own simulated wall span
+    /// (its first arrival → its last finish).
+    #[must_use]
+    pub fn achieved_per_sec(&self) -> f64 {
+        let span = self.last_finish.saturating_sub(self.first_arrival);
+        self.served as f64 / span.as_secs_f64().max(1e-12)
+    }
+
+    /// Fraction of this tenant's arrivals that were dropped.
+    #[must_use]
+    pub fn drop_fraction(&self) -> f64 {
+        if self.arrivals == 0 {
+            0.0
+        } else {
+            self.dropped as f64 / self.arrivals as f64
+        }
+    }
+
+    /// This tenant's (p50, p99, p999) sojourn percentiles.
+    #[must_use]
+    pub fn sojourn_p50_p99_p999(&self) -> [Option<Nanos>; 3] {
+        let ps = self.sojourn.percentiles(&[50.0, 99.0, 99.9]);
+        [ps[0], ps[1], ps[2]]
+    }
+}
+
+/// A multi-tenant open-loop run: the merged-stream metrics plus one
+/// [`TenantMetrics`] per tenant. Per-tenant arrivals/served/dropped always
+/// sum exactly to the merged totals (pinned in
+/// `tests/tenant_equivalence.rs`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiTenantMetrics {
+    /// Metrics of the merged stream, exactly as a single-tenant run reports
+    /// them. For sets of more than one tenant the workload label is the
+    /// tenants' workload names joined with `+`, and `run.pages_per_sec`
+    /// reflects the byte mix actually served.
+    pub merged: OpenLoopMetrics,
+    /// Per-tenant accounting, in [`TenantSet`] order.
+    pub tenants: Vec<TenantMetrics>,
+}
+
+impl MultiTenantMetrics {
+    /// Jain's fairness index over weight-normalized achieved rates:
+    /// `(Σx)² / (n · Σx²)` with `x_i = achieved_i / weight_i`. 1.0 means
+    /// every tenant got throughput proportional to its weight; `1/n` means
+    /// one tenant got everything. Returns 1.0 for the vacuous cases (a
+    /// single tenant, or nothing served at all).
+    #[must_use]
+    pub fn fairness(&self) -> f64 {
+        let xs: Vec<f64> = self
+            .tenants
+            .iter()
+            .map(|t| t.achieved_per_sec() / t.weight)
+            .collect();
+        let n = xs.len() as f64;
+        let sum: f64 = xs.iter().sum();
+        let sum_sq: f64 = xs.iter().map(|x| x * x).sum();
+        if sum_sq <= 0.0 {
+            return 1.0;
+        }
+        (sum * sum) / (n * sum_sq)
+    }
+
+    /// Looks a tenant up by name.
+    #[must_use]
+    pub fn tenant(&self, name: &str) -> Option<&TenantMetrics> {
+        self.tenants.iter().find(|t| t.name == name)
+    }
+}
+
 /// One request waiting at the platform boundary.
 #[derive(Debug, Clone, Copy)]
 struct Queued {
+    tenant: usize,
     access: Access,
     arrival: Nanos,
     enqueued: Nanos,
 }
 
-/// The bounded FIFO between the arrival process and the platform.
+/// The bounded FIFO between the arrival streams and the platform.
 ///
 /// `door` models [`AdmissionPolicy::Block`]: the one client the full queue is
 /// back-pressuring. While it is occupied no later arrival can be admitted
 /// (open-loop clients are independent, but admission is a single FIFO door),
 /// which is exactly the head-of-line blocking a bounded listen queue shows.
+/// Arrival, drop and first-arrival accounting is kept per tenant; merged
+/// totals are the exact sums.
 #[derive(Debug)]
 struct AdmissionQueue {
     depth: usize,
     policy: AdmissionPolicy,
     queue: VecDeque<Queued>,
-    door: Option<(Access, Nanos)>,
-    dropped: u64,
+    door: Option<(usize, Access, Nanos)>,
+    /// Per-tenant count of requests pulled off the arrival streams.
+    arrivals: Vec<u64>,
+    /// Per-tenant count of requests rejected by a full dropping queue.
+    dropped: Vec<u64>,
+    /// Per-tenant first arrival instant.
+    first_arrival: Vec<Option<Nanos>>,
     /// The instant the most recent blocked client got its slot; later
     /// arrivals cannot have enqueued before it.
     unblocked_at: Nanos,
 }
 
 impl AdmissionQueue {
-    fn new(depth: usize, policy: AdmissionPolicy) -> Self {
+    fn new(depth: usize, policy: AdmissionPolicy, tenant_count: usize) -> Self {
         AdmissionQueue {
             depth: depth.max(1),
             policy,
             queue: VecDeque::with_capacity(depth.max(1)),
             door: None,
-            dropped: 0,
+            arrivals: vec![0; tenant_count],
+            dropped: vec![0; tenant_count],
+            first_arrival: vec![None; tenant_count],
             unblocked_at: Nanos::ZERO,
         }
     }
 
     /// Admits every arrival with instant ≤ `t`, in arrival order, applying
     /// the overflow policy. The blocked door client (if any) is first in
-    /// line and enqueues at `t` itself — the moment its slot freed.
+    /// line and enqueues at `t` itself — the moment its slot freed. Callers
+    /// must therefore invoke this at every instant a slot *actually* frees
+    /// (in particular at batch dispatch, when `pop_front` empties slots),
+    /// not only when the server goes idle.
     fn admit_until<I>(&mut self, source: &mut Peekable<I>, t: Nanos)
     where
-        I: Iterator<Item = (Access, Nanos)>,
+        I: Iterator<Item = (usize, Access, Nanos)>,
     {
         loop {
             let (item, from_door) = if let Some(blocked) = self.door.take() {
                 (blocked, true)
-            } else if source.peek().is_some_and(|&(_, arrival)| arrival <= t) {
-                (source.next().expect("peeked"), false)
+            } else if source.peek().is_some_and(|&(_, _, arrival)| arrival <= t) {
+                let item = source.next().expect("peeked");
+                let (tenant, _, arrival) = item;
+                self.arrivals[tenant] += 1;
+                self.first_arrival[tenant].get_or_insert(arrival);
+                (item, false)
             } else {
                 return;
             };
-            let (access, arrival) = item;
+            let (tenant, access, arrival) = item;
             if self.queue.len() < self.depth {
                 if from_door {
                     self.unblocked_at = t;
                 }
                 self.queue.push_back(Queued {
+                    tenant,
                     access,
                     arrival,
                     enqueued: arrival.max(self.unblocked_at),
                 });
             } else {
                 match self.policy {
-                    AdmissionPolicy::Drop => self.dropped += 1,
+                    AdmissionPolicy::Drop => self.dropped[tenant] += 1,
                     AdmissionPolicy::Block => {
-                        self.door = Some((access, arrival));
+                        self.door = Some(item);
                         return;
                     }
                 }
@@ -273,38 +444,74 @@ impl AdmissionQueue {
     }
 }
 
-/// Runs one workload through the open-loop engine on one platform.
-///
-/// The trace and arrival streams are zipped (request *i* of the trace
-/// arrives at instant *i* of the arrival schedule), so open-loop and
-/// closed-loop runs of the same [`ScaleProfile`] serve exactly the same
-/// accesses in the same FIFO order — only the dispatch instants differ.
-///
-/// # Panics
-///
-/// Panics when the platform violates the batch contract (wrong outcome
-/// count) or the config fails
-/// [`ArrivalProcess::validate`](hams_workloads::ArrivalProcess::validate).
-pub fn run_workload_open_loop(
-    platform: &mut dyn Platform,
+/// Everything the engine core needs beyond the platform and the stream.
+struct CoreSetup<'a> {
+    /// Number of tenants feeding the stream (1 for single-tenant runs).
+    tenant_count: usize,
+    /// Unscaled spec used for the merged run's labels.
     spec: WorkloadSpec,
-    scale: &ScaleProfile,
-    config: &OpenLoopConfig,
-) -> OpenLoopMetrics {
+    /// Scaled spec used for the merged run's byte accounting.
+    scaled: WorkloadSpec,
+    /// Total requests the stream will offer (capacity hint).
+    expected: usize,
+    /// Mean offered rate reported in the metrics.
+    offered_rate_per_sec: f64,
+    config: &'a OpenLoopConfig,
+}
+
+/// Per-tenant accumulators the serving loop maintains.
+struct TenantAccum {
+    served: u64,
+    last_finish: Nanos,
+    sojourn: Histogram,
+}
+
+/// What the core hands back: merged metrics plus the per-tenant ledgers.
+struct CoreOut {
+    metrics: OpenLoopMetrics,
+    tenants: Vec<TenantAccum>,
+    arrivals: Vec<u64>,
+    dropped: Vec<u64>,
+    first_arrivals: Vec<Option<Nanos>>,
+}
+
+/// The open-loop serving loop, generic over any time-ordered
+/// `(tenant, access, arrival)` stream. Single- and multi-tenant runs are
+/// the *same* engine: the single-tenant entry point wraps its zipped
+/// trace × arrival stream with tenant id 0, which is also exactly what a
+/// one-tenant [`TenantSource`] yields — the degenerate equivalence the
+/// tenant tier pins.
+fn run_open_loop_core<I>(platform: &mut dyn Platform, source: I, setup: CoreSetup<'_>) -> CoreOut
+where
+    I: Iterator<Item = (usize, Access, Nanos)>,
+{
+    let config = setup.config;
     let batch_size = config.batch_size.max(1);
-    let scaled = scale.scale_spec(spec);
     let mut fold = MetricsFold::new();
-    let mut sojourn = Histogram::new(config.sojourn_bucket, config.sojourn_buckets.max(1));
-    let mut records = Vec::with_capacity(scale.accesses);
+    let buckets = config.sojourn_buckets.max(1);
+    let mut sojourn = Histogram::new(config.sojourn_bucket, buckets);
+    let mut tenants: Vec<TenantAccum> = (0..setup.tenant_count)
+        .map(|_| TenantAccum {
+            served: 0,
+            last_finish: Nanos::ZERO,
+            sojourn: Histogram::new(config.sojourn_bucket, buckets),
+        })
+        .collect();
+    let mut records = Vec::with_capacity(if config.keep_records {
+        setup.expected
+    } else {
+        0
+    });
+    let mut served = 0u64;
+    let mut last_finish = Nanos::ZERO;
 
-    let trace = TraceGenerator::new(scaled, scale.seed, scale.accesses);
-    let arrivals = ArrivalGenerator::new(config.arrivals, scale.seed, scale.accesses);
-    let mut source = trace.zip(arrivals).peekable();
-    let mut queue = AdmissionQueue::new(config.queue_depth, config.policy);
+    let mut source = source.peekable();
+    let mut queue = AdmissionQueue::new(config.queue_depth, config.policy, setup.tenant_count);
 
-    let mut batch: Vec<BatchRequest> = Vec::with_capacity(batch_size.min(scale.accesses.max(1)));
-    let mut meta: Vec<(Nanos, Nanos)> = Vec::with_capacity(batch_size.min(scale.accesses.max(1)));
-    let mut out = BatchOutcome::with_capacity(batch_size.min(scale.accesses.max(1)));
+    let cap = batch_size.min(setup.expected.max(1));
+    let mut batch: Vec<BatchRequest> = Vec::with_capacity(cap);
+    let mut meta: Vec<(usize, Nanos, Nanos)> = Vec::with_capacity(cap);
+    let mut out = BatchOutcome::with_capacity(cap);
     // The instant the platform finished its last dispatched batch; it sits
     // idle from here until the next dispatch.
     let mut server_free = Nanos::ZERO;
@@ -318,7 +525,7 @@ pub fn run_workload_open_loop(
                 queue.door.is_none(),
                 "a blocked client implies a full queue"
             );
-            let Some(&(_, next_arrival)) = source.peek() else {
+            let Some(&(_, _, next_arrival)) = source.peek() else {
                 break;
             };
             queue.admit_until(&mut source, server_free.max(next_arrival));
@@ -343,8 +550,15 @@ pub fn run_workload_open_loop(
                 access: q.access,
                 compute,
             });
-            meta.push((q.arrival, q.enqueued));
+            meta.push((q.tenant, q.arrival, q.enqueued));
         }
+        // Dispatch freed queue slots *now*: a blocked door client gets its
+        // slot — and its enqueue timestamp — at the dispatch instant, not
+        // at the end of the batch it had to wait out. (Dispatch instants
+        // are unaffected: `start` only ever grows past `server_free`, so
+        // this earlier admission changes `enqueued` bookkeeping, never the
+        // schedule.)
+        queue.admit_until(&mut source, start);
 
         platform.serve_batch_into(&batch, start, &mut out);
         assert_eq!(
@@ -357,33 +571,188 @@ pub fn run_workload_open_loop(
         );
 
         let mut ready = start;
-        for ((request, outcome), &(arrival, enqueued)) in batch.iter().zip(&out.outcomes).zip(&meta)
+        for ((request, outcome), &(tenant, arrival, enqueued)) in
+            batch.iter().zip(&out.outcomes).zip(&meta)
         {
             fold.fold_from(ready, request.compute, outcome);
             let record = OpenLoopRecord {
+                tenant,
                 arrival,
                 enqueued,
                 started: ready,
                 finished: outcome.finished_at,
             };
             sojourn.record(record.sojourn());
-            records.push(record);
+            served += 1;
+            last_finish = last_finish.max(record.finished);
+            let acc = &mut tenants[tenant];
+            acc.served += 1;
+            acc.last_finish = acc.last_finish.max(record.finished);
+            acc.sojourn.record(record.sojourn());
+            if config.keep_records {
+                records.push(record);
+            }
             ready = outcome.finished_at;
         }
         server_free = out.finished_at(start);
     }
 
-    let served = records.len() as u64;
-    let dropped = queue.dropped;
-    let run = fold.finish(platform, spec, scaled);
-    OpenLoopMetrics {
-        run,
-        offered_rate_per_sec: config.arrivals.mean_rate_per_sec(),
-        arrivals: served + dropped,
-        served,
+    let AdmissionQueue {
+        arrivals,
         dropped,
-        sojourn,
-        records,
+        first_arrival,
+        ..
+    } = queue;
+    let arrivals_total: u64 = arrivals.iter().sum();
+    let dropped_total: u64 = dropped.iter().sum();
+    debug_assert_eq!(arrivals_total, served + dropped_total);
+    let first_arrival_merged = first_arrival
+        .iter()
+        .flatten()
+        .copied()
+        .min()
+        .unwrap_or(Nanos::ZERO);
+    let run = fold.finish(platform, setup.spec, setup.scaled);
+    CoreOut {
+        metrics: OpenLoopMetrics {
+            run,
+            offered_rate_per_sec: setup.offered_rate_per_sec,
+            arrivals: arrivals_total,
+            served,
+            dropped: dropped_total,
+            first_arrival: first_arrival_merged,
+            last_finish,
+            sojourn,
+            records,
+        },
+        tenants,
+        arrivals,
+        dropped,
+        first_arrivals: first_arrival,
+    }
+}
+
+/// Runs one workload through the open-loop engine on one platform.
+///
+/// The trace and arrival streams are zipped (request *i* of the trace
+/// arrives at instant *i* of the arrival schedule), so open-loop and
+/// closed-loop runs of the same [`ScaleProfile`] serve exactly the same
+/// accesses in the same FIFO order — only the dispatch instants differ.
+///
+/// # Panics
+///
+/// Panics when the platform violates the batch contract (wrong outcome
+/// count) or the config fails
+/// [`ArrivalProcess::validate`](hams_workloads::ArrivalProcess::validate).
+pub fn run_workload_open_loop(
+    platform: &mut dyn Platform,
+    spec: WorkloadSpec,
+    scale: &ScaleProfile,
+    config: &OpenLoopConfig,
+) -> OpenLoopMetrics {
+    let scaled = scale.scale_spec(spec);
+    let trace = TraceGenerator::new(scaled, scale.seed, scale.accesses);
+    let arrivals = ArrivalGenerator::new(config.arrivals, scale.seed, scale.accesses);
+    let source = trace.zip(arrivals).map(|(access, t)| (0usize, access, t));
+    run_open_loop_core(
+        platform,
+        source,
+        CoreSetup {
+            tenant_count: 1,
+            spec,
+            scaled,
+            expected: scale.accesses,
+            offered_rate_per_sec: config.arrivals.mean_rate_per_sec(),
+            config,
+        },
+    )
+    .metrics
+}
+
+/// Runs a [`TenantSet`] through the open-loop engine on one platform: the
+/// tenants' seeded arrival streams are merged into one time-ordered source
+/// (ties broken by tenant index) feeding the same bounded admission queue
+/// and FIFO batch dispatch as [`run_workload_open_loop`].
+///
+/// `config.arrivals` is ignored — each tenant's own [`ArrivalProcess`]
+/// drives its stream; the queue, batch and histogram knobs apply to the
+/// shared platform boundary.
+///
+/// Pinned contracts: a single-tenant set produces [`OpenLoopMetrics`]
+/// byte-identical to [`run_workload_open_loop`] with the same workload,
+/// process and scale, and per-tenant counters always sum exactly to the
+/// merged totals (`tests/tenant_equivalence.rs`).
+///
+/// # Panics
+///
+/// Panics when the set fails [`TenantSet::validate`] or the platform
+/// violates the batch contract.
+pub fn run_tenant_set_open_loop(
+    platform: &mut dyn Platform,
+    set: &TenantSet,
+    scale: &ScaleProfile,
+    config: &OpenLoopConfig,
+) -> MultiTenantMetrics {
+    set.validate();
+    let scaled: Vec<WorkloadSpec> = set
+        .tenants
+        .iter()
+        .map(|t| scale.scale_spec(t.spec))
+        .collect();
+    let source = TenantSource::new(set, &scaled, scale.seed, scale.accesses);
+    let out = run_open_loop_core(
+        platform,
+        source,
+        CoreSetup {
+            tenant_count: set.len(),
+            spec: set.tenants[0].spec,
+            scaled: scaled[0],
+            expected: set.total_accesses(scale.accesses),
+            offered_rate_per_sec: set.offered_rate_per_sec(),
+            config,
+        },
+    );
+    let CoreOut {
+        mut metrics,
+        tenants: accums,
+        arrivals,
+        dropped,
+        first_arrivals,
+    } = out;
+    if set.len() > 1 {
+        // The core labelled and byte-accounted the merged run with tenant
+        // 0's spec (which is exact for the degenerate single-tenant pin);
+        // for a mixed set, re-derive both from what was actually served.
+        metrics.run.workload = set.workload_label();
+        let secs = metrics.run.total_time.as_secs_f64().max(1e-12);
+        let bytes: u64 = accums
+            .iter()
+            .zip(&scaled)
+            .map(|(acc, s)| acc.served * s.access_bytes)
+            .sum();
+        metrics.run.pages_per_sec = bytes as f64 / 4096.0 / secs;
+    }
+    let tenants = set
+        .tenants
+        .iter()
+        .zip(accums)
+        .enumerate()
+        .map(|(i, (t, acc))| TenantMetrics {
+            tenant: i,
+            name: t.name.clone(),
+            weight: t.weight,
+            offered_rate_per_sec: t.arrivals.mean_rate_per_sec(),
+            arrivals: arrivals[i],
+            served: acc.served,
+            dropped: dropped[i],
+            first_arrival: first_arrivals[i].unwrap_or(Nanos::ZERO),
+            last_finish: acc.last_finish,
+            sojourn: acc.sojourn,
+        })
+        .collect();
+    MultiTenantMetrics {
+        merged: metrics,
+        tenants,
     }
 }
 
@@ -391,6 +760,7 @@ pub fn run_workload_open_loop(
 mod tests {
     use super::*;
     use crate::runner::{run_workload_serial, PlatformKind};
+    use hams_workloads::TenantSpec;
 
     fn tiny_scale() -> ScaleProfile {
         ScaleProfile {
@@ -434,6 +804,7 @@ mod tests {
             batch_size: 4,
             sojourn_bucket: Nanos::from_nanos(256),
             sojourn_buckets: 1024,
+            keep_records: true,
         };
         let m = run_workload_open_loop(p.as_mut(), spec(), &scale, &config);
         assert_eq!(m.arrivals, scale.accesses as u64);
@@ -454,10 +825,103 @@ mod tests {
             batch_size: 2,
             sojourn_bucket: Nanos::from_nanos(256),
             sojourn_buckets: 1024,
+            keep_records: true,
         };
         let m = run_workload_open_loop(p.as_mut(), spec(), &scale, &config);
         assert_eq!(m.dropped, 0);
         assert_eq!(m.served, scale.accesses as u64);
+    }
+
+    #[test]
+    fn blocked_door_client_enqueues_at_the_dispatch_that_freed_its_slot() {
+        // Saturate + Block with depth 2 and batch 2: requests 0 and 1 fill
+        // the queue at t = 0 and request 2 blocks at the door. Its slot
+        // frees when batch [0, 1] is *dispatched* (popped) at t = 0 — the
+        // old engine only admitted it at the next admit_until(server_free),
+        // the end of that batch, inflating its queue wait by one batch
+        // service time.
+        let scale = ScaleProfile {
+            capacity_divisor: 2048,
+            accesses: 6,
+            seed: 5,
+        };
+        let config = OpenLoopConfig {
+            arrivals: ArrivalProcess::Saturate,
+            queue_depth: 2,
+            policy: AdmissionPolicy::Block,
+            batch_size: 2,
+            sojourn_bucket: Nanos::from_nanos(256),
+            sojourn_buckets: 1024,
+            keep_records: true,
+        };
+        for kind in [PlatformKind::Oracle, PlatformKind::HamsTE] {
+            let mut p = kind.build(&scale);
+            let m = run_workload_open_loop(p.as_mut(), spec(), &scale, &config);
+            assert_eq!(m.served, 6);
+            let r = &m.records;
+            // The door client of the first batch enqueues at that batch's
+            // dispatch instant (t = 0 under saturation)...
+            assert_eq!(
+                r[2].enqueued,
+                r[0].started,
+                "{}: door client enqueued at {:?}, batch dispatched at {:?}",
+                kind.label(),
+                r[2].enqueued,
+                r[0].started
+            );
+            // ...which is strictly before the batch finishes — the old
+            // engine's (buggy) enqueue instant.
+            assert!(
+                r[2].enqueued < r[1].finished,
+                "{}: door client's enqueue was deferred to the end of the batch",
+                kind.label()
+            );
+            // Same for the door client displaced by the second batch.
+            assert_eq!(r[4].enqueued, r[2].started, "{}", kind.label());
+        }
+    }
+
+    #[test]
+    fn record_retention_is_opt_in_with_an_exact_histogram_either_way() {
+        let scale = tiny_scale();
+        let config = OpenLoopConfig::poisson(2_000_000.0);
+        let mut with = PlatformKind::HamsTE.build(&scale);
+        let mut without = PlatformKind::HamsTE.build(&scale);
+        let kept = run_workload_open_loop(with.as_mut(), spec(), &scale, &config);
+        let dropped = run_workload_open_loop(
+            without.as_mut(),
+            spec(),
+            &scale,
+            &config.with_records(false),
+        );
+        assert!(!kept.records.is_empty());
+        assert!(dropped.records.is_empty());
+        assert_eq!(kept.run, dropped.run);
+        assert_eq!(kept.sojourn, dropped.sojourn);
+        assert_eq!(kept.served, dropped.served);
+        assert_eq!(kept.sojourn.count(), kept.served);
+        assert_eq!(kept.first_arrival, dropped.first_arrival);
+        assert_eq!(kept.last_finish, dropped.last_finish);
+        assert!((kept.achieved_per_sec() - dropped.achieved_per_sec()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn achieved_rate_uses_the_simulated_wall_span() {
+        let scale = tiny_scale();
+        let mut p = PlatformKind::Oracle.build(&scale);
+        let m = run_workload_open_loop(
+            p.as_mut(),
+            spec(),
+            &scale,
+            &OpenLoopConfig::poisson(1_000_000.0),
+        );
+        // Poisson arrivals start after the first exponential gap, so the
+        // wall span is strictly inside the fold's span-from-zero.
+        assert!(!m.first_arrival.is_zero());
+        assert_eq!(m.last_finish, m.run.total_time);
+        assert_eq!(m.wall_span(), m.last_finish.saturating_sub(m.first_arrival));
+        let expected = m.served as f64 / m.wall_span().as_secs_f64();
+        assert!((m.achieved_per_sec() - expected).abs() < 1e-6);
     }
 
     #[test]
@@ -475,6 +939,7 @@ mod tests {
             assert!(r.enqueued <= r.started);
             assert!(r.started <= r.finished);
             assert_eq!(r.sojourn(), r.queue_wait() + r.service());
+            assert_eq!(r.tenant, 0);
         }
     }
 
@@ -523,5 +988,47 @@ mod tests {
         );
         // Total time spans the arrival schedule, not just the service time.
         assert!(m.run.total_time >= m.records.last().unwrap().arrival);
+    }
+
+    #[test]
+    fn two_tenant_accounting_closes_and_fairness_is_bounded() {
+        let scale = tiny_scale();
+        let set = TenantSet::new(vec![
+            TenantSpec::new(
+                "victim",
+                spec(),
+                ArrivalProcess::Poisson {
+                    rate_per_sec: 500_000.0,
+                },
+            ),
+            TenantSpec::new(
+                "antagonist",
+                WorkloadSpec::by_name("update").unwrap(),
+                ArrivalProcess::Poisson {
+                    rate_per_sec: 5_000_000.0,
+                },
+            )
+            .with_weight(2.0),
+        ]);
+        let mut p = PlatformKind::HamsTE.build(&scale);
+        let config = OpenLoopConfig::poisson(1.0).with_queue_depth(64);
+        let m = run_tenant_set_open_loop(p.as_mut(), &set, &scale, &config);
+        assert_eq!(m.tenants.len(), 2);
+        let sum = |f: fn(&TenantMetrics) -> u64| m.tenants.iter().map(f).sum::<u64>();
+        assert_eq!(sum(|t| t.arrivals), m.merged.arrivals);
+        assert_eq!(sum(|t| t.served), m.merged.served);
+        assert_eq!(sum(|t| t.dropped), m.merged.dropped);
+        for t in &m.tenants {
+            assert_eq!(t.arrivals, t.served + t.dropped);
+            assert_eq!(t.arrivals, scale.accesses as u64);
+            assert_eq!(t.sojourn.count(), t.served);
+        }
+        let fairness = m.fairness();
+        assert!(fairness > 0.0 && fairness <= 1.0 + 1e-12);
+        assert_eq!(m.merged.run.workload, "rndRd+update");
+        assert!(m.tenant("victim").is_some());
+        assert!(m.tenant("nobody").is_none());
+        // Records carry the issuing tenant.
+        assert!(m.merged.records.iter().any(|r| r.tenant == 1));
     }
 }

@@ -209,7 +209,7 @@ impl RunningStats {
 /// let p50 = h.percentile(50.0).unwrap();
 /// assert!(p50 >= Nanos::from_nanos(4900) && p50 <= Nanos::from_nanos(5200));
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Histogram {
     bucket_width: Nanos,
     buckets: Vec<u64>,

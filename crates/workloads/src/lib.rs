@@ -18,7 +18,9 @@
 pub mod arrival;
 pub mod fio;
 pub mod spec;
+pub mod tenant;
 
 pub use arrival::{ArrivalGenerator, ArrivalProcess};
 pub use fio::{FioJob, FioPattern, IoRequest};
 pub use spec::{Access, AccessPattern, TraceGenerator, WorkloadClass, WorkloadSpec};
+pub use tenant::{tenant_seed, TenantSet, TenantSource, TenantSpec};
