@@ -3,23 +3,27 @@
 //!
 //! Usage: `cargo run -p hams-bench --release --bin figures [-- <id> ...]`
 //! where `<id>` is one of `table1 table2 table3 fig5 fig6 fig7 fig10 fig16
-//! fig17 fig18 fig19 fig20 fig21 fig22 fig23 fig24 fig25`; with no arguments
-//! every artefact is produced (`fig21` is this reproduction's NVMe
+//! fig17 fig18 fig19 fig20 fig21 fig22 fig23 fig24 fig25 timeline`; with no
+//! arguments every artefact is produced (`fig21` is this reproduction's NVMe
 //! queue-count sensitivity study, `fig22` its tag-array shard-count study —
 //! pinned flat by the shard-invariance contract — `fig23` its archive
 //! device-scaling study over the RAID-0 / CXL-attached backends, `fig24` its
 //! open-loop latency-vs-offered-load study locating each platform's max
-//! sustainable throughput, and `fig25` its multi-tenant noisy-neighbour
-//! study of a latency-sensitive tenant's sojourn tail under a write-heavy
-//! antagonist; none is a figure of the original paper).
+//! sustainable throughput, `fig25` its multi-tenant noisy-neighbour study of
+//! a latency-sensitive tenant's sojourn tail under a write-heavy antagonist,
+//! and `timeline` its traced request-lifecycle study: the open-loop hams-TE
+//! scenario replayed with the simulated-time span tracer attached, reported
+//! as a per-layer span table plus a structurally validated Chrome
+//! `trace_event` export; none is a figure of the original paper).
 
 use hams_bench::*;
 use hams_platforms::{feature_table, paper_config, PlatformKind};
+use hams_telemetry::{chrome_trace_json, Layer};
 use hams_workloads::WorkloadSpec;
 
 const ALL: &[&str] = &[
     "table1", "table2", "table3", "fig5", "fig6", "fig7", "fig10", "fig16", "fig17", "fig18",
-    "fig19", "fig20", "fig21", "fig22", "fig23", "fig24", "fig25",
+    "fig19", "fig20", "fig21", "fig22", "fig23", "fig24", "fig25", "timeline",
 ];
 
 fn main() {
@@ -242,6 +246,50 @@ fn main() {
                     );
                 }
                 println!();
+            }
+            "timeline" => {
+                let (metrics, telemetry) = timeline_traced_run(&scale);
+                println!(
+                    "=== Timeline: traced hams-TE rndRd open-loop at {TIMELINE_OFFERED_FRACTION}x \
+                     calibrated rate ==="
+                );
+                println!(
+                    "arrivals={} served={} dropped={} spans={} ({} evicted)",
+                    metrics.arrivals,
+                    metrics.served,
+                    metrics.dropped,
+                    telemetry.recorder.len(),
+                    telemetry.recorder.dropped()
+                );
+                print_rows("per-layer span summary", &timeline_rows(&telemetry));
+                let trace = chrome_trace_json(&[(
+                    "hams-TE rndRd (open-loop)".to_owned(),
+                    telemetry.spans_sorted(),
+                )]);
+                match validate_chrome_trace(&trace) {
+                    Ok(layers) => {
+                        let missing: Vec<&str> = Layer::ALL
+                            .iter()
+                            .map(|l| l.name())
+                            .filter(|name| !layers.iter().any(|l| l == name))
+                            .collect();
+                        if missing.is_empty() {
+                            println!(
+                                "chrome trace: {} bytes, all {} serving-spine layers present \
+                                 (export with `throughput --trace`)\n",
+                                trace.len(),
+                                Layer::ALL.len()
+                            );
+                        } else {
+                            eprintln!("chrome trace is missing layers: {missing:?}");
+                            std::process::exit(1);
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!("chrome trace failed structural validation: {e}");
+                        std::process::exit(1);
+                    }
+                }
             }
             other => eprintln!("unknown figure id: {other}"),
         }

@@ -20,6 +20,8 @@
 //! cargo run -p hams-bench --release --bin throughput -- --out /tmp/scratch.json
 //! cargo run -p hams-bench --release --bin throughput -- \
 //!     --quick --label ci-smoke --out /tmp/smoke.json --gate BENCH_hotpath.json
+//! cargo run -p hams-bench --release --bin throughput -- --quick --trace --trace-out /tmp/t
+//! cargo run -p hams-bench --release --bin throughput -- --prune 5
 //! ```
 //!
 //! `--quick` runs a reduced grid (`mmap`, `hams-TE`, `oracle` ×
@@ -44,15 +46,26 @@
 //! one machine (the JSON records the methodology) — the gate's generous
 //! ratio absorbs machine-to-machine variance while still catching a
 //! hot-path collapse.
+//!
+//! `--trace` does not measure wall-clock at all: it replays the timeline
+//! scenario with the simulated-time span tracer attached and exports a
+//! Chrome `trace_event` timeline plus the metrics-registry series (see
+//! [`run_trace`]). `--prune <keep>` is maintenance: it rewrites the
+//! trajectory file keeping only the latest `<keep>` runs per label, so the
+//! append-only file stays reviewable as PRs accumulate.
 
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use hams_bench::FIG25_VICTIM_FRACTION;
+use hams_bench::{
+    print_rows, timeline_rows, timeline_traced_run, validate_chrome_trace, FIG25_VICTIM_FRACTION,
+};
 use hams_platforms::{
     run_tenant_set_open_loop, run_workload, run_workload_cell_parallel, run_workload_open_loop,
-    run_workload_serial, OpenLoopConfig, PlatformKind, ScaleProfile,
+    run_workload_serial, run_workload_traced, OpenLoopConfig, PlatformKind, ScaleProfile,
 };
+use hams_telemetry::{chrome_trace_json, Layer, RunTelemetry};
 use hams_workloads::{ArrivalProcess, TenantSet, TenantSpec, WorkloadSpec};
 
 /// One measured (platform, workload) cell.
@@ -76,6 +89,9 @@ struct Config {
     scaling: bool,
     openloop: bool,
     tenants: bool,
+    trace: bool,
+    trace_out: String,
+    prune: Option<usize>,
     gate: Option<String>,
 }
 
@@ -87,6 +103,9 @@ fn parse_args() -> Config {
         scaling: false,
         openloop: false,
         tenants: false,
+        trace: false,
+        trace_out: "TRACE_hotpath".to_owned(),
+        prune: None,
         gate: None,
     };
     let mut args = std::env::args().skip(1);
@@ -96,6 +115,23 @@ fn parse_args() -> Config {
             "--scaling" => config.scaling = true,
             "--openloop" => config.openloop = true,
             "--tenants" => config.tenants = true,
+            "--trace" => config.trace = true,
+            "--trace-out" => {
+                config.trace_out = args.next().unwrap_or_else(|| {
+                    eprintln!("--trace-out needs a path prefix");
+                    std::process::exit(2);
+                });
+            }
+            "--prune" => {
+                let keep = args.next().and_then(|n| n.parse::<usize>().ok());
+                match keep {
+                    Some(keep) if keep >= 1 => config.prune = Some(keep),
+                    _ => {
+                        eprintln!("--prune needs a positive run count to keep per label");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--gate" => {
                 config.gate = Some(args.next().unwrap_or_else(|| {
                     eprintln!("--gate needs a baseline trajectory path");
@@ -130,15 +166,24 @@ fn parse_args() -> Config {
             other => {
                 eprintln!(
                     "unknown argument {other:?}; flags: --quick --scaling --openloop \
-                     --tenants --label <s> --out <path> --gate <baseline>"
+                     --tenants --trace --trace-out <prefix> --prune <keep> --label <s> \
+                     --out <path> --gate <baseline>"
                 );
                 std::process::exit(2);
             }
         }
     }
-    if usize::from(config.scaling) + usize::from(config.openloop) + usize::from(config.tenants) > 1
-    {
-        eprintln!("--scaling, --openloop and --tenants are mutually exclusive modes");
+    let modes = usize::from(config.scaling)
+        + usize::from(config.openloop)
+        + usize::from(config.tenants)
+        + usize::from(config.trace)
+        + usize::from(config.prune.is_some());
+    if modes > 1 {
+        eprintln!("--scaling, --openloop, --tenants, --trace and --prune are mutually exclusive");
+        std::process::exit(2);
+    }
+    if config.prune.is_some() && config.gate.is_some() {
+        eprintln!("--prune does not measure anything, so it cannot be combined with --gate");
         std::process::exit(2);
     }
     config
@@ -511,6 +556,162 @@ fn write_trajectory(path: &str, run: &str) {
     println!("wrote {path}");
 }
 
+/// Prunes a trajectory document down to the most recent `keep` runs per
+/// label, preserving run order, and re-renders it in the exact shape
+/// [`write_trajectory`] appends to. Returns the rendered document and the
+/// number of runs dropped. The trajectory is append-only, so "most recent"
+/// is positional: the last `keep` same-label entries survive.
+fn prune_trajectory(text: &str, keep: usize) -> Result<(String, usize), String> {
+    let doc = serde_json::from_str(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    let methodology = doc
+        .get("methodology")
+        .and_then(serde_json::Value::as_str)
+        .ok_or("missing top-level \"methodology\" string")?;
+    let runs = doc
+        .get("runs")
+        .and_then(serde_json::Value::as_array)
+        .ok_or("missing top-level \"runs\" array")?;
+    let mut labels = Vec::with_capacity(runs.len());
+    for (i, run) in runs.iter().enumerate() {
+        labels.push(
+            run.get("label")
+                .and_then(serde_json::Value::as_str)
+                .ok_or_else(|| format!("run #{i} has no string \"label\""))?,
+        );
+    }
+    let mut kept_per_label: BTreeMap<&str, usize> = BTreeMap::new();
+    let mut keep_flags = vec![false; runs.len()];
+    for i in (0..runs.len()).rev() {
+        let count = kept_per_label.entry(labels[i]).or_insert(0);
+        if *count < keep {
+            keep_flags[i] = true;
+            *count += 1;
+        }
+    }
+    let mut kept = Vec::new();
+    for (run, &keep_it) in runs.iter().zip(&keep_flags) {
+        if keep_it {
+            kept.push(
+                serde_json::to_string(run).map_err(|e| format!("cannot re-render run: {e}"))?,
+            );
+        }
+    }
+    let dropped = runs.len() - kept.len();
+    let methodology = serde_json::to_string(&serde_json::Value::String(methodology.to_owned()))
+        .map_err(|e| format!("cannot re-render methodology: {e}"))?;
+    let mut out = format!("{{\n  \"methodology\": {methodology},\n  \"runs\": [\n");
+    if !kept.is_empty() {
+        out.push_str("    ");
+        out.push_str(&kept.join(",\n    "));
+        out.push('\n');
+    }
+    out.push_str(FILE_TAIL);
+    // The pruned file must still be exactly what `write_trajectory` splices
+    // into, or the next run would refuse its own trajectory.
+    if serde_json::from_str(&out).is_err()
+        || !out.ends_with(FILE_TAIL)
+        || !out.contains("\"runs\": [")
+    {
+        return Err("internal error: pruned trajectory lost the harness shape".to_owned());
+    }
+    Ok((out, dropped))
+}
+
+/// The `--prune` mode: rewrites the trajectory at `path` keeping the latest
+/// `keep` runs per label.
+fn prune_file(path: &str, keep: usize) {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    let (rendered, dropped) = prune_trajectory(&text, keep).unwrap_or_else(|e| {
+        eprintln!("cannot prune {path}: {e}");
+        std::process::exit(1);
+    });
+    std::fs::write(path, rendered).unwrap_or_else(|e| {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(1);
+    });
+    println!("pruned {path}: dropped {dropped} run(s), keeping the latest {keep} per label");
+}
+
+/// The `--trace` mode: replays the timeline scenario with the span tracer
+/// attached (plus a closed-loop mmap leg for contrast), prints the per-layer
+/// timeline table, and writes three artifacts next to `prefix`:
+/// `<prefix>.trace.json` (Chrome `trace_event`, loadable in Perfetto or
+/// `chrome://tracing`), `<prefix>.series.csv` and `<prefix>.series.json`
+/// (the time-bucketed metrics registry of the open-loop leg). The exported
+/// trace is re-parsed and must carry a span for every serving-spine layer —
+/// a tracer that silently lost a layer would be worse than none.
+fn run_trace(scale: &ScaleProfile, prefix: &str) {
+    let spec = WorkloadSpec::by_name("rndRd").expect("known workload");
+    let (metrics, telemetry) = timeline_traced_run(scale);
+    println!(
+        "traced hams-TE rndRd open-loop: arrivals={} served={} dropped={} spans={} ({} evicted)",
+        metrics.arrivals,
+        metrics.served,
+        metrics.dropped,
+        telemetry.recorder.len(),
+        telemetry.recorder.dropped()
+    );
+    let mut mmap_telemetry = RunTelemetry::new();
+    let mut mmap = PlatformKind::Mmap.build(scale);
+    let mmap_metrics = run_workload_traced(mmap.as_mut(), spec, scale, &mut mmap_telemetry);
+    println!(
+        "traced mmap rndRd closed-loop: accesses={} spans={}",
+        mmap_metrics.accesses,
+        mmap_telemetry.recorder.len()
+    );
+    print_rows(
+        "timeline (hams-TE rndRd open-loop)",
+        &timeline_rows(&telemetry),
+    );
+
+    let trace = chrome_trace_json(&[
+        (
+            "hams-TE rndRd (open-loop)".to_owned(),
+            telemetry.spans_sorted(),
+        ),
+        (
+            "mmap rndRd (closed-loop)".to_owned(),
+            mmap_telemetry.spans_sorted(),
+        ),
+    ]);
+    let layers = validate_chrome_trace(&trace).unwrap_or_else(|e| {
+        eprintln!("exported trace is structurally invalid: {e}");
+        std::process::exit(1);
+    });
+    for layer in Layer::ALL {
+        if !layers.iter().any(|l| l == layer.name()) {
+            eprintln!(
+                "exported trace has no {} spans (layers present: {layers:?})",
+                layer.name()
+            );
+            std::process::exit(1);
+        }
+    }
+    let writes = [
+        (format!("{prefix}.trace.json"), trace),
+        (format!("{prefix}.series.csv"), telemetry.registry.to_csv()),
+        (
+            format!("{prefix}.series.json"),
+            telemetry.registry.to_json(),
+        ),
+    ];
+    for (path, contents) in &writes {
+        std::fs::write(path, contents).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("wrote {path}");
+    }
+    println!(
+        "trace covers all {} serving-spine layers; open in Perfetto (ui.perfetto.dev) or \
+         chrome://tracing",
+        Layer::ALL.len()
+    );
+}
+
 /// The most recent run labelled `label` in a trajectory document, as
 /// `(platform, workload, ns_per_access)` cells.
 ///
@@ -619,11 +820,25 @@ fn enforce_gate(baseline_path: &str, label: &str, cells: &[Cell]) {
 
 fn main() {
     let config = parse_args();
+    if let Some(keep) = config.prune {
+        prune_file(&config.out, keep);
+        return;
+    }
     let scale = scale_for(config.quick);
     println!(
-        "throughput: label={} quick={} scaling={} openloop={} tenants={} accesses={}",
-        config.label, config.quick, config.scaling, config.openloop, config.tenants, scale.accesses
+        "throughput: label={} quick={} scaling={} openloop={} tenants={} trace={} accesses={}",
+        config.label,
+        config.quick,
+        config.scaling,
+        config.openloop,
+        config.tenants,
+        config.trace,
+        scale.accesses
     );
+    if config.trace {
+        run_trace(&scale, &config.trace_out);
+        return;
+    }
     let (cells, reps) = if config.scaling {
         let reps = if config.quick { 1 } else { 3 };
         (measure_scaling(&scale, reps), reps)
@@ -730,5 +945,84 @@ mod tests {
 
         let invalid = "not json at all";
         assert!(baseline_cells(invalid, "ci-smoke").is_err());
+    }
+
+    #[test]
+    fn prune_keeps_the_latest_runs_per_label_in_order() {
+        let scale = scale_for(true);
+        let runs = [
+            render_run("ci-smoke", &scale, 1, &[cell("mmap", 100.0)]),
+            render_run("nightly", &scale, 1, &[cell("mmap", 900.0)]),
+            render_run("ci-smoke", &scale, 1, &[cell("mmap", 200.0)]),
+            render_run("ci-smoke", &scale, 1, &[cell("mmap", 300.0)]),
+        ];
+        let text = doc(&runs.join(",\n"));
+
+        let (pruned, dropped) = prune_trajectory(&text, 1).unwrap();
+        assert_eq!(dropped, 2);
+        // The latest run of each label survives, original order preserved:
+        // `nightly` (older) still precedes the final `ci-smoke`.
+        assert_eq!(
+            baseline_cells(&pruned, "ci-smoke").unwrap(),
+            vec![("mmap".to_owned(), "rndRd".to_owned(), 300.0)]
+        );
+        assert_eq!(
+            baseline_cells(&pruned, "nightly").unwrap(),
+            vec![("mmap".to_owned(), "rndRd".to_owned(), 900.0)]
+        );
+        let nightly = pruned.find("nightly").unwrap();
+        let smoke = pruned.find("ci-smoke").unwrap();
+        assert!(nightly < smoke, "pruning reordered the surviving runs");
+
+        let (wider, dropped) = prune_trajectory(&text, 2).unwrap();
+        assert_eq!(dropped, 1);
+        // With two kept per label the middle ci-smoke run survives, and the
+        // latest one still wins as the gate baseline.
+        assert_eq!(
+            baseline_cells(&wider, "ci-smoke").unwrap(),
+            vec![("mmap".to_owned(), "rndRd".to_owned(), 300.0)]
+        );
+        let run_count = |text: &str| {
+            let doc = serde_json::from_str(text).unwrap();
+            doc.get("runs")
+                .and_then(serde_json::Value::as_array)
+                .unwrap()
+                .len()
+        };
+        assert_eq!(run_count(&pruned), 2);
+        assert_eq!(run_count(&wider), 3);
+    }
+
+    #[test]
+    fn pruned_trajectory_still_accepts_appends() {
+        let scale = scale_for(true);
+        let text = doc(&render_run("ci-smoke", &scale, 1, &[cell("mmap", 100.0)]));
+        let (pruned, dropped) = prune_trajectory(&text, 3).unwrap();
+        assert_eq!(dropped, 0);
+        // The exact markers `write_trajectory` splices on.
+        assert!(pruned.ends_with(FILE_TAIL));
+        assert!(pruned.contains("\"runs\": ["));
+        // And a subsequent append round-trips: splice the next run in the
+        // same way `write_trajectory` does and re-parse.
+        let next = render_run("ci-smoke", &scale, 1, &[cell("mmap", 110.0)]);
+        let body = pruned.trim_end_matches(FILE_TAIL).trim_end().to_owned();
+        let appended = format!("{body},\n{next}\n{FILE_TAIL}");
+        assert_eq!(
+            baseline_cells(&appended, "ci-smoke").unwrap(),
+            vec![("mmap".to_owned(), "rndRd".to_owned(), 110.0)]
+        );
+    }
+
+    #[test]
+    fn prune_refuses_malformed_trajectories() {
+        assert!(prune_trajectory("not json", 1).is_err());
+        assert!(
+            prune_trajectory("{\"runs\": []}", 1).is_err(),
+            "no methodology"
+        );
+        assert!(
+            prune_trajectory("{\"methodology\": \"m\", \"runs\": [{\"cells\": []}]}", 1).is_err(),
+            "unlabelled run"
+        );
     }
 }

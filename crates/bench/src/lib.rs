@@ -20,11 +20,13 @@ use hams_nvme::{NvmeCommand, PrpList};
 use hams_platforms::{
     build_cxl_platform, build_raid_sweep_platform, queue_sweep_label, register_hams_queue_sweep,
     register_hams_shard_sweep, run_grid, run_grid_with, run_matrix, run_tenant_set_open_loop,
-    run_workload, run_workload_open_loop, shard_sweep_label, HamsPlatform, MmapPlatform,
-    OpenLoopConfig, PlatformKind, PlatformRegistry, RunMetrics, ScaleProfile,
+    run_workload, run_workload_open_loop, run_workload_open_loop_traced, shard_sweep_label,
+    HamsPlatform, MmapPlatform, OpenLoopConfig, OpenLoopMetrics, PlatformKind, PlatformRegistry,
+    RunMetrics, ScaleProfile,
 };
 use hams_sim::parallel_map;
-use hams_sim::Nanos;
+use hams_sim::{Histogram, Nanos};
+use hams_telemetry::{Layer, RunTelemetry};
 use hams_workloads::{
     ArrivalProcess, FioJob, FioPattern, TenantSet, TenantSpec, WorkloadClass, WorkloadSpec,
 };
@@ -1019,6 +1021,8 @@ pub struct OpenLoopRow {
     pub dropped: u64,
     /// Total arrivals offered.
     pub arrivals: u64,
+    /// Mean sojourn time (queueing + service) in microseconds.
+    pub mean_us: f64,
     /// Median sojourn time (queueing + service) in microseconds.
     pub p50_us: f64,
     /// 99th-percentile sojourn time in microseconds.
@@ -1035,13 +1039,14 @@ impl fmt::Display for OpenLoopRow {
         write!(
             f,
             "{:<12} {:<6} offered={:>4.2}x ({:>10}/s) achieved={:>10}/s drops={:<5} \
-             p50={:>8}us p99={:>8}us p999={:>8}us [{}]",
+             mean={:>8}us p50={:>8}us p99={:>8}us p999={:>8}us [{}]",
             self.platform,
             self.workload,
             self.offered_frac,
             cell(self.offered_per_sec),
             cell(self.achieved_per_sec),
             self.dropped,
+            cell(self.mean_us),
             cell(self.p50_us),
             cell(self.p99_us),
             cell(self.p999_us),
@@ -1097,8 +1102,12 @@ pub fn fig24_latency_vs_load(
                 let mut platform = kind.build(scale);
                 let config = OpenLoopConfig::poisson(frac * service_rate);
                 let m = run_workload_open_loop(platform.as_mut(), spec, scale, &config);
-                let [p50, p99, p999] = m.sojourn_p50_p99_p999();
-                let us = |t: Option<Nanos>| t.map_or(0.0, Nanos::as_micros_f64);
+                // One pass over the sojourn histogram resolves the mean and
+                // every reported percentile together.
+                let summary = m.sojourn.summary();
+                let us = |f: fn(&hams_sim::HistogramSummary) -> Nanos| {
+                    summary.as_ref().map_or(0.0, |s| f(s).as_micros_f64())
+                };
                 OpenLoopRow {
                     platform: kind.label().to_owned(),
                     workload: workload.to_owned(),
@@ -1107,9 +1116,10 @@ pub fn fig24_latency_vs_load(
                     achieved_per_sec: m.achieved_per_sec(),
                     dropped: m.dropped,
                     arrivals: m.arrivals,
-                    p50_us: us(p50),
-                    p99_us: us(p99),
-                    p999_us: us(p999),
+                    mean_us: us(|s| s.mean),
+                    p50_us: us(|s| s.p50),
+                    p99_us: us(|s| s.p99),
+                    p999_us: us(|s| s.p999),
                     sustainable: openloop_sustainable(
                         m.offered_rate_per_sec,
                         m.achieved_per_sec(),
@@ -1187,6 +1197,8 @@ pub struct InterferenceRow {
     pub victim_achieved_per_sec: f64,
     /// Victim arrivals rejected by the shared admission queue.
     pub victim_dropped: u64,
+    /// Victim mean sojourn time (queueing + service) in microseconds.
+    pub victim_mean_us: f64,
     /// Victim median sojourn time in microseconds.
     pub victim_p50_us: f64,
     /// Victim 99th-percentile sojourn time in microseconds.
@@ -1206,14 +1218,15 @@ impl fmt::Display for InterferenceRow {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{:<12} {}@{:.2}x vs {}@{:>4.2}x  victim p50={:>8}us p99={:>8}us \
-             p999={:>8}us drops={:<5} achieved={:>10}/s | antagonist achieved={:>10}/s \
-             drops={:<5} | fairness={:.3}",
+            "{:<12} {}@{:.2}x vs {}@{:>4.2}x  victim mean={:>8}us p50={:>8}us \
+             p99={:>8}us p999={:>8}us drops={:<5} achieved={:>10}/s | antagonist \
+             achieved={:>10}/s drops={:<5} | fairness={:.3}",
             self.platform,
             self.victim_workload,
             FIG25_VICTIM_FRACTION,
             self.antagonist_workload,
             self.antagonist_frac,
+            cell(self.victim_mean_us),
             cell(self.victim_p50_us),
             cell(self.victim_p99_us),
             cell(self.victim_p999_us),
@@ -1303,8 +1316,10 @@ pub fn fig25_interference(
                 let fairness = m.fairness();
                 let v = &m.tenants[0];
                 let a = &m.tenants[1];
-                let us = |t: Option<Nanos>| t.map_or(0.0, Nanos::as_micros_f64);
-                let [p50, p99, p999] = v.sojourn_p50_p99_p999();
+                let summary = v.sojourn.summary();
+                let us = |f: fn(&hams_sim::HistogramSummary) -> Nanos| {
+                    summary.as_ref().map_or(0.0, |s| f(s).as_micros_f64())
+                };
                 InterferenceRow {
                     platform: kind.label().to_owned(),
                     victim_workload: victim_workload.to_owned(),
@@ -1313,9 +1328,10 @@ pub fn fig25_interference(
                     victim_offered_per_sec: v.offered_rate_per_sec,
                     victim_achieved_per_sec: v.achieved_per_sec(),
                     victim_dropped: v.dropped,
-                    victim_p50_us: us(p50),
-                    victim_p99_us: us(p99),
-                    victim_p999_us: us(p999),
+                    victim_mean_us: us(|s| s.mean),
+                    victim_p50_us: us(|s| s.p50),
+                    victim_p99_us: us(|s| s.p99),
+                    victim_p999_us: us(|s| s.p999),
                     antagonist_achieved_per_sec: a.achieved_per_sec(),
                     antagonist_dropped: a.dropped,
                     fairness,
@@ -1365,6 +1381,145 @@ pub fn fig25_summary(rows: &[InterferenceRow]) -> Vec<(String, usize, usize)> {
         start = end;
     }
     out
+}
+
+/// Per-layer summary of one traced run's spans: how many times the layer was
+/// crossed and the distribution of the time spent inside it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimelineRow {
+    /// Serving-spine layer name (`request`, `admission`, ..., `archive`).
+    pub layer: &'static str,
+    /// Number of spans recorded for the layer.
+    pub spans: u64,
+    /// Mean span duration in microseconds.
+    pub mean_us: f64,
+    /// 99th-percentile span duration in microseconds.
+    pub p99_us: f64,
+    /// Longest span in microseconds.
+    pub max_us: f64,
+}
+
+impl fmt::Display for TimelineRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<10} spans={:<8} mean={:>8}us p99={:>8}us max={:>8}us",
+            self.layer,
+            self.spans,
+            cell(self.mean_us),
+            cell(self.p99_us),
+            cell(self.max_us),
+        )
+    }
+}
+
+/// Width of the duration histograms behind [`timeline_rows`]; 64 ns buckets
+/// over 65 536 buckets cover ~4.2 ms before overflow samples fall back to the
+/// overflow-aware summary maximum.
+const TIMELINE_BUCKET: Nanos = Nanos::from_nanos(64);
+const TIMELINE_BUCKETS: usize = 65_536;
+
+/// Folds a traced run's spans into one [`TimelineRow`] per serving-spine
+/// layer that recorded at least one span, in [`Layer::ALL`] order.
+#[must_use]
+pub fn timeline_rows(telemetry: &RunTelemetry) -> Vec<TimelineRow> {
+    let mut per_layer: Vec<Histogram> = Layer::ALL
+        .iter()
+        .map(|_| Histogram::new(TIMELINE_BUCKET, TIMELINE_BUCKETS))
+        .collect();
+    for span in telemetry.recorder.spans() {
+        per_layer[span.layer.index()].record(span.duration());
+    }
+    Layer::ALL
+        .iter()
+        .zip(&per_layer)
+        .filter_map(|(layer, hist)| {
+            let s = hist.summary()?;
+            Some(TimelineRow {
+                layer: layer.name(),
+                spans: s.count,
+                mean_us: s.mean.as_micros_f64(),
+                p99_us: s.p99.as_micros_f64(),
+                max_us: s.max.as_micros_f64(),
+            })
+        })
+        .collect()
+}
+
+/// Offered load (as a fraction of the calibrated closed-loop service rate)
+/// used by the [`timeline_traced_run`] open-loop leg: high enough to queue,
+/// low enough to stay sustainable.
+pub const TIMELINE_OFFERED_FRACTION: f64 = 0.9;
+
+/// Runs the timeline scenario the `figures timeline` report and the trace
+/// exporter share: hams-TE serving `rndRd` as an open-loop Poisson stream at
+/// [`TIMELINE_OFFERED_FRACTION`] of its calibrated closed-loop rate, with
+/// the span tracer and metrics registry attached. hams-TE's striped queue
+/// pairs exercise every layer of the spine — misses walk admission,
+/// controller, tag array, NVMe, MSI, and archive; hits stop at the tag
+/// array.
+#[must_use]
+pub fn timeline_traced_run(scale: &ScaleProfile) -> (OpenLoopMetrics, RunTelemetry) {
+    let spec = WorkloadSpec::by_name("rndRd").expect("rndRd is a Table III workload");
+    let service_rate = {
+        let mut platform = PlatformKind::HamsTE.build(scale);
+        let m = run_workload(platform.as_mut(), spec, scale);
+        m.accesses as f64 / m.total_time.as_secs_f64().max(1e-12)
+    };
+    let config = OpenLoopConfig::poisson(TIMELINE_OFFERED_FRACTION * service_rate);
+    let mut platform = PlatformKind::HamsTE.build(scale);
+    // Size the span ring to the run: every access crosses at most the seven
+    // spine layers plus the admission door-block span, so eight spans per
+    // access keeps the recorder from evicting the early request spans.
+    let mut telemetry = RunTelemetry::with_capacity(
+        scale.accesses.saturating_mul(8).max(1),
+        hams_telemetry::DEFAULT_BUCKET_WIDTH,
+    );
+    let metrics =
+        run_workload_open_loop_traced(platform.as_mut(), spec, scale, &config, &mut telemetry);
+    (metrics, telemetry)
+}
+
+/// Structurally validates a Chrome `trace_event` JSON document and returns
+/// the sorted, deduplicated set of span categories (layer names) it carries.
+/// Checks that the document parses, `traceEvents` is an array, and every
+/// complete (`"X"`) event has the fields a trace viewer needs (`name`,
+/// `cat`, `pid`, `tid`, numeric `ts` and `dur`).
+pub fn validate_chrome_trace(json: &str) -> Result<Vec<String>, String> {
+    let doc = serde_json::from_str(json).map_err(|e| format!("trace JSON does not parse: {e}"))?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(serde_json::Value::as_array)
+        .ok_or("traceEvents missing or not an array")?;
+    let mut layers = Vec::new();
+    for (i, event) in events.iter().enumerate() {
+        let phase = event
+            .get("ph")
+            .and_then(serde_json::Value::as_str)
+            .ok_or_else(|| format!("event {i}: ph missing"))?;
+        if phase != "X" {
+            continue;
+        }
+        for key in ["name", "cat"] {
+            if event.get(key).and_then(serde_json::Value::as_str).is_none() {
+                return Err(format!("event {i}: {key} missing"));
+            }
+        }
+        for key in ["pid", "tid", "ts", "dur"] {
+            if event.get(key).and_then(serde_json::Value::as_f64).is_none() {
+                return Err(format!("event {i}: {key} missing or not numeric"));
+            }
+        }
+        let cat = event
+            .get("cat")
+            .and_then(serde_json::Value::as_str)
+            .unwrap();
+        if !layers.iter().any(|l| l == cat) {
+            layers.push(cat.to_owned());
+        }
+    }
+    layers.sort_unstable();
+    Ok(layers)
 }
 
 /// Prints any row type list under a header (used by the `figures` binary and
@@ -1603,6 +1758,7 @@ mod tests {
             assert_eq!(row.arrivals, scale.accesses as u64);
             assert!(row.offered_per_sec > 0.0);
             assert!(row.achieved_per_sec > 0.0);
+            assert!(row.mean_us > 0.0);
             assert!(row.p50_us <= row.p99_us && row.p99_us <= row.p999_us);
         }
         // Rows are platform-major in `kinds` order, ascending fraction
@@ -1632,6 +1788,7 @@ mod tests {
             achieved_per_sec: if sustainable { frac * 1e6 } else { 9e5 },
             dropped: 0,
             arrivals: 100,
+            mean_us: 1.2,
             p50_us: 1.0,
             p99_us: 2.0,
             p999_us: 3.0,
@@ -1675,6 +1832,7 @@ mod tests {
         for row in &rows {
             assert!(row.victim_offered_per_sec > 0.0);
             assert!(row.victim_achieved_per_sec > 0.0);
+            assert!(row.victim_mean_us > 0.0);
             assert!(row.victim_p50_us <= row.victim_p99_us);
             assert!(row.victim_p99_us <= row.victim_p999_us);
             assert!(row.fairness > 0.0 && row.fairness <= 1.0 + 1e-12);
@@ -1713,6 +1871,7 @@ mod tests {
             victim_offered_per_sec: 1e5,
             victim_achieved_per_sec: 1e5,
             victim_dropped: 0,
+            victim_mean_us: p99 / 2.0,
             victim_p50_us: p99 / 2.0,
             victim_p99_us: p99,
             victim_p999_us: p99 * 2.0,
@@ -1737,6 +1896,49 @@ mod tests {
         assert_eq!(
             summary,
             vec![("a".to_owned(), 3, 5), ("b".to_owned(), 2, 2)]
+        );
+    }
+
+    #[test]
+    fn timeline_traced_run_covers_the_serving_spine() {
+        let (metrics, telemetry) = timeline_traced_run(&tiny());
+        assert!(metrics.served > 0);
+        let rows = timeline_rows(&telemetry);
+        assert!(!rows.is_empty());
+        let layer_names: Vec<&str> = rows.iter().map(|r| r.layer).collect();
+        // The request and admission layers cover every arrival; hams-TE's
+        // tiny cache forces misses, so the hardware layers appear too.
+        for expect in ["request", "admission", "controller", "tag_array", "nvme"] {
+            assert!(layer_names.contains(&expect), "missing layer {expect}");
+        }
+        for row in &rows {
+            assert!(row.spans > 0);
+            assert!(row.mean_us <= row.max_us + 1e-9);
+            assert!(row.p99_us <= row.max_us + 1e-9);
+        }
+    }
+
+    #[test]
+    fn exported_trace_validates_and_carries_the_traced_layers() {
+        let (_, telemetry) = timeline_traced_run(&tiny());
+        let json = hams_telemetry::chrome_trace_json(&[(
+            "hams-TE rndRd".to_owned(),
+            telemetry.spans_sorted(),
+        )]);
+        let layers = validate_chrome_trace(&json).expect("exported trace is structurally valid");
+        let rows = timeline_rows(&telemetry);
+        for row in &rows {
+            assert!(
+                layers.iter().any(|l| l == row.layer),
+                "trace lost {}",
+                row.layer
+            );
+        }
+
+        assert!(validate_chrome_trace("not json").is_err());
+        assert!(validate_chrome_trace("{\"traceEvents\": 3}").is_err());
+        assert!(
+            validate_chrome_trace("{\"traceEvents\": [{\"ph\": \"X\", \"name\": \"a\"}]}").is_err()
         );
     }
 }

@@ -30,6 +30,7 @@ use hams_interconnect::{
 use hams_nvdimm::{Nvdimm, PinnedRegion};
 use hams_nvme::NvmeCommand;
 use hams_sim::{scoped_partition_map, ComponentId, LatencyVector, Nanos};
+use hams_telemetry::{Layer, Span, TelemetrySink, TraceSink};
 use serde::{Deserialize, Serialize};
 
 use crate::config::{AttachMode, HamsConfig, PersistMode};
@@ -206,6 +207,12 @@ pub struct HamsController {
     fill_segments: Vec<(u16, u64, u64)>,
     fill_completions: Vec<Nanos>,
     fill_delivered: Vec<Nanos>,
+    /// Telemetry sink for simulated-time spans. [`TelemetrySink::Noop`] by
+    /// default: the hot path pays one tag test and never builds a span.
+    /// Tracing is observation-only — spans record already-computed
+    /// timestamps, so enabling the sink cannot change simulated metrics
+    /// (`tests/telemetry_equivalence.rs`).
+    trace: TelemetrySink,
 }
 
 impl HamsController {
@@ -247,6 +254,7 @@ impl HamsController {
             fill_segments: Vec::new(),
             fill_completions: Vec::new(),
             fill_delivered: Vec::new(),
+            trace: TelemetrySink::disabled(),
             nvdimm,
             pinned,
             config,
@@ -382,6 +390,7 @@ impl HamsController {
             "MoS address {addr:#x} beyond capacity"
         );
         let page = self.page_of(addr);
+        let traced = self.trace.is_enabled();
         let mut t = now + self.config.controller_overhead;
         breakdown.add(ComponentId::HAMS, self.config.controller_overhead);
 
@@ -391,13 +400,18 @@ impl HamsController {
         // Tag lookup: a tCL plus a few tBURSTs out of the NVDIMM (<20 ns).
         let tag_read = Nanos::from_nanos(15);
         breakdown.add(ComponentId::NVDIMM, tag_read);
+        let tag_read_at = t;
         t += tag_read;
 
         // Wait-queue: if the target set has an in-flight fill or eviction,
         // the request parks until the busy bit clears (§V-B, Fig. 14).
+        let mut waited: Option<(Nanos, Nanos)> = None;
         if let Some(free_at) = self.tags.busy_until(page, t) {
             self.stats.wait_stalls += 1;
             breakdown.add(ComponentId::HAMS, free_at - t);
+            if traced {
+                waited = Some((t, free_at));
+            }
             t = free_at;
             self.engine.retire_due_into(t, &mut self.retire_scratch);
         }
@@ -448,7 +462,52 @@ impl HamsController {
             self.tags.mark_dirty(page);
         }
 
+        if traced {
+            self.trace_access_spans("access", page, hit, now, t, tag_read_at, tag_read, waited);
+        }
+
         (t, hit)
+    }
+
+    /// Emits the controller-level spans of one access: the enclosing
+    /// controller span, the tag-directory probe and any wait-queue stall.
+    /// Called only when tracing is on; every argument is a timestamp the
+    /// access already computed.
+    #[allow(clippy::too_many_arguments)]
+    fn trace_access_spans(
+        &mut self,
+        name: &'static str,
+        page: u64,
+        hit: bool,
+        started: Nanos,
+        finished: Nanos,
+        tag_read_at: Nanos,
+        tag_read: Nanos,
+        waited: Option<(Nanos, Nanos)>,
+    ) {
+        let shard = self.tags.shard_of_page(page);
+        self.trace.record(
+            Span::new(Layer::Controller, name, started, finished)
+                .with_shard(shard)
+                .with_request(page),
+        );
+        self.trace.record(
+            Span::new(
+                Layer::TagArray,
+                if hit { "tag_hit" } else { "tag_miss" },
+                tag_read_at,
+                tag_read_at + tag_read,
+            )
+            .with_shard(shard)
+            .with_request(page),
+        );
+        if let Some((from, until)) = waited {
+            self.trace.record(
+                Span::new(Layer::TagArray, "wait_stall", from, until)
+                    .with_shard(shard)
+                    .with_request(page),
+            );
+        }
     }
 
     /// Folds a batch-accumulated delay breakdown into the controller's
@@ -539,6 +598,7 @@ impl HamsController {
             "MoS address {addr:#x} beyond capacity"
         );
         let page = self.page_of(addr);
+        let traced = self.trace.is_enabled();
         let mut t = now + self.config.controller_overhead;
         breakdown.add(ComponentId::HAMS, self.config.controller_overhead);
 
@@ -546,11 +606,16 @@ impl HamsController {
 
         let tag_read = Nanos::from_nanos(15);
         breakdown.add(ComponentId::NVDIMM, tag_read);
+        let tag_read_at = t;
         t += tag_read;
 
+        let mut waited: Option<(Nanos, Nanos)> = None;
         if let Some(free_at) = self.tags.busy_until(page, t) {
             self.stats.wait_stalls += 1;
             breakdown.add(ComponentId::HAMS, free_at - t);
+            if traced {
+                waited = Some((t, free_at));
+            }
             t = free_at;
             self.engine.retire_due_into(t, &mut self.retire_scratch);
         }
@@ -592,6 +657,10 @@ impl HamsController {
         t = ddr_t.finished_at + array;
 
         // The dirty marking already happened at plan time.
+        if traced {
+            self.trace_access_spans("commit", page, hit, now, t, tag_read_at, tag_read, waited);
+        }
+
         (t, hit)
     }
 
@@ -669,6 +738,32 @@ impl HamsController {
     #[must_use]
     pub fn engine(&self) -> &NvmeEngine {
         &self.engine
+    }
+
+    /// Installs a telemetry sink. [`TelemetrySink::disabled`] restores the
+    /// default no-op sink. Tracing is observation-only: spans record
+    /// already-computed simulated timestamps and never feed back into
+    /// timing, so metrics are byte-identical with any sink installed.
+    pub fn set_trace_sink(&mut self, sink: TelemetrySink) {
+        self.trace = sink;
+    }
+
+    /// Whether a recording sink is installed.
+    #[must_use]
+    pub fn trace_enabled(&self) -> bool {
+        self.trace.is_enabled()
+    }
+
+    /// The installed sink's recorder, when tracing is on.
+    #[must_use]
+    pub fn trace_recorder(&self) -> Option<&hams_telemetry::SpanRecorder> {
+        self.trace.recorder()
+    }
+
+    /// Moves the spans retained by the installed sink into `out`
+    /// (appending). No-op with the default [`TelemetrySink::Noop`].
+    pub fn take_trace_spans(&mut self, out: &mut Vec<Span>) {
+        self.trace.drain_into(out);
     }
 
     /// First LBA of a MoS page.
@@ -799,6 +894,23 @@ impl HamsController {
             self.stats.background_delay.merge(&eviction_breakdown);
         }
 
+        if self.trace.is_enabled() {
+            let queue = self.engine.queue_for_page(victim_page);
+            let device = self.archive.device_of_slba(self.slba_of(victim_page));
+            self.trace.record(
+                Span::new(Layer::Nvme, "evict_submit", persist_start, submitted)
+                    .with_queue(queue)
+                    .with_device(device)
+                    .with_request(victim_page),
+            );
+            self.trace.record(
+                Span::new(Layer::Archive, "evict_write", transferred, eviction_done)
+                    .with_queue(queue)
+                    .with_device(device)
+                    .with_request(victim_page),
+            );
+        }
+
         // 4. Track the command for journal-tag recovery, park the clone.
         let slot = self
             .prp_pool
@@ -902,6 +1014,27 @@ impl HamsController {
                 .service(&cmd, submitted)
                 .expect("fill read within device capacity");
             breakdown.add(ComponentId::SSD, completion.finished_at - submitted);
+            if self.trace.is_enabled() {
+                let queue = self.engine.queue_for_page(page);
+                let device = self.archive.device_of_slba(self.slba_of(page));
+                self.trace.record(
+                    Span::new(Layer::Nvme, "fill_submit", start, submitted)
+                        .with_queue(queue)
+                        .with_device(device)
+                        .with_request(page),
+                );
+                self.trace.record(
+                    Span::new(
+                        Layer::Archive,
+                        "fill_read",
+                        submitted,
+                        completion.finished_at,
+                    )
+                    .with_queue(queue)
+                    .with_device(device)
+                    .with_request(page),
+                );
+            }
             let transferred = self.transfer_page(completion.finished_at, breakdown);
             // Landing the page in the NVDIMM array.
             let array = self.nvdimm.write(page_bytes);
@@ -933,6 +1066,7 @@ impl HamsController {
                 let length = count * LBA_SIZE;
                 // Doorbell writes serialize over the command interface; each
                 // stripe's service starts as soon as its own doorbell lands.
+                let doorbell_at = submit_t;
                 submit_t = self.submit_command(submit_t, breakdown);
                 let cmd = NvmeCommand::read(
                     1,
@@ -950,10 +1084,42 @@ impl HamsController {
                     .expect("fill stripe within device capacity");
                 completions.push(completion.finished_at);
                 segments.push((s as u16, slba, length));
+                if self.trace.is_enabled() {
+                    let device = self.archive.device_of_slba(slba);
+                    self.trace.record(
+                        Span::new(Layer::Nvme, "fill_submit", doorbell_at, submit_t)
+                            .with_queue(s as u16)
+                            .with_device(device)
+                            .with_request(page),
+                    );
+                    self.trace.record(
+                        Span::new(
+                            Layer::Archive,
+                            "fill_read",
+                            submit_t,
+                            completion.finished_at,
+                        )
+                        .with_queue(s as u16)
+                        .with_device(device)
+                        .with_request(page),
+                    );
+                }
             }
             // The cache logic learns of the fill through the coalesced MSI
             // covering the last stripe completion.
             self.engine.deliver_times_into(&completions, &mut delivered);
+            if self.trace.is_enabled() {
+                // `delivered` is index-aligned with the *sorted* completion
+                // times; sort a copy to pair each completion with its
+                // coalesced interrupt (cold path, tracing only).
+                let mut sorted = completions.clone();
+                sorted.sort_unstable();
+                for (&completed, &fired) in sorted.iter().zip(delivered.iter()) {
+                    self.trace.record(
+                        Span::new(Layer::Msi, "msi_delivery", completed, fired).with_request(page),
+                    );
+                }
+            }
             let flash_ready = delivered.last().copied().unwrap_or(submit_t).max(submit_t);
             breakdown.add(ComponentId::SSD, flash_ready - submit_t);
             let transferred = self.transfer_page(flash_ready, breakdown);

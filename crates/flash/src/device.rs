@@ -190,6 +190,15 @@ pub struct SsdStats {
     pub page_reads: u64,
 }
 
+impl SsdStats {
+    /// Total commands serviced across all opcodes — the telemetry "archive
+    /// commands" counter.
+    #[must_use]
+    pub fn total_commands(&self) -> u64 {
+        self.read_commands + self.write_commands + self.flush_commands
+    }
+}
+
 /// Report of what a power failure did to the device.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PowerLossReport {

@@ -55,6 +55,22 @@ pub struct MsiCoalescerStats {
     pub interrupts: u64,
     /// Completions covered by those interrupts.
     pub completions: u64,
+    /// Largest burst one interrupt covered (the telemetry "MSI coalescing
+    /// burst size" gauge; zero before the first delivery).
+    pub max_burst: u64,
+}
+
+impl MsiCoalescerStats {
+    /// Mean completions per posted interrupt (zero before the first
+    /// delivery) — the average coalescing burst size.
+    #[must_use]
+    pub fn mean_burst(&self) -> f64 {
+        if self.interrupts == 0 {
+            0.0
+        } else {
+            self.completions as f64 / self.interrupts as f64
+        }
+    }
 }
 
 /// The MSI aggregation model: maps completion times to interrupt delivery
@@ -159,6 +175,7 @@ impl MsiCoalescer {
             }
             self.stats.interrupts += 1;
             self.stats.completions += (j - i) as u64;
+            self.stats.max_burst = self.stats.max_burst.max((j - i) as u64);
             i = j;
         }
     }
@@ -292,6 +309,23 @@ mod tests {
         assert_eq!(&d[..4], &[Nanos::from_micros(4); 4]);
         assert_eq!(&d[4..], &[Nanos::from_micros(8); 4]);
         assert_eq!(c.stats().interrupts, 2);
+        assert_eq!(c.stats().max_burst, 4);
+        assert_eq!(c.stats().mean_burst(), 4.0);
+    }
+
+    #[test]
+    fn burst_stats_track_the_largest_group() {
+        let mut c = MsiCoalescer::new(MsiCoalescing::batched(3, Nanos::from_micros(2)));
+        let _ = c.deliver(&[Nanos::from_micros(1)]);
+        assert_eq!(c.stats().max_burst, 1);
+        let _ = c.deliver(&[
+            Nanos::from_micros(10),
+            Nanos::from_micros(11),
+            Nanos::from_micros(12),
+        ]);
+        assert_eq!(c.stats().max_burst, 3);
+        assert_eq!(c.stats().mean_burst(), 2.0);
+        assert_eq!(MsiCoalescerStats::default().mean_burst(), 0.0);
     }
 
     #[test]

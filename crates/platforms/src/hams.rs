@@ -8,6 +8,7 @@ use hams_energy::{EnergyAccount, PowerParams};
 use hams_nvdimm::{NvdimmConfig, PinnedRegionLayout};
 use hams_nvme::QueueConfig;
 use hams_sim::{LatencyVector, Nanos};
+use hams_telemetry::{Span, TelemetrySink};
 use hams_workloads::Access;
 
 use crate::platform::{AccessOutcome, BatchOutcome, BatchRequest, Platform};
@@ -394,6 +395,38 @@ impl Platform for HamsPlatform {
     fn configure_backend(&mut self, topology: BackendTopology) -> bool {
         self.controller.set_backend_topology(topology);
         true
+    }
+
+    /// HAMS owns the instrumented controller, so every variant honours the
+    /// trace sink: controller access/commit, tag-array, NVMe submit, MSI
+    /// delivery and archive service spans all come from inside the spine.
+    /// Observation-only — enabling the sink can never change metrics.
+    fn configure_trace(&mut self, sink: TelemetrySink) -> bool {
+        self.controller.set_trace_sink(sink);
+        true
+    }
+
+    fn take_trace_spans(&mut self, out: &mut Vec<Span>) {
+        self.controller.take_trace_spans(out);
+    }
+
+    fn telemetry_gauges(&self, out: &mut Vec<(&'static str, f64)>) {
+        let stats = self.controller.stats();
+        let engine = self.controller.engine();
+        let msi = engine.coalescer_stats();
+        let archive = self.controller.archive();
+        out.push(("nvme_inflight", engine.outstanding() as f64));
+        out.push(("journal_writes", engine.stats().writes_issued as f64));
+        out.push(("msi_interrupts", msi.interrupts as f64));
+        out.push(("msi_max_burst", msi.max_burst as f64));
+        out.push(("msi_mean_burst", msi.mean_burst()));
+        out.push((
+            "dram_dirty_evictions",
+            archive.dram_stats().dirty_evictions as f64,
+        ));
+        out.push(("archive_commands", archive.stats().total_commands() as f64));
+        out.push(("evictions", stats.evictions as f64));
+        out.push(("wait_stalls", stats.wait_stalls as f64));
     }
 
     fn memory_delay(&self) -> LatencyVector {

@@ -50,8 +50,9 @@ pub use hams_core::{BackendTopology, ShardConfig, ShardHashPolicy};
 pub use hams_nvme::QueueConfig;
 pub use mmap::MmapPlatform;
 pub use openloop::{
-    run_tenant_set_open_loop, run_workload_open_loop, AdmissionPolicy, MultiTenantMetrics,
-    OpenLoopConfig, OpenLoopMetrics, OpenLoopRecord, TenantMetrics,
+    run_tenant_set_open_loop, run_tenant_set_open_loop_traced, run_workload_open_loop,
+    run_workload_open_loop_traced, AdmissionPolicy, MultiTenantMetrics, OpenLoopConfig,
+    OpenLoopMetrics, OpenLoopRecord, TenantMetrics,
 };
 pub use platform::{AccessOutcome, BatchOutcome, BatchRequest, Platform};
 pub use registry::{
@@ -64,8 +65,8 @@ pub use runner::{
     run_grid, run_grid_serial, run_grid_with, run_matrix, run_workload, run_workload_backend,
     run_workload_batched, run_workload_cell_parallel, run_workload_mq, run_workload_serial,
     run_workload_serial_backend, run_workload_serial_mq, run_workload_serial_sharded,
-    run_workload_sharded, PlatformKind, RunMetrics, ScaleProfile, ACCESSES_PER_SQL_OP,
-    DEFAULT_BATCH_SIZE,
+    run_workload_sharded, run_workload_traced, PlatformKind, RunMetrics, ScaleProfile,
+    ACCESSES_PER_SQL_OP, DEFAULT_BATCH_SIZE,
 };
 pub use summary::{
     feature_table, headline_claims, paper_config, FeatureRow, HeadlineClaims, PaperConfig,

@@ -40,6 +40,7 @@
 //!   counters must always sum exactly to the merged totals.
 
 use hams_sim::{Histogram, Nanos};
+use hams_telemetry::{Layer, RunTelemetry, Span, TelemetrySink, TraceSink};
 use hams_workloads::{
     Access, ArrivalGenerator, ArrivalProcess, TenantSet, TenantSource, TraceGenerator, WorkloadSpec,
 };
@@ -48,7 +49,10 @@ use std::collections::VecDeque;
 use std::iter::Peekable;
 
 use crate::platform::{BatchOutcome, BatchRequest, Platform};
-use crate::runner::{MetricsFold, RunMetrics, ScaleProfile, DEFAULT_BATCH_SIZE};
+use crate::runner::{
+    drain_platform_spans, sample_platform_gauges, MetricsFold, RunMetrics, ScaleProfile,
+    DEFAULT_BATCH_SIZE,
+};
 
 /// What the admission queue does with an arrival that finds it full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -481,12 +485,32 @@ struct CoreOut {
 /// trace × arrival stream with tenant id 0, which is also exactly what a
 /// one-tenant [`TenantSource`] yields — the degenerate equivalence the
 /// tenant tier pins.
-fn run_open_loop_core<I>(platform: &mut dyn Platform, source: I, setup: CoreSetup<'_>) -> CoreOut
+fn run_open_loop_core<I>(
+    platform: &mut dyn Platform,
+    source: I,
+    setup: CoreSetup<'_>,
+    mut telemetry: Option<&mut RunTelemetry>,
+) -> CoreOut
 where
     I: Iterator<Item = (usize, Access, Nanos)>,
 {
     let config = setup.config;
     let batch_size = config.batch_size.max(1);
+    // Telemetry is observation only: everything behind these Options records
+    // already-computed instants and never feeds back into the schedule, so
+    // traced and untraced runs stay byte-identical
+    // (`tests/telemetry_equivalence.rs`).
+    if let Some(t) = telemetry.as_deref_mut() {
+        platform.configure_trace(TelemetrySink::recording(t.recorder.capacity()));
+    }
+    let drop_series: Vec<String> = if telemetry.is_some() {
+        (0..setup.tenant_count)
+            .map(|t| format!("tenant{t}_dropped"))
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let mut gauge_scratch: Vec<(&'static str, f64)> = Vec::new();
     let mut fold = MetricsFold::new();
     let buckets = config.sojourn_buckets.max(1);
     let mut sojourn = Histogram::new(config.sojourn_bucket, buckets);
@@ -589,12 +613,46 @@ where
             acc.served += 1;
             acc.last_finish = acc.last_finish.max(record.finished);
             acc.sojourn.record(record.sojourn());
+            if let Some(t) = telemetry.as_deref_mut() {
+                let page = request.access.addr / 4096;
+                let tenant_tag = tenant as u16;
+                t.recorder.record(
+                    Span::new(Layer::Request, "sojourn", arrival, record.finished)
+                        .with_tenant(tenant_tag)
+                        .with_request(page),
+                );
+                if enqueued > arrival {
+                    t.recorder.record(
+                        Span::new(Layer::Admission, "door_block", arrival, enqueued)
+                            .with_tenant(tenant_tag)
+                            .with_request(page),
+                    );
+                }
+                t.recorder.record(
+                    Span::new(Layer::Admission, "queue_wait", enqueued, record.started)
+                        .with_tenant(tenant_tag)
+                        .with_request(page),
+                );
+            }
             if config.keep_records {
                 records.push(record);
             }
             ready = outcome.finished_at;
         }
         server_free = out.finished_at(start);
+        if let Some(t) = telemetry.as_deref_mut() {
+            t.registry.gauge(
+                "admission_queue_depth",
+                server_free,
+                queue.queue.len() as f64,
+            );
+            t.registry
+                .counter("requests_served", server_free, served as f64);
+            for (name, count) in drop_series.iter().zip(&queue.dropped) {
+                t.registry.counter(name, server_free, *count as f64);
+            }
+            sample_platform_gauges(platform, server_free, &mut gauge_scratch, &mut t.registry);
+        }
     }
 
     let AdmissionQueue {
@@ -612,6 +670,9 @@ where
         .copied()
         .min()
         .unwrap_or(Nanos::ZERO);
+    if let Some(t) = telemetry {
+        drain_platform_spans(platform, t);
+    }
     let run = fold.finish(platform, setup.spec, setup.scaled);
     CoreOut {
         metrics: OpenLoopMetrics {
@@ -650,6 +711,32 @@ pub fn run_workload_open_loop(
     scale: &ScaleProfile,
     config: &OpenLoopConfig,
 ) -> OpenLoopMetrics {
+    run_workload_open_loop_inner(platform, spec, scale, config, None)
+}
+
+/// [`run_workload_open_loop`] with telemetry collection: per-request
+/// [`Layer::Request`] sojourn and [`Layer::Admission`] wait spans, a
+/// recording sink on the platform for the controller-side layers, and
+/// per-batch registry samples (admission queue depth, served/dropped
+/// counters, platform gauges). Observation only — the returned metrics are
+/// byte-identical to the untraced run.
+pub fn run_workload_open_loop_traced(
+    platform: &mut dyn Platform,
+    spec: WorkloadSpec,
+    scale: &ScaleProfile,
+    config: &OpenLoopConfig,
+    telemetry: &mut RunTelemetry,
+) -> OpenLoopMetrics {
+    run_workload_open_loop_inner(platform, spec, scale, config, Some(telemetry))
+}
+
+fn run_workload_open_loop_inner(
+    platform: &mut dyn Platform,
+    spec: WorkloadSpec,
+    scale: &ScaleProfile,
+    config: &OpenLoopConfig,
+    telemetry: Option<&mut RunTelemetry>,
+) -> OpenLoopMetrics {
     let scaled = scale.scale_spec(spec);
     let trace = TraceGenerator::new(scaled, scale.seed, scale.accesses);
     let arrivals = ArrivalGenerator::new(config.arrivals, scale.seed, scale.accesses);
@@ -665,6 +752,7 @@ pub fn run_workload_open_loop(
             offered_rate_per_sec: config.arrivals.mean_rate_per_sec(),
             config,
         },
+        telemetry,
     )
     .metrics
 }
@@ -693,6 +781,30 @@ pub fn run_tenant_set_open_loop(
     scale: &ScaleProfile,
     config: &OpenLoopConfig,
 ) -> MultiTenantMetrics {
+    run_tenant_set_open_loop_inner(platform, set, scale, config, None)
+}
+
+/// [`run_tenant_set_open_loop`] with telemetry collection — the
+/// multi-tenant analogue of [`run_workload_open_loop_traced`]. Spans carry
+/// the issuing tenant's index and the registry gains one
+/// `tenant{i}_dropped` counter per tenant. Observation only.
+pub fn run_tenant_set_open_loop_traced(
+    platform: &mut dyn Platform,
+    set: &TenantSet,
+    scale: &ScaleProfile,
+    config: &OpenLoopConfig,
+    telemetry: &mut RunTelemetry,
+) -> MultiTenantMetrics {
+    run_tenant_set_open_loop_inner(platform, set, scale, config, Some(telemetry))
+}
+
+fn run_tenant_set_open_loop_inner(
+    platform: &mut dyn Platform,
+    set: &TenantSet,
+    scale: &ScaleProfile,
+    config: &OpenLoopConfig,
+    telemetry: Option<&mut RunTelemetry>,
+) -> MultiTenantMetrics {
     set.validate();
     let scaled: Vec<WorkloadSpec> = set
         .tenants
@@ -711,6 +823,7 @@ pub fn run_tenant_set_open_loop(
             offered_rate_per_sec: set.offered_rate_per_sec(),
             config,
         },
+        telemetry,
     );
     let CoreOut {
         mut metrics,
@@ -988,6 +1101,67 @@ mod tests {
         );
         // Total time spans the arrival schedule, not just the service time.
         assert!(m.run.total_time >= m.records.last().unwrap().arrival);
+    }
+
+    #[test]
+    fn traced_open_loop_is_byte_identical_and_covers_the_admission_layer() {
+        let scale = tiny_scale();
+        let config = OpenLoopConfig::poisson(2_000_000.0);
+        let mut plain = PlatformKind::HamsTE.build(&scale);
+        let mut traced = PlatformKind::HamsTE.build(&scale);
+        let reference = run_workload_open_loop(plain.as_mut(), spec(), &scale, &config);
+        let mut telemetry = RunTelemetry::new();
+        let m =
+            run_workload_open_loop_traced(traced.as_mut(), spec(), &scale, &config, &mut telemetry);
+        assert_eq!(reference, m, "tracing changed the open-loop metrics");
+        let counts = telemetry.layer_counts();
+        assert_eq!(counts[Layer::Request.index()], m.served);
+        assert!(counts[Layer::Admission.index()] >= m.served);
+        assert!(counts[Layer::Controller.index()] > 0);
+        assert!(telemetry.registry.get("admission_queue_depth").is_some());
+        assert!(telemetry.registry.get("tenant0_dropped").is_some());
+        let served = telemetry.registry.get("requests_served").unwrap();
+        assert_eq!(served.last_value(), Some(m.served as f64));
+    }
+
+    #[test]
+    fn traced_tenant_set_tags_spans_and_counts_per_tenant_drops() {
+        let scale = tiny_scale();
+        let set = TenantSet::new(vec![
+            TenantSpec::new(
+                "a",
+                spec(),
+                ArrivalProcess::Poisson {
+                    rate_per_sec: 500_000.0,
+                },
+            ),
+            TenantSpec::new(
+                "b",
+                WorkloadSpec::by_name("update").unwrap(),
+                ArrivalProcess::Poisson {
+                    rate_per_sec: 5_000_000.0,
+                },
+            ),
+        ]);
+        let config = OpenLoopConfig::poisson(1.0).with_queue_depth(64);
+        let mut plain = PlatformKind::HamsTE.build(&scale);
+        let mut traced = PlatformKind::HamsTE.build(&scale);
+        let reference = run_tenant_set_open_loop(plain.as_mut(), &set, &scale, &config);
+        let mut telemetry = RunTelemetry::new();
+        let m =
+            run_tenant_set_open_loop_traced(traced.as_mut(), &set, &scale, &config, &mut telemetry);
+        assert_eq!(reference, m, "tracing changed the multi-tenant metrics");
+        let tagged: Vec<u16> = telemetry
+            .recorder
+            .spans()
+            .filter(|s| s.layer == Layer::Request)
+            .filter_map(|s| s.tenant)
+            .collect();
+        assert!(tagged.contains(&0) && tagged.contains(&1));
+        assert!(telemetry.registry.get("tenant0_dropped").is_some());
+        assert!(telemetry.registry.get("tenant1_dropped").is_some());
+        let d1 = telemetry.registry.get("tenant1_dropped").unwrap();
+        assert_eq!(d1.last_value(), Some(m.tenants[1].dropped as f64));
     }
 
     #[test]

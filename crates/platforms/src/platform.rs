@@ -9,6 +9,7 @@ use hams_core::{BackendTopology, ShardConfig};
 use hams_energy::EnergyAccount;
 use hams_nvme::QueueConfig;
 use hams_sim::{LatencyVector, Nanos};
+use hams_telemetry::{Span, TelemetrySink};
 use hams_workloads::Access;
 use serde::{Deserialize, Serialize};
 
@@ -205,6 +206,33 @@ pub trait Platform {
     fn configure_backend(&mut self, _topology: BackendTopology) -> bool {
         false
     }
+
+    /// Opts the platform into simulated-time span tracing: installs a
+    /// telemetry sink on the platform's internal serving spine. Returns
+    /// `true` if the platform emits its own spans (controller, tag-array,
+    /// NVMe, MSI, archive layers).
+    ///
+    /// Only the HAMS variants carry an instrumentable controller and
+    /// override this; every other system keeps this fallback and returns
+    /// `false` — their request-level spans still come from the traced
+    /// runners, which trace *every* platform. Tracing is observation-only:
+    /// spans record already-computed simulated timestamps, so metrics are
+    /// byte-identical with tracing on or off
+    /// (`tests/telemetry_equivalence.rs` pins this on all eleven platforms).
+    fn configure_trace(&mut self, _sink: TelemetrySink) -> bool {
+        false
+    }
+
+    /// Moves any spans the platform's internal sink retained into `out`
+    /// (appending). No-op for platforms without an internal sink.
+    fn take_trace_spans(&mut self, _out: &mut Vec<Span>) {}
+
+    /// Samples the platform's telemetry gauges (in-flight NVMe commands, MSI
+    /// burst sizes, internal-DRAM evictions, journal writes, ...) as
+    /// `(metric name, value)` pairs appended to `out`. No-op for platforms
+    /// without instrumented internals; the traced runners call this once per
+    /// dispatched batch, never on the per-access hot path.
+    fn telemetry_gauges(&self, _out: &mut Vec<(&'static str, f64)>) {}
 
     /// The platform's share of the memory-delay breakdown of Fig. 18
     /// (`nvdimm` / `dma` / `ssd`), if it distinguishes these components.

@@ -4,6 +4,7 @@
 use hams_energy::{EnergyAccount, PowerParams};
 use hams_host::{CpuConfig, CpuModel};
 use hams_sim::{parallel_map, ComponentId, LatencyBreakdown, Nanos};
+use hams_telemetry::{Layer, RunTelemetry, Span, TelemetrySink, TraceSink};
 use hams_workloads::{TraceGenerator, WorkloadClass, WorkloadSpec};
 use serde::{Deserialize, Serialize};
 
@@ -370,6 +371,93 @@ pub fn run_workload_batched(
     }
 
     fold.finish(platform, spec, scaled)
+}
+
+/// [`run_workload`] with telemetry collection.
+///
+/// Installs a recording sink on the platform (HAMS platforms emit
+/// controller / tag-array / NVMe / MSI / archive spans; platforms without a
+/// hardware controller ignore the sink), emits a [`Layer::Request`] span per
+/// served access, and samples the platform's telemetry gauges into
+/// `telemetry.registry` once per dispatched batch. Tracing is observation
+/// only: the returned metrics are byte-identical to [`run_workload`]
+/// (`tests/telemetry_equivalence.rs` pins this on every platform).
+pub fn run_workload_traced(
+    platform: &mut dyn Platform,
+    spec: WorkloadSpec,
+    scale: &ScaleProfile,
+    telemetry: &mut RunTelemetry,
+) -> RunMetrics {
+    platform.configure_trace(TelemetrySink::recording(telemetry.recorder.capacity()));
+    let batch_size = DEFAULT_BATCH_SIZE;
+    let scaled = scale.scale_spec(spec);
+    let mut fold = MetricsFold::new();
+    let mut trace = TraceGenerator::new(scaled, scale.seed, scale.accesses);
+    let mut batch: Vec<BatchRequest> = Vec::with_capacity(batch_size.min(scale.accesses));
+    let mut result = BatchOutcome::with_capacity(batch_size.min(scale.accesses));
+    let mut gauges: Vec<(&'static str, f64)> = Vec::new();
+
+    loop {
+        batch.clear();
+        while batch.len() < batch_size {
+            let Some(access) = trace.next() else { break };
+            let compute = fold.cpu.retire(access.compute_instructions + 1);
+            batch.push(BatchRequest { access, compute });
+        }
+        if batch.is_empty() {
+            break;
+        }
+        platform.serve_batch_into(&batch, fold.now, &mut result);
+        assert_eq!(
+            result.outcomes.len(),
+            batch.len(),
+            "{} returned {} outcomes for a batch of {}",
+            platform.name(),
+            result.outcomes.len(),
+            batch.len()
+        );
+        for (request, outcome) in batch.iter().zip(&result.outcomes) {
+            let issued_at = fold.now + request.compute;
+            telemetry.recorder.record(
+                Span::new(Layer::Request, "access", issued_at, outcome.finished_at)
+                    .with_request(request.access.addr / 4096),
+            );
+            fold.fold(request.compute, outcome);
+        }
+        telemetry
+            .registry
+            .counter("accesses_served", fold.now, fold.accesses as f64);
+        sample_platform_gauges(platform, fold.now, &mut gauges, &mut telemetry.registry);
+    }
+
+    drain_platform_spans(platform, telemetry);
+    fold.finish(platform, spec, scaled)
+}
+
+/// Samples every gauge a platform exposes via
+/// [`Platform::telemetry_gauges`] into `registry` at simulated instant `at`,
+/// reusing `scratch` so the sampling path allocates nothing after warm-up.
+pub(crate) fn sample_platform_gauges(
+    platform: &dyn Platform,
+    at: Nanos,
+    scratch: &mut Vec<(&'static str, f64)>,
+    registry: &mut hams_telemetry::MetricsRegistry,
+) {
+    scratch.clear();
+    platform.telemetry_gauges(scratch);
+    for (name, value) in scratch.drain(..) {
+        registry.gauge(name, at, value);
+    }
+}
+
+/// Moves the spans the platform's own sink collected (controller, tag array,
+/// NVMe, MSI, archive) into the run-level recorder.
+pub(crate) fn drain_platform_spans(platform: &mut dyn Platform, telemetry: &mut RunTelemetry) {
+    let mut drained: Vec<Span> = Vec::new();
+    platform.take_trace_spans(&mut drained);
+    for span in drained {
+        telemetry.recorder.record(span);
+    }
 }
 
 /// [`run_workload`] with the platform opted into a multi-queue NVMe shape
@@ -770,6 +858,41 @@ mod tests {
                 ("rndWr", "oracle"),
             ]
         );
+    }
+
+    #[test]
+    fn traced_run_is_byte_identical_and_collects_spans() {
+        let scale = quick_scale();
+        let spec = WorkloadSpec::by_name("rndRd").unwrap();
+        let mut plain = PlatformKind::HamsTE.build(&scale);
+        let mut traced = PlatformKind::HamsTE.build(&scale);
+        let reference = run_workload(plain.as_mut(), spec, &scale);
+        let mut telemetry = RunTelemetry::new();
+        let m = run_workload_traced(traced.as_mut(), spec, &scale, &mut telemetry);
+        assert_eq!(reference, m, "tracing changed the simulated metrics");
+        let counts = telemetry.layer_counts();
+        assert_eq!(counts[Layer::Request.index()], scale.accesses as u64);
+        assert!(
+            counts[Layer::Controller.index()] > 0,
+            "HAMS runs should emit controller spans"
+        );
+        assert!(counts[Layer::TagArray.index()] > 0);
+        assert!(!telemetry.registry.is_empty());
+        assert!(telemetry.registry.get("accesses_served").is_some());
+        assert!(telemetry.registry.get("nvme_inflight").is_some());
+    }
+
+    #[test]
+    fn traced_run_on_a_software_platform_still_gets_request_spans() {
+        let scale = quick_scale();
+        let spec = WorkloadSpec::by_name("seqRd").unwrap();
+        let mut platform = PlatformKind::Mmap.build(&scale);
+        let mut telemetry = RunTelemetry::new();
+        let m = run_workload_traced(platform.as_mut(), spec, &scale, &mut telemetry);
+        assert_eq!(m.accesses, scale.accesses as u64);
+        let counts = telemetry.layer_counts();
+        assert_eq!(counts[Layer::Request.index()], scale.accesses as u64);
+        assert_eq!(counts[Layer::Controller.index()], 0);
     }
 
     #[test]

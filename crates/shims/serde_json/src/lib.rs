@@ -1,9 +1,11 @@
-//! Offline stand-in for the parts of `serde_json` this workspace reads JSON
-//! with: [`from_str`] into a dynamically typed [`Value`] tree, plus the
-//! `get`/`as_*` accessors the real crate's `Value` offers. There is no
-//! serializer — the workspace writes JSON through its own formatters — and no
-//! typed deserialization; swap in the real crate (see `crates/shims/README.md`)
-//! to get both.
+//! Offline stand-in for the parts of `serde_json` this workspace handles JSON
+//! with: [`from_str`] into a dynamically typed [`Value`] tree, the
+//! `get`/`as_*` accessors the real crate's `Value` offers, and [`to_string`]
+//! to render a [`Value`] back out (used by the benchmark trajectory pruner's
+//! round-trip validation). There is no typed serialization or
+//! deserialization — the workspace writes its documents through its own
+//! formatters; swap in the real crate (see `crates/shims/README.md`) to get
+//! both.
 //!
 //! The parser is a strict recursive-descent pass over the input bytes:
 //! objects, arrays, strings (with the full escape set including `\uXXXX`
@@ -155,6 +157,83 @@ pub fn from_str(s: &str) -> Result<Value> {
         return Err(p.error("trailing characters"));
     }
     Ok(value)
+}
+
+/// Renders a [`Value`] as compact JSON (no whitespace), like the real
+/// crate's `to_string` for a `Value` argument. Numbers that are exactly
+/// integral print without a fractional part so round-tripping an integer
+/// document reproduces integer literals; object keys keep the map's sorted
+/// order. Always succeeds — the `Result` matches the real crate's signature.
+pub fn to_string(value: &Value) -> Result<String> {
+    let mut out = String::new();
+    write_value(value, &mut out);
+    Ok(out)
+}
+
+fn write_value(value: &Value, out: &mut String) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => write_number(*n, out),
+        Value::String(s) => write_string(s, out),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(item, out);
+            }
+            out.push(']');
+        }
+        Value::Object(map) => {
+            out.push('{');
+            for (i, (key, item)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(key, out);
+                out.push(':');
+                write_value(item, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_number(n: f64, out: &mut String) {
+    use std::fmt::Write as _;
+    if !n.is_finite() {
+        // The Value parser never produces these; render the real crate's
+        // lossy fallback rather than emitting invalid JSON.
+        out.push_str("null");
+    } else if n.fract() == 0.0 && n.abs() < 9e15 {
+        let _ = write!(out, "{}", n as i64);
+    } else {
+        let _ = write!(out, "{n}");
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    use std::fmt::Write as _;
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{0008}' => out.push_str("\\b"),
+            '\u{000C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
 }
 
 struct Parser<'a> {
@@ -419,6 +498,26 @@ mod tests {
         assert_eq!(from_str("-2").unwrap().as_u64(), None);
         assert_eq!(from_str("42").unwrap().as_u64(), Some(42));
         assert_eq!(from_str("42").unwrap().as_f64(), Some(42.0));
+    }
+
+    #[test]
+    fn to_string_round_trips_documents() {
+        let doc =
+            r#"{"runs":[{"cells":[{"ns":12.5,"ok":true}],"label":"ci"}],"n":-3,"s":"a\n\"b\""}"#;
+        let v = from_str(doc).unwrap();
+        let rendered = to_string(&v).unwrap();
+        assert_eq!(from_str(&rendered).unwrap(), v);
+        // Integral numbers come back as integer literals, keys stay sorted.
+        assert!(rendered.contains("\"n\":-3"));
+        assert!(rendered.contains("\"ns\":12.5"));
+        assert!(rendered.contains("\"s\":\"a\\n\\\"b\\\"\""));
+    }
+
+    #[test]
+    fn to_string_escapes_controls() {
+        let v = Value::String("\u{1}\t".to_string());
+        assert_eq!(to_string(&v).unwrap(), "\"\\u0001\\t\"");
+        assert_eq!(from_str(&to_string(&v).unwrap()).unwrap(), v);
     }
 
     #[test]

@@ -48,5 +48,7 @@ pub use hash::{FastBuildHasher, FastHashMap, FastHashSet};
 pub use intern::ComponentId;
 pub use par::{cell_workers, parallel_map, scoped_partition_map};
 pub use resource::{Grant, MultiResource, Resource};
-pub use stats::{Counter, Histogram, LatencyBreakdown, LatencyVector, RunningStats};
+pub use stats::{
+    Counter, Histogram, HistogramSummary, LatencyBreakdown, LatencyVector, RunningStats,
+};
 pub use time::{Nanos, SimClock};

@@ -363,6 +363,52 @@ impl Histogram {
         ((p / 100.0) * count as f64).ceil().max(1.0) as u64
     }
 
+    /// The standard tail summary — count, mean, p50/p99/p99.9 and max — in
+    /// **one** cumulative pass over the buckets. Returns `None` when the
+    /// histogram is empty.
+    ///
+    /// Overflow-aware like [`Histogram::percentiles`]: percentiles (and the
+    /// maximum) that land past the last bucket resolve to the true maximum
+    /// of the overflowed samples, not to the bucket-range edge.
+    #[must_use]
+    pub fn summary(&self) -> Option<HistogramSummary> {
+        if self.count == 0 {
+            return None;
+        }
+        let targets = [
+            Self::rank_of(50.0, self.count),
+            Self::rank_of(99.0, self.count),
+            Self::rank_of(99.9, self.count),
+        ];
+        // One walk resolves all three ranks and finds the highest non-empty
+        // bucket; overflowed values resolve to the exact overflow maximum.
+        let mut resolved = [self.overflow_max; 3];
+        let mut max = self.overflow_max;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if c > 0 {
+                let edge = self.bucket_width * (i as u64 + 1);
+                if self.overflow == 0 {
+                    max = edge;
+                }
+                for (slot, &target) in targets.iter().enumerate() {
+                    if seen >= target && seen - c < target {
+                        resolved[slot] = edge;
+                    }
+                }
+            }
+        }
+        Some(HistogramSummary {
+            count: self.count,
+            mean: self.mean(),
+            p50: resolved[0],
+            p99: resolved[1],
+            p999: resolved[2],
+            max,
+        })
+    }
+
     /// Clears all recorded samples.
     pub fn reset(&mut self) {
         self.buckets.iter_mut().for_each(|b| *b = 0);
@@ -371,6 +417,24 @@ impl Histogram {
         self.count = 0;
         self.sum = 0;
     }
+}
+
+/// The one-pass tail summary of a [`Histogram`]; see [`Histogram::summary`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSummary {
+    /// Number of samples recorded.
+    pub count: u64,
+    /// Mean of all samples.
+    pub mean: Nanos,
+    /// Median, at bucket-boundary resolution.
+    pub p50: Nanos,
+    /// 99th percentile, at bucket-boundary resolution.
+    pub p99: Nanos,
+    /// 99.9th percentile, at bucket-boundary resolution.
+    pub p999: Nanos,
+    /// Largest sample: the highest non-empty bucket edge, or the exact
+    /// overflow maximum when samples fell past the last bucket.
+    pub max: Nanos,
 }
 
 /// Number of fixed accumulator slots in a [`LatencyVector`]. Ids below this
@@ -847,6 +911,33 @@ mod tests {
         );
         h.reset();
         assert_eq!(h.overflow_max(), None);
+    }
+
+    #[test]
+    fn summary_matches_the_piecewise_queries() {
+        let mut h = Histogram::new(Nanos::from_nanos(100), 64);
+        for i in 0..500u64 {
+            h.record(Nanos::from_nanos(i * 17 % 8_000));
+        }
+        let s = h.summary().expect("non-empty histogram summarizes");
+        assert_eq!(s.count, h.count());
+        assert_eq!(s.mean, h.mean());
+        assert_eq!(Some(s.p50), h.percentile(50.0));
+        assert_eq!(Some(s.p99), h.percentile(99.0));
+        assert_eq!(Some(s.p999), h.percentile(99.9));
+        assert_eq!(Some(s.max), h.percentile(100.0));
+
+        // Overflow-aware: the tail resolves to the true overflowed maximum.
+        let mut tail = Histogram::new(Nanos::from_nanos(10), 4);
+        for _ in 0..8 {
+            tail.record(Nanos::from_micros(1));
+        }
+        let s = tail.summary().unwrap();
+        assert_eq!(s.p50, Nanos::from_micros(1));
+        assert_eq!(s.max, Nanos::from_micros(1));
+
+        // Empty histograms have no summary.
+        assert_eq!(Histogram::new(Nanos::from_nanos(10), 4).summary(), None);
     }
 
     #[test]

@@ -9,7 +9,9 @@
 //! * [`flash`], [`nvme`], [`interconnect`], [`nvdimm`], [`host`], [`energy`],
 //!   [`sim`] — the substrates the controller is built on,
 //! * [`workloads`] — Table III trace generators and fio-style device jobs,
-//! * [`platforms`] — the eleven evaluated systems plus the experiment runner.
+//! * [`platforms`] — the eleven evaluated systems plus the experiment runner,
+//! * [`telemetry`] — simulated-time span tracing, the metrics registry and
+//!   the Chrome-trace / series exporters.
 //!
 //! # Quick start
 //!
@@ -42,6 +44,7 @@ pub use hams_nvdimm as nvdimm;
 pub use hams_nvme as nvme;
 pub use hams_platforms as platforms;
 pub use hams_sim as sim;
+pub use hams_telemetry as telemetry;
 pub use hams_workloads as workloads;
 
 /// The paper this workspace reproduces.

@@ -233,6 +233,7 @@ fn synthetic_row(platform: &str, index: usize, sustainable: bool) -> OpenLoopRow
         achieved_per_sec: if sustainable { offered_frac * 1e6 } else { 8e5 },
         dropped: u64::from(!sustainable) * 50,
         arrivals: 1_000,
+        mean_us: 1.2,
         p50_us: 1.0,
         p99_us: 2.0,
         p999_us: 3.0,
