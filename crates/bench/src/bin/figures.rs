@@ -3,18 +3,21 @@
 //!
 //! Usage: `cargo run -p hams-bench --release --bin figures [-- <id> ...]`
 //! where `<id>` is one of `table1 table2 table3 fig5 fig6 fig7 fig10 fig16
-//! fig17 fig18 fig19 fig20 fig21 fig22 fig23 fig24 fig25 timeline`; with no
-//! arguments every artefact is produced (`fig21` is this reproduction's NVMe
-//! queue-count sensitivity study, `fig22` its tag-array shard-count study —
-//! pinned flat by the shard-invariance contract — `fig23` its archive
-//! device-scaling study over the RAID-0 / CXL-attached backends, `fig24` its
-//! open-loop latency-vs-offered-load study locating each platform's max
-//! sustainable throughput, `fig25` its multi-tenant noisy-neighbour study of
-//! a latency-sensitive tenant's sojourn tail under a write-heavy antagonist,
-//! and `timeline` its traced request-lifecycle study: the open-loop hams-TE
-//! scenario replayed with the simulated-time span tracer attached, reported
-//! as a per-layer span table plus a structurally validated Chrome
-//! `trace_event` export; none is a figure of the original paper).
+//! fig17 fig18 fig19 fig20 fig21 fig22 fig23 fig24 fig25 fig26 timeline`;
+//! with no arguments every artefact is produced (`fig21` is this
+//! reproduction's NVMe queue-count sensitivity study, `fig22` its tag-array
+//! shard-count study — pinned flat by the shard-invariance contract —
+//! `fig23` its archive device-scaling study over the RAID-0 / CXL-attached
+//! backends, `fig24` its open-loop latency-vs-offered-load study locating
+//! each platform's max sustainable throughput, `fig25` its multi-tenant
+//! noisy-neighbour study of a latency-sensitive tenant's sojourn tail under
+//! a write-heavy antagonist, `fig26` its fault-injection study of the
+//! sojourn tail through a device failure and rebuild-under-load on the
+//! parity array, and `timeline` its traced request-lifecycle study: the
+//! open-loop hams-TE scenario replayed with the simulated-time span tracer
+//! attached, reported as a per-layer span table plus a structurally
+//! validated Chrome `trace_event` export; none is a figure of the original
+//! paper).
 
 use hams_bench::*;
 use hams_platforms::{feature_table, paper_config, PlatformKind};
@@ -23,7 +26,7 @@ use hams_workloads::WorkloadSpec;
 
 const ALL: &[&str] = &[
     "table1", "table2", "table3", "fig5", "fig6", "fig7", "fig10", "fig16", "fig17", "fig18",
-    "fig19", "fig20", "fig21", "fig22", "fig23", "fig24", "fig25", "timeline",
+    "fig19", "fig20", "fig21", "fig22", "fig23", "fig24", "fig25", "fig26", "timeline",
 ];
 
 fn main() {
@@ -246,6 +249,25 @@ fn main() {
                     );
                 }
                 println!();
+            }
+            "fig26" => {
+                let rows = fig26_latency_under_rebuild(&scale);
+                print_rows(
+                    &format!(
+                        "Figure 26: sojourn tail through device failure and rebuild \
+                         ({FIG26_WORKLOAD} at {FIG26_OFFERED_FRACTION}x calibrated rate)"
+                    ),
+                    &rows,
+                );
+                if let (Some(healthy), Some(recovered)) = (
+                    fig26_phase(&rows, "healthy"),
+                    fig26_phase(&rows, "recovered"),
+                ) {
+                    println!(
+                        "--- recovery: healthy p99 {:.1}us -> recovered p99 {:.1}us ---\n",
+                        healthy.p99_us, recovered.p99_us
+                    );
+                }
             }
             "timeline" => {
                 let (metrics, telemetry) = timeline_traced_run(&scale);

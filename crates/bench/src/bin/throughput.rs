@@ -17,6 +17,7 @@
 //! cargo run -p hams-bench --release --bin throughput -- --scaling --label scaling
 //! cargo run -p hams-bench --release --bin throughput -- --openloop --label openloop
 //! cargo run -p hams-bench --release --bin throughput -- --tenants --label tenants
+//! cargo run -p hams-bench --release --bin throughput -- --faults --label faults
 //! cargo run -p hams-bench --release --bin throughput -- --out /tmp/scratch.json
 //! cargo run -p hams-bench --release --bin throughput -- \
 //!     --quick --label ci-smoke --out /tmp/smoke.json --gate BENCH_hotpath.json
@@ -37,7 +38,12 @@
 //! engine: a latency-sensitive `rndRd` victim and a write-heavy `update`
 //! antagonist share one admission queue through
 //! [`run_tenant_set_open_loop`], reporting wall-clock per merged arrival
-//! plus the victim's simulated sojourn tail and the pair's fairness. `--gate`
+//! plus the victim's simulated sojourn tail and the pair's fairness.
+//! `--faults` times degraded-mode serving: the `hams-TP-r5` parity array
+//! serves the same open-loop load with and without a mid-run device
+//! failure (the fig26 fault schedule), so the pair's spread is the cost of
+//! reconstruction reads, parity-absorbed writes, and rebuild-under-load.
+//! `--gate`
 //! makes the run enforcing: each fresh cell is compared against the most
 //! recent same-label run in the given trajectory file, and the process exits
 //! non-zero if any cell regressed by more than [`GATE_RATIO`]. The harness
@@ -59,11 +65,13 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use hams_bench::{
-    print_rows, timeline_rows, timeline_traced_run, validate_chrome_trace, FIG25_VICTIM_FRACTION,
+    fig26_fault_schedule, print_rows, timeline_rows, timeline_traced_run, validate_chrome_trace,
+    FIG25_VICTIM_FRACTION, FIG26_OFFERED_FRACTION, FIG26_WORKLOAD,
 };
 use hams_platforms::{
-    run_tenant_set_open_loop, run_workload, run_workload_cell_parallel, run_workload_open_loop,
-    run_workload_serial, run_workload_traced, OpenLoopConfig, PlatformKind, ScaleProfile,
+    build_fault_platform, run_tenant_set_open_loop, run_workload, run_workload_cell_parallel,
+    run_workload_open_loop, run_workload_serial, run_workload_traced, OpenLoopConfig, PlatformKind,
+    ScaleProfile,
 };
 use hams_telemetry::{chrome_trace_json, Layer, RunTelemetry};
 use hams_workloads::{ArrivalProcess, TenantSet, TenantSpec, WorkloadSpec};
@@ -89,6 +97,7 @@ struct Config {
     scaling: bool,
     openloop: bool,
     tenants: bool,
+    faults: bool,
     trace: bool,
     trace_out: String,
     prune: Option<usize>,
@@ -103,6 +112,7 @@ fn parse_args() -> Config {
         scaling: false,
         openloop: false,
         tenants: false,
+        faults: false,
         trace: false,
         trace_out: "TRACE_hotpath".to_owned(),
         prune: None,
@@ -115,6 +125,7 @@ fn parse_args() -> Config {
             "--scaling" => config.scaling = true,
             "--openloop" => config.openloop = true,
             "--tenants" => config.tenants = true,
+            "--faults" => config.faults = true,
             "--trace" => config.trace = true,
             "--trace-out" => {
                 config.trace_out = args.next().unwrap_or_else(|| {
@@ -166,8 +177,8 @@ fn parse_args() -> Config {
             other => {
                 eprintln!(
                     "unknown argument {other:?}; flags: --quick --scaling --openloop \
-                     --tenants --trace --trace-out <prefix> --prune <keep> --label <s> \
-                     --out <path> --gate <baseline>"
+                     --tenants --faults --trace --trace-out <prefix> --prune <keep> \
+                     --label <s> --out <path> --gate <baseline>"
                 );
                 std::process::exit(2);
             }
@@ -176,10 +187,14 @@ fn parse_args() -> Config {
     let modes = usize::from(config.scaling)
         + usize::from(config.openloop)
         + usize::from(config.tenants)
+        + usize::from(config.faults)
         + usize::from(config.trace)
         + usize::from(config.prune.is_some());
     if modes > 1 {
-        eprintln!("--scaling, --openloop, --tenants, --trace and --prune are mutually exclusive");
+        eprintln!(
+            "--scaling, --openloop, --tenants, --faults, --trace and --prune are \
+             mutually exclusive"
+        );
         std::process::exit(2);
     }
     if config.prune.is_some() && config.gate.is_some() {
@@ -476,6 +491,92 @@ fn measure_tenants(scale: &ScaleProfile, reps: usize) -> Vec<Cell> {
             us(p999),
             metrics.merged.dropped,
             metrics.fairness()
+        );
+        cells.push(cell);
+    }
+    cells
+}
+
+/// Fault variants: (trajectory label, whether the fig26 fault plan is
+/// installed). Both serve the same offered load on the same parity array,
+/// so the pair's spread is the wall-clock (and simulated-tail) cost of
+/// degraded serving plus rebuild-under-load.
+const FAULT_VARIANTS: &[(&str, bool)] =
+    &[("hams-TP-r5/ol@0.7", false), ("hams-TP-r5/ft@0.7", true)];
+
+/// The fault sweep: wall-clock cost of open-loop serving on the parity
+/// array with and without a mid-run device failure. The faulted leg
+/// installs the fig26 fault schedule (fail-stop at 30% of the expected
+/// span, spare at 40%, paced rebuild), and asserts after every repetition
+/// that the array actually walked the full state machine back to healthy —
+/// a fault harness whose fault silently never fired would measure nothing.
+fn measure_faults(scale: &ScaleProfile, reps: usize) -> Vec<Cell> {
+    let spec = WorkloadSpec::by_name(FIG26_WORKLOAD).expect("known workload");
+    let service_rate = {
+        let mut platform = build_fault_platform(scale);
+        let m = run_workload(&mut platform, spec, scale);
+        m.accesses as f64 / m.total_time.as_secs_f64().max(1e-12)
+    };
+    let offered = FIG26_OFFERED_FRACTION * service_rate;
+    let config = OpenLoopConfig::poisson(offered).with_records(false);
+    let mut cells = Vec::new();
+    for &(label, faulted) in FAULT_VARIANTS {
+        let mut best = u128::MAX;
+        let mut last_metrics = None;
+        let mut rebuild_rows = 0;
+        for _ in 0..reps {
+            let (plan, span) = fig26_fault_schedule(scale.accesses, offered);
+            let mut platform = build_fault_platform(scale);
+            if faulted {
+                platform.controller_mut().set_fault_plan(plan);
+            }
+            let start = Instant::now();
+            let metrics = run_workload_open_loop(&mut platform, spec, scale, &config);
+            let elapsed = start.elapsed().as_nanos();
+            assert_eq!(metrics.arrivals, scale.accesses as u64);
+            if faulted {
+                platform
+                    .controller_mut()
+                    .advance_faults(metrics.last_finish.max(span));
+                let stats = platform
+                    .controller()
+                    .fault_stats()
+                    .expect("fault plan installed");
+                assert_eq!(stats.faults_injected, 1, "{label}: the fault never fired");
+                assert_eq!(
+                    stats.repairs_completed, 1,
+                    "{label}: the rebuild never completed"
+                );
+                rebuild_rows = stats.rebuild_rows_done;
+            }
+            best = best.min(elapsed.max(1));
+            last_metrics = Some(metrics);
+        }
+        let metrics = last_metrics.expect("reps >= 1");
+        let [p50, p99, p999] = metrics.sojourn_p50_p99_p999();
+        let us = |t: Option<hams_sim::Nanos>| t.map_or(f64::NAN, hams_sim::Nanos::as_micros_f64);
+        let secs = best as f64 / 1e9;
+        let cell = Cell {
+            platform: label,
+            workload: FIG26_WORKLOAD,
+            accesses: scale.accesses as u64,
+            best_wall_ns: best,
+            accesses_per_sec: scale.accesses as f64 / secs,
+            ns_per_access: best as f64 / scale.accesses as f64,
+        };
+        println!(
+            "{:<16} {:<6} {:>9.0} arrivals/s  {:>8.1} ns/arrival  sojourn p50/p99/p999 \
+             {:>8.1}/{:>8.1}/{:>8.1} us  served {} dropped {}  rebuild rows {}",
+            cell.platform,
+            cell.workload,
+            cell.accesses_per_sec,
+            cell.ns_per_access,
+            us(p50),
+            us(p99),
+            us(p999),
+            metrics.served,
+            metrics.dropped,
+            rebuild_rows
         );
         cells.push(cell);
     }
@@ -826,12 +927,14 @@ fn main() {
     }
     let scale = scale_for(config.quick);
     println!(
-        "throughput: label={} quick={} scaling={} openloop={} tenants={} trace={} accesses={}",
+        "throughput: label={} quick={} scaling={} openloop={} tenants={} faults={} trace={} \
+         accesses={}",
         config.label,
         config.quick,
         config.scaling,
         config.openloop,
         config.tenants,
+        config.faults,
         config.trace,
         scale.accesses
     );
@@ -848,6 +951,9 @@ fn main() {
     } else if config.tenants {
         let reps = if config.quick { 1 } else { 3 };
         (measure_tenants(&scale, reps), reps)
+    } else if config.faults {
+        let reps = if config.quick { 1 } else { 3 };
+        (measure_faults(&scale, reps), reps)
     } else if config.quick {
         let kinds = [
             PlatformKind::Mmap,

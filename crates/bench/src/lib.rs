@@ -13,16 +13,16 @@
 use std::collections::BinaryHeap;
 use std::fmt;
 
-use hams_core::PersistMode;
+use hams_core::{ArrayState, FaultPlan, PersistMode, RebuildConfig};
 use hams_flash::{SsdConfig, SsdDevice};
 use hams_interconnect::{Ddr4Channel, Ddr4Config};
 use hams_nvme::{NvmeCommand, PrpList};
 use hams_platforms::{
-    build_cxl_platform, build_raid_sweep_platform, queue_sweep_label, register_hams_queue_sweep,
-    register_hams_shard_sweep, run_grid, run_grid_with, run_matrix, run_tenant_set_open_loop,
-    run_workload, run_workload_open_loop, run_workload_open_loop_traced, shard_sweep_label,
-    HamsPlatform, MmapPlatform, OpenLoopConfig, OpenLoopMetrics, PlatformKind, PlatformRegistry,
-    RunMetrics, ScaleProfile,
+    build_cxl_platform, build_fault_platform, build_raid_sweep_platform, fault_label,
+    queue_sweep_label, register_hams_queue_sweep, register_hams_shard_sweep, run_grid,
+    run_grid_with, run_matrix, run_tenant_set_open_loop, run_workload, run_workload_open_loop,
+    run_workload_open_loop_traced, shard_sweep_label, HamsPlatform, MmapPlatform, OpenLoopConfig,
+    OpenLoopMetrics, OpenLoopRecord, PlatformKind, PlatformRegistry, RunMetrics, ScaleProfile,
 };
 use hams_sim::parallel_map;
 use hams_sim::{Histogram, Nanos};
@@ -1522,6 +1522,203 @@ pub fn validate_chrome_trace(json: &str) -> Result<Vec<String>, String> {
     Ok(layers)
 }
 
+// ---------------------------------------------------------------------------
+// Figure 26 — tail latency through device failure, rebuild, and recovery
+// ---------------------------------------------------------------------------
+
+/// Workload the fig26 rebuild-under-load scenario serves: `rndWr` is
+/// store-heavy and uniformly random over a dataset larger than the NVDIMM
+/// cache, so misses and dirty evictions keep the archive busy throughout —
+/// the degraded window exercises both reconstruction reads and
+/// parity-absorbed writes, and evictions leave durable pages on the failed
+/// device for the rebuild to copy back.
+pub const FIG26_WORKLOAD: &str = "rndWr";
+
+/// Offered load for fig26, as a fraction of the array's calibrated
+/// closed-loop service rate: high enough that rebuild traffic visibly
+/// contends with foreground serving, low enough that the healthy phases
+/// stay sustainable.
+pub const FIG26_OFFERED_FRACTION: f64 = 0.7;
+
+/// Where in the expected run span the device fails and the spare arrives.
+/// 30% of the run is a healthy baseline, 10% serves degraded with no spare,
+/// and the rebuild starts at 40% — early enough that the array returns to
+/// `Healthy` with a recovered tail left to measure.
+const FIG26_FAIL_FRACTION: f64 = 0.30;
+const FIG26_SPARE_FRACTION: f64 = 0.40;
+
+/// One phase of the fig26 timeline: an array state the run passed through
+/// and the sojourn tail of the requests that finished inside its window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig26Row {
+    /// Platform label (the fault-scenario parity array).
+    pub platform: String,
+    /// Phase name: `healthy`, `degraded`, `rebuilding` or `recovered`.
+    pub phase: &'static str,
+    /// Window start in microseconds of simulated time.
+    pub start_us: f64,
+    /// Window end in microseconds of simulated time.
+    pub end_us: f64,
+    /// Requests that finished inside the window.
+    pub served: u64,
+    /// Mean sojourn time (queueing + service) in microseconds.
+    pub mean_us: f64,
+    /// Median sojourn time in microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile sojourn time in microseconds.
+    pub p99_us: f64,
+    /// 99th-percentile sojourn time over the same window of a fault-free
+    /// twin run serving the identical arrival schedule — the honest
+    /// baseline for each phase, since warm-up transients hit both runs at
+    /// the same simulated instants.
+    pub baseline_p99_us: f64,
+}
+
+impl fmt::Display for Fig26Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<12} {:<10} [{:>10} .. {:>10}]us served={:<6} mean={:>8}us p50={:>8}us \
+             p99={:>8}us healthy-twin-p99={:>8}us",
+            self.platform,
+            self.phase,
+            cell(self.start_us),
+            cell(self.end_us),
+            self.served,
+            cell(self.mean_us),
+            cell(self.p50_us),
+            cell(self.p99_us),
+            cell(self.baseline_p99_us),
+        )
+    }
+}
+
+/// Nearest-rank percentile of an ascending sojourn list, in microseconds
+/// (0 for an empty window).
+fn sorted_percentile_us(sorted: &[Nanos], p: f64) -> f64 {
+    let Some(last) = sorted.len().checked_sub(1) else {
+        return 0.0;
+    };
+    let idx = ((p / 100.0) * last as f64).round() as usize;
+    sorted[idx.min(last)].as_micros_f64()
+}
+
+/// The fault schedule fig26 and `throughput --faults` share, plus the
+/// expected simulated span it was derived from: device 0 fail-stops at
+/// [`FIG26_FAIL_FRACTION`] of the span, its spare arrives at
+/// [`FIG26_SPARE_FRACTION`], and the rebuild is paced at one row per
+/// 1/10,000th of the span so it finishes with a recovered tail left to
+/// measure at any scale.
+#[must_use]
+pub fn fig26_fault_schedule(accesses: usize, offered_per_sec: f64) -> (FaultPlan, Nanos) {
+    let span = Nanos::from_nanos_f64(accesses as f64 / offered_per_sec.max(1e-12) * 1e9);
+    let plan = FaultPlan::new()
+        .with_fail_stop(
+            0,
+            span.scale(FIG26_FAIL_FRACTION),
+            span.scale(FIG26_SPARE_FRACTION),
+        )
+        .with_rebuild(RebuildConfig {
+            row_interval: span.scale(1e-4).max(Nanos::from_nanos(1)),
+            ..RebuildConfig::default()
+        });
+    (plan, span)
+}
+
+/// Sorted sojourn times of the records that finished inside `[start, stop)`.
+fn window_sojourns(records: &[OpenLoopRecord], start: Nanos, stop: Nanos) -> Vec<Nanos> {
+    let mut sojourns: Vec<Nanos> = records
+        .iter()
+        .filter(|r| r.finished >= start && r.finished < stop)
+        .map(OpenLoopRecord::sojourn)
+        .collect();
+    sojourns.sort_unstable();
+    sojourns
+}
+
+/// Fig. 26: sojourn tail latency through a device failure and
+/// rebuild-under-load. The fault-scenario parity array (`hams-TP-r5`) is
+/// calibrated closed-loop, then served Poisson arrivals at
+/// [`FIG26_OFFERED_FRACTION`] of that rate while a [`FaultPlan`] fails
+/// device 0 partway through the run: the array walks Healthy → Degraded →
+/// Rebuilding → Healthy, and each phase window reports the tail of the
+/// requests that finished inside it, next to the same window of a
+/// fault-free twin run serving the identical arrival schedule. Fault
+/// instants are fractions of the expected run span, so the same seed gives
+/// the same timeline at any scale.
+#[must_use]
+pub fn fig26_latency_under_rebuild(scale: &ScaleProfile) -> Vec<Fig26Row> {
+    let spec = WorkloadSpec::by_name(FIG26_WORKLOAD).expect("rndWr is a Table III workload");
+    let service_rate = {
+        let mut platform = build_fault_platform(scale);
+        let m = run_workload(&mut platform, spec, scale);
+        m.accesses as f64 / m.total_time.as_secs_f64().max(1e-12)
+    };
+    let offered = FIG26_OFFERED_FRACTION * service_rate;
+    let (plan, span) = fig26_fault_schedule(scale.accesses, offered);
+    let config = OpenLoopConfig::poisson(offered);
+    // The fault-free twin: same platform, same arrival schedule, no plan.
+    let healthy = {
+        let mut platform = build_fault_platform(scale);
+        run_workload_open_loop(&mut platform, spec, scale, &config)
+    };
+    let mut platform = build_fault_platform(scale);
+    platform.controller_mut().set_fault_plan(plan);
+    let m = run_workload_open_loop(&mut platform, spec, scale, &config);
+    let end = m.last_finish.max(span);
+    // Let a rebuild that outlived the arrivals finish, so the timeline's
+    // final transition is on record even for very short runs.
+    platform.controller_mut().advance_faults(end);
+    let fault = platform
+        .controller()
+        .archive()
+        .fault()
+        .expect("fig26 installs a fault plan");
+    let mut windows: Vec<(&'static str, Nanos, Nanos)> = Vec::new();
+    let mut prev_at = Nanos::ZERO;
+    let mut prev_name = "healthy";
+    for &(at, state) in fault.transitions() {
+        windows.push((prev_name, prev_at, at));
+        prev_at = at;
+        prev_name = match state {
+            ArrayState::Healthy => "recovered",
+            ArrayState::Degraded => "degraded",
+            ArrayState::Rebuilding => "rebuilding",
+        };
+    }
+    windows.push((prev_name, prev_at, end.max(prev_at) + Nanos::from_nanos(1)));
+    windows
+        .into_iter()
+        .map(|(phase, start, stop)| {
+            let sojourns = window_sojourns(&m.records, start, stop);
+            let baseline = window_sojourns(&healthy.records, start, stop);
+            let served = sojourns.len() as u64;
+            let mean_us = if served == 0 {
+                0.0
+            } else {
+                sojourns.iter().map(|s| s.as_micros_f64()).sum::<f64>() / served as f64
+            };
+            Fig26Row {
+                platform: fault_label(),
+                phase,
+                start_us: start.as_micros_f64(),
+                end_us: stop.as_micros_f64(),
+                served,
+                mean_us,
+                p50_us: sorted_percentile_us(&sojourns, 50.0),
+                p99_us: sorted_percentile_us(&sojourns, 99.0),
+                baseline_p99_us: sorted_percentile_us(&baseline, 99.0),
+            }
+        })
+        .collect()
+}
+
+/// The first fig26 row for `phase`, if the run passed through it.
+#[must_use]
+pub fn fig26_phase<'a>(rows: &'a [Fig26Row], phase: &str) -> Option<&'a Fig26Row> {
+    rows.iter().find(|r| r.phase == phase)
+}
+
 /// Prints any row type list under a header (used by the `figures` binary and
 /// the benches so each bench also regenerates its figure's series).
 pub fn print_rows<T: fmt::Display>(header: &str, rows: &[T]) {
@@ -1776,6 +1973,48 @@ mod tests {
                 .unwrap_or_else(|| panic!("{platform} saturated at half its own service rate"));
             assert!(knee.sustainable);
         }
+    }
+
+    #[test]
+    fn fig26_rebuild_elevates_the_tail_then_recovers() {
+        let rows = fig26_latency_under_rebuild(&tiny());
+        // The run walks the full state machine: a healthy baseline, a
+        // degraded window, the rebuild, and a recovered tail.
+        for phase in ["healthy", "degraded", "rebuilding", "recovered"] {
+            let row = fig26_phase(&rows, phase)
+                .unwrap_or_else(|| panic!("run never entered the {phase} phase"));
+            assert!(row.end_us > row.start_us, "{phase} window is empty");
+        }
+        let healthy = fig26_phase(&rows, "healthy").unwrap();
+        let degraded = fig26_phase(&rows, "degraded").unwrap();
+        let recovered = fig26_phase(&rows, "recovered").unwrap();
+        assert!(healthy.served > 0 && degraded.served > 0 && recovered.served > 0);
+        // Before the fault the two runs are identical, so the healthy
+        // window's tail matches its twin exactly.
+        assert!(
+            (healthy.p99_us - healthy.baseline_p99_us).abs() < 1e-9,
+            "healthy-phase p99 {} diverged from the fault-free twin {}",
+            healthy.p99_us,
+            healthy.baseline_p99_us
+        );
+        // Degraded service costs N-1 reads plus XOR per reconstructed read,
+        // so the tail through the fault cannot beat the twin's over the
+        // same window.
+        assert!(
+            degraded.p99_us + 1e-9 >= degraded.baseline_p99_us,
+            "degraded p99 {} fell below the fault-free twin's {}",
+            degraded.p99_us,
+            degraded.baseline_p99_us
+        );
+        // After the rebuild completes the tail settles back to within
+        // tolerance of the twin (the recovered window may still drain
+        // backlog the fault left behind, hence the headroom).
+        assert!(
+            recovered.p99_us <= 2.0 * recovered.baseline_p99_us.max(1.0),
+            "recovered p99 {} never settled near the fault-free twin's {}",
+            recovered.p99_us,
+            recovered.baseline_p99_us
+        );
     }
 
     #[test]

@@ -22,7 +22,10 @@
 //!   carry `(shard, device)`, and the CXL-attached topology moves pages
 //!   across the CXL link instead of the attach-mode interface.
 
-use hams_flash::{ArchiveSet, BackendTopology, PowerLossReport, SsdDevice, LBA_SIZE};
+use hams_flash::{
+    ArchiveSet, ArrayState, BackendTopology, FaultPlan, FaultStats, PowerLossReport, SsdDevice,
+    LBA_SIZE,
+};
 use hams_interconnect::{
     BusMaster, CxlConfig, CxlLink, Ddr4Channel, Ddr4Config, LockRegister, PcieConfig, PcieLink,
     RegisterInterface, RegisterInterfaceConfig,
@@ -740,6 +743,63 @@ impl HamsController {
         &self.engine
     }
 
+    /// Installs a fault plan on the archive set (see
+    /// [`hams_flash::fault`]). The plan's state machine advances on the
+    /// simulated clock of the serial archive command stream, so fault
+    /// timing is deterministic for a given workload whatever the host
+    /// thread count. Requires the parity backend
+    /// ([`BackendTopology::Raid5`]); install it *after* any
+    /// [`Self::set_backend_topology`] call, which rebuilds the archive
+    /// cold.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.archive.set_fault_plan(plan);
+    }
+
+    /// Current degraded-state-machine state of the archive set
+    /// (`Healthy` when no fault plan is installed).
+    #[must_use]
+    pub fn array_state(&self) -> ArrayState {
+        self.archive.array_state()
+    }
+
+    /// Fault / reconstruction / rebuild accounting, if a fault plan is
+    /// installed.
+    #[must_use]
+    pub fn fault_stats(&self) -> Option<&FaultStats> {
+        self.archive.fault_stats()
+    }
+
+    /// Advances the fault state machine to `now` without serving traffic —
+    /// how a harness lets a pending rebuild finish after the last
+    /// foreground access — and exports any completed rebuild rows as
+    /// archive-layer trace spans. A no-op without a plan.
+    pub fn advance_faults(&mut self, now: Nanos) {
+        self.archive.advance_faults(now);
+        self.flush_rebuild_trace();
+    }
+
+    /// Moves completed rebuild rows out of the archive set and into the
+    /// trace sink as `Layer::Archive` "rebuild_row" spans (tagged with the
+    /// rebuilt device and row). Rebuild is archive-internal background
+    /// traffic, so its spans surface at drain points rather than inline on
+    /// the foreground hot path; with tracing off the rows are discarded.
+    fn flush_rebuild_trace(&mut self) {
+        if self.archive.fault().is_none() {
+            return;
+        }
+        let spans = self.archive.drain_rebuild_spans();
+        if !self.trace.is_enabled() {
+            return;
+        }
+        for row in spans {
+            self.trace.record(
+                Span::new(Layer::Archive, "rebuild_row", row.start, row.end)
+                    .with_device(row.device)
+                    .with_request(row.row),
+            );
+        }
+    }
+
     /// Installs a telemetry sink. [`TelemetrySink::disabled`] restores the
     /// default no-op sink. Tracing is observation-only: spans record
     /// already-computed simulated timestamps and never feed back into
@@ -761,8 +821,10 @@ impl HamsController {
     }
 
     /// Moves the spans retained by the installed sink into `out`
-    /// (appending). No-op with the default [`TelemetrySink::Noop`].
+    /// (appending), including any pending rebuild-row spans. No-op with the
+    /// default [`TelemetrySink::Noop`].
     pub fn take_trace_spans(&mut self, out: &mut Vec<Span>) {
+        self.flush_rebuild_trace();
         self.trace.drain_into(out);
     }
 

@@ -58,7 +58,10 @@ pub use controller::{
     CellPlan, HamsController, HamsStats, MosAccessResult, PowerFailureEvent, RecoveryReport,
 };
 pub use engine::{EngineStats, NvmeEngine, TrackedCommand};
-pub use hams_flash::{ArchiveSet, BackendTopology};
+pub use hams_flash::{
+    ArchiveSet, ArrayState, BackendTopology, FaultEvent, FaultKind, FaultPlan, FaultStats,
+    RebuildConfig,
+};
 pub use prp_pool::{CloneSlot, PrpPool};
 pub use tag_array::{
     BankPlanner, MosTagArray, ShardConfig, ShardHashPolicy, ShardedTagArray, TagArrayStats,

@@ -41,6 +41,7 @@ use crate::device::{
     IoCompletion, PowerLossReport, SsdConfig, SsdDevice, SsdError, SsdStats, LBA_SIZE,
 };
 use crate::dram::DramStats;
+use crate::fault::{ArrayState, FaultInjector, FaultKind, FaultPlan, FaultStats, RebuildSpan};
 
 /// Shape of the archive backend behind the HAMS controller.
 ///
@@ -72,6 +73,35 @@ pub enum BackendTopology {
         /// Stripe unit in bytes (multiple of 4 KB); `0` resolves to the MoS
         /// page size.
         stripe_bytes: u64,
+    },
+    /// RAID-5 style rotating parity over `devices` archives. Data placement
+    /// is identical to `Raid0` — stripe `s` on device `s % N` — which is
+    /// what keeps a fault-free parity array metrics-byte-identical to
+    /// striping: parity lives in the devices' reserved over-provisioned
+    /// region (mirrored into a supercap-backed parity log) and is destaged
+    /// in idle time, never through the serviced command stream. The parity
+    /// only materialises as device traffic when a fault plan is installed:
+    /// degraded reads reconstruct from the `N − 1` survivors plus XOR, and
+    /// rebuild regenerates the lost device row by row (see
+    /// [`crate::fault`]).
+    Raid5 {
+        /// Number of archives in the set (at least 2 — single parity needs
+        /// a survivor).
+        devices: u16,
+        /// Stripe unit in bytes (multiple of 4 KB); `0` resolves to the MoS
+        /// page size.
+        stripe_bytes: u64,
+    },
+    /// Capacity-summing concatenation (JBOD): device `d` owns the `d`-th
+    /// contiguous slice of the exported space, so routing is by range and
+    /// the exported capacity is the *sum* of the devices' — the only
+    /// topology that trades parallelism for capacity. Internally the range
+    /// map is a degenerate stripe map whose unit is one whole device, which
+    /// is why the routing, splitting and accounting paths are shared with
+    /// RAID-0 verbatim.
+    Concat {
+        /// Number of archives in the set (at least 1).
+        devices: u16,
     },
 }
 
@@ -110,23 +140,56 @@ impl BackendTopology {
         }
     }
 
+    /// Rotating-parity RAID-5 over `devices` archives with MoS-page stripe
+    /// granularity.
+    #[must_use]
+    pub fn raid5(devices: u16) -> Self {
+        BackendTopology::Raid5 {
+            devices: devices.max(2),
+            stripe_bytes: 0,
+        }
+    }
+
+    /// Rotating-parity RAID-5 over `devices` archives with an explicit
+    /// stripe unit.
+    #[must_use]
+    pub fn raid5_striped(devices: u16, stripe_bytes: u64) -> Self {
+        BackendTopology::Raid5 {
+            devices: devices.max(2),
+            stripe_bytes,
+        }
+    }
+
+    /// Capacity-summing concatenation over `devices` archives.
+    #[must_use]
+    pub fn concat(devices: u16) -> Self {
+        BackendTopology::Concat {
+            devices: devices.max(1),
+        }
+    }
+
     /// Number of devices in the set.
     #[must_use]
     pub fn device_count(&self) -> u16 {
         match self {
             BackendTopology::Single => 1,
             BackendTopology::Raid0 { devices, .. }
-            | BackendTopology::CxlAttached { devices, .. } => (*devices).max(1),
+            | BackendTopology::CxlAttached { devices, .. }
+            | BackendTopology::Concat { devices } => (*devices).max(1),
+            BackendTopology::Raid5 { devices, .. } => (*devices).max(2),
         }
     }
 
-    /// The configured stripe unit (`0` = resolve to the MoS page size).
+    /// The configured stripe unit (`0` = resolve to the MoS page size;
+    /// `Concat`'s unit is derived from the per-device capacity at build
+    /// time, so it reports `0` here).
     #[must_use]
     pub fn stripe_bytes(&self) -> u64 {
         match self {
-            BackendTopology::Single => 0,
+            BackendTopology::Single | BackendTopology::Concat { .. } => 0,
             BackendTopology::Raid0 { stripe_bytes, .. }
-            | BackendTopology::CxlAttached { stripe_bytes, .. } => *stripe_bytes,
+            | BackendTopology::CxlAttached { stripe_bytes, .. }
+            | BackendTopology::Raid5 { stripe_bytes, .. } => *stripe_bytes,
         }
     }
 
@@ -134,6 +197,13 @@ impl BackendTopology {
     #[must_use]
     pub fn uses_cxl(&self) -> bool {
         matches!(self, BackendTopology::CxlAttached { .. })
+    }
+
+    /// Whether the topology keeps rotating parity, making degraded reads
+    /// reconstructible — the prerequisite for installing a fault plan.
+    #[must_use]
+    pub fn has_parity(&self) -> bool {
+        matches!(self, BackendTopology::Raid5 { .. })
     }
 
     /// The topology with a zero stripe unit resolved to `mos_page_size`.
@@ -156,6 +226,14 @@ impl BackendTopology {
                 devices,
                 stripe_bytes: resolve(stripe_bytes),
             },
+            BackendTopology::Raid5 {
+                devices,
+                stripe_bytes,
+            } => BackendTopology::Raid5 {
+                devices,
+                stripe_bytes: resolve(stripe_bytes),
+            },
+            BackendTopology::Concat { devices } => BackendTopology::Concat { devices },
         }
     }
 
@@ -221,6 +299,9 @@ pub struct ArchiveSet {
     topology: BackendTopology,
     stripe_lbas: u64,
     devices: Vec<SsdDevice>,
+    /// Installed by [`Self::set_fault_plan`]; `None` (the default) keeps
+    /// every service path byte-identical to the pre-fault-injection layer.
+    fault: Option<FaultInjector>,
 }
 
 impl ArchiveSet {
@@ -234,9 +315,55 @@ impl ArchiveSet {
     /// one would split flash pages across devices.
     #[must_use]
     pub fn new(config: SsdConfig, topology: BackendTopology, mos_page_size: u64) -> Self {
+        let count = usize::from(topology.device_count());
+        Self::new_heterogeneous(vec![config; count], topology, mos_page_size)
+    }
+
+    /// Builds a mixed-generation set: one [`SsdConfig`] per device (timing,
+    /// internal DRAM, supercap and firmware knobs may differ), behind the
+    /// same unified address space. A uniform config vector builds the exact
+    /// array [`Self::new`] builds — pinned byte-for-byte by
+    /// `tests/fault_equivalence.rs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `configs` does not match the topology's device count, if
+    /// the devices disagree on geometry or exported capacity (identity
+    /// local addressing and the range map both need one uniform page space),
+    /// or if the resolved stripe unit is not a positive multiple of the
+    /// 4 KB LBA size.
+    #[must_use]
+    pub fn new_heterogeneous(
+        configs: Vec<SsdConfig>,
+        topology: BackendTopology,
+        mos_page_size: u64,
+    ) -> Self {
         let topology = topology.resolved(mos_page_size.max(LBA_SIZE));
+        let count = usize::from(topology.device_count());
+        assert_eq!(
+            configs.len(),
+            count,
+            "heterogeneous archive set needs one config per device"
+        );
+        let devices: Vec<SsdDevice> = configs.into_iter().map(SsdDevice::new).collect();
+        for device in &devices[1..] {
+            assert_eq!(
+                device.config().geometry,
+                devices[0].config().geometry,
+                "archive-set devices must share one flash geometry"
+            );
+            assert_eq!(
+                device.capacity_bytes(),
+                devices[0].capacity_bytes(),
+                "archive-set devices must export one capacity"
+            );
+        }
         let stripe_bytes = match topology {
             BackendTopology::Single => mos_page_size.max(LBA_SIZE),
+            // The range map is a degenerate stripe map whose unit is one
+            // whole device: `(slba / unit) % N` *is* range routing when the
+            // unit is the per-device capacity.
+            BackendTopology::Concat { .. } => devices[0].capacity_bytes(),
             t => t.stripe_bytes(),
         };
         assert!(
@@ -244,11 +371,11 @@ impl ArchiveSet {
             "stripe unit must be a positive multiple of the {LBA_SIZE}-byte LBA, \
              got {stripe_bytes}"
         );
-        let count = usize::from(topology.device_count());
         ArchiveSet {
             topology,
             stripe_lbas: stripe_bytes / LBA_SIZE,
-            devices: (0..count).map(|_| SsdDevice::new(config)).collect(),
+            devices,
+            fault: None,
         }
     }
 
@@ -282,14 +409,20 @@ impl ArchiveSet {
         self.devices[0].config()
     }
 
-    /// Exported capacity of the unified address space: the capacity of one
-    /// archive. RAID-0 here trades the extra devices' capacity for
-    /// parallelism at a fixed address space — which is what keeps a
-    /// multi-device run's command stream identical to the single-device one
-    /// and lets per-device stats sum to the single-device totals.
+    /// Exported capacity of the unified address space. Striped topologies
+    /// export the capacity of one archive — RAID-0/5 trade the extra
+    /// devices' capacity for parallelism (or parity) at a fixed address
+    /// space, which is what keeps a multi-device run's command stream
+    /// identical to the single-device one and lets per-device stats sum to
+    /// the single-device totals. `Concat` is the exception: it sums.
     #[must_use]
     pub fn capacity_bytes(&self) -> u64 {
-        self.devices[0].capacity_bytes()
+        match self.topology {
+            BackendTopology::Concat { .. } => {
+                self.devices.iter().map(SsdDevice::capacity_bytes).sum()
+            }
+            _ => self.devices[0].capacity_bytes(),
+        }
     }
 
     /// Device `index` of the set.
@@ -404,6 +537,9 @@ impl ArchiveSet {
         now: Nanos,
         fua: bool,
     ) -> Result<IoCompletion, SsdError> {
+        if self.fault.is_some() {
+            return self.service_faulted(cmd, now, fua);
+        }
         let serve = |device: &mut SsdDevice, cmd: &NvmeCommand, now| {
             if fua {
                 device.service_forcing_fua(cmd, now)
@@ -419,7 +555,9 @@ impl ArchiveSet {
         }
         if cmd.length == 0 {
             let device = usize::from(self.device_of_slba(cmd.slba));
-            return serve(&mut self.devices[device], cmd, now);
+            let mut local = cmd.clone();
+            local.slba = self.local_slba(device, cmd.slba);
+            return serve(&mut self.devices[device], &local, now);
         }
 
         let stripe_bytes = self.stripe_lbas * LBA_SIZE;
@@ -432,13 +570,120 @@ impl ArchiveSet {
             let segment_end = end.min(stripe_end);
             let device = usize::from(self.device_of_slba(offset / LBA_SIZE));
             let mut segment = cmd.clone();
-            segment.slba = offset / LBA_SIZE;
+            segment.slba = self.local_slba(device, offset / LBA_SIZE);
             segment.length = segment_end - offset;
             let completion = serve(&mut self.devices[device], &segment, now)?;
             merged = Some(merge_completion(merged, completion));
             offset = segment_end;
         }
         Ok(merged.expect("non-empty command produced at least one segment"))
+    }
+
+    /// The service path with a fault plan installed: every command first
+    /// advances the injector's state machine (injecting due faults and
+    /// catching up paced rebuild rows), then routes — degraded reads of the
+    /// down device reconstruct from the survivors, degraded writes are
+    /// absorbed by parity, everything else serves exactly as the healthy
+    /// path would. Only parity (`Raid5`) topologies reach here, so the
+    /// identity local addressing of the striped paths applies throughout.
+    fn service_faulted(
+        &mut self,
+        cmd: &NvmeCommand,
+        now: Nanos,
+        fua: bool,
+    ) -> Result<IoCompletion, SsdError> {
+        if let Some(injector) = self.fault.as_mut() {
+            injector.poll(now, &mut self.devices);
+        }
+        if cmd.opcode == NvmeOpcode::Flush {
+            let injector = self.fault.as_mut().expect("faulted path has an injector");
+            let mut merged: Option<IoCompletion> = None;
+            let mut skipped = false;
+            for (index, device) in self.devices.iter_mut().enumerate() {
+                if injector.flush_skips(index as u16) {
+                    skipped = true;
+                    continue;
+                }
+                let completion = device.service(cmd, now)?;
+                merged = Some(merge_completion(merged, completion));
+            }
+            if skipped {
+                injector.note_skipped_flush();
+            }
+            return Ok(merged.expect("a degraded array keeps at least one survivor online"));
+        }
+        if cmd.length == 0 {
+            return self.serve_segment_faulted(cmd.clone(), now, fua);
+        }
+        let stripe_bytes = self.stripe_lbas * LBA_SIZE;
+        let start = cmd.slba * LBA_SIZE;
+        let end = start + cmd.length;
+        let mut merged: Option<IoCompletion> = None;
+        let mut offset = start;
+        while offset < end {
+            let stripe_end = (offset / stripe_bytes + 1) * stripe_bytes;
+            let segment_end = end.min(stripe_end);
+            let mut segment = cmd.clone();
+            segment.slba = offset / LBA_SIZE;
+            segment.length = segment_end - offset;
+            let completion = self.serve_segment_faulted(segment, now, fua)?;
+            merged = Some(merge_completion(merged, completion));
+            offset = segment_end;
+        }
+        Ok(merged.expect("non-empty command produced at least one segment"))
+    }
+
+    fn serve_segment_faulted(
+        &mut self,
+        segment: NvmeCommand,
+        now: Nanos,
+        fua: bool,
+    ) -> Result<IoCompletion, SsdError> {
+        let count = self.devices.len() as u64;
+        let device = if count <= 1 {
+            0u16
+        } else {
+            ((segment.slba / self.stripe_lbas) % count) as u16
+        };
+        let injector = self.fault.as_mut().expect("faulted path has an injector");
+        match segment.opcode {
+            NvmeOpcode::Read if injector.read_is_degraded(device, segment.slba) => {
+                Ok(injector.reconstruct_read(&mut self.devices, &segment, now))
+            }
+            NvmeOpcode::Write if injector.write_is_degraded(device) => {
+                injector.absorb_write(&mut self.devices, &segment, now, fua)
+            }
+            _ => {
+                let target = &mut self.devices[usize::from(device)];
+                if fua {
+                    target.service_forcing_fua(&segment, now)
+                } else {
+                    target.service(&segment, now)
+                }
+            }
+        }
+    }
+
+    /// Translates a global LBA to device `device`'s local LBA: identity for
+    /// every striped topology, base-subtracted for the range-routed
+    /// `Concat`.
+    fn local_slba(&self, device: usize, slba: u64) -> u64 {
+        match self.topology {
+            BackendTopology::Concat { .. } => slba - device as u64 * self.stripe_lbas,
+            _ => slba,
+        }
+    }
+
+    /// Translates a global flash page number to device `device`'s local
+    /// page number (the `Concat` analogue of [`Self::local_slba`]).
+    fn local_lpn(&self, device: usize, lpn: u64) -> u64 {
+        match self.topology {
+            BackendTopology::Concat { .. } => {
+                let page = u64::from(self.devices[0].config().geometry.page_size);
+                lpn - device as u64 * (self.stripe_lbas * LBA_SIZE / page)
+            }
+            _ => lpn,
+        }
     }
 
     fn broadcast_flush(&mut self, cmd: &NvmeCommand, now: Nanos) -> Result<IoCompletion, SsdError> {
@@ -451,36 +696,138 @@ impl ArchiveSet {
     }
 
     /// Whether logical flash page `lpn` is durably stored on the device
-    /// owning its stripe (identity local addressing: the global and
-    /// per-device page numbers coincide).
+    /// owning its stripe (identity local addressing for striped topologies;
+    /// `Concat` translates to the owning device's local page space). While
+    /// the owning device is out, durability falls back to parity coverage:
+    /// the retained pre-failure mapping plus whichever absorbed writes the
+    /// row's parity buddy holds.
     #[must_use]
     pub fn is_durable(&self, lpn: u64) -> bool {
         let page = u64::from(self.config().geometry.page_size);
-        let device = usize::from(self.device_of_slba(lpn * page / LBA_SIZE));
-        self.devices[device].is_durable(lpn)
+        let slba = lpn * page / LBA_SIZE;
+        let device = usize::from(self.device_of_slba(slba));
+        if let Some(injector) = &self.fault {
+            if injector.down_device() == Some(device as u16) {
+                let layout = injector.layout();
+                let absorber = layout.absorbing_device(layout.row_of_slba(slba), device as u16);
+                return self.devices[device].is_durable(lpn)
+                    || self.devices[usize::from(absorber)].is_durable(lpn);
+            }
+        }
+        self.devices[device].is_durable(self.local_lpn(device, lpn))
     }
 
     /// Injects a power failure at `now` into every device and merges the
     /// reports: pages concatenate in (device, page) order, the flush time is
     /// the slowest device's. A single-device set delegates, byte for byte.
+    /// With a fault plan installed the injector's clock advances first, and
+    /// a fail-stopped device that has no replacement yet is skipped — a dead
+    /// controller flushes nothing (a transiently absent device still flushes
+    /// autonomously from its own supercap).
     pub fn power_fail(&mut self, now: Nanos) -> PowerLossReport {
+        if let Some(injector) = self.fault.as_mut() {
+            injector.poll(now, &mut self.devices);
+        }
         if self.devices.len() == 1 {
             return self.devices[0].power_fail(now);
         }
+        let dead = self.fault.as_ref().and_then(|injector| {
+            match (injector.down_device(), injector.down_kind()) {
+                (Some(device), Some(FaultKind::FailStop { .. })) => Some(device),
+                _ => None,
+            }
+        });
+        let concat = matches!(self.topology, BackendTopology::Concat { .. });
+        let page = u64::from(self.devices[0].config().geometry.page_size);
+        let lpns_per_device = self.stripe_lbas * LBA_SIZE / page;
         let mut merged = PowerLossReport {
             flushed_pages: Vec::new(),
             lost_pages: Vec::new(),
             flush_time: Nanos::ZERO,
         };
-        for device in &mut self.devices {
+        for (index, device) in self.devices.iter_mut().enumerate() {
+            if dead == Some(index as u16) {
+                continue;
+            }
             let report = device.power_fail(now);
-            merged.flushed_pages.extend(report.flushed_pages);
-            merged.lost_pages.extend(report.lost_pages);
+            let base = if concat {
+                index as u64 * lpns_per_device
+            } else {
+                0
+            };
+            merged
+                .flushed_pages
+                .extend(report.flushed_pages.iter().map(|lpn| lpn + base));
+            merged
+                .lost_pages
+                .extend(report.lost_pages.iter().map(|lpn| lpn + base));
             merged.flush_time = merged.flush_time.max(report.flush_time);
         }
         merged.flushed_pages.sort_unstable();
         merged.lost_pages.sort_unstable();
         merged
+    }
+
+    /// Installs a fault plan, arming the injector's state machine. The plan
+    /// is consulted on every subsequent service call; until then (and with
+    /// no plan at all) the service paths are byte-identical to the
+    /// pre-fault-injection layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the topology keeps parity ([`BackendTopology::Raid5`])
+    /// — without it a lost device is data loss, not degraded service — or
+    /// if the plan itself is invalid (see [`FaultInjector::new`]).
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        assert!(
+            self.topology.has_parity(),
+            "fault injection needs the parity topology (Raid5); {:?} cannot \
+             reconstruct a lost device",
+            self.topology
+        );
+        self.fault = Some(FaultInjector::new(
+            plan,
+            self.num_devices(),
+            self.stripe_lbas,
+        ));
+    }
+
+    /// The installed fault injector, if any.
+    #[must_use]
+    pub fn fault(&self) -> Option<&FaultInjector> {
+        self.fault.as_ref()
+    }
+
+    /// Current degraded-state-machine state: `Healthy` when no plan is
+    /// installed.
+    #[must_use]
+    pub fn array_state(&self) -> ArrayState {
+        self.fault
+            .as_ref()
+            .map_or(ArrayState::Healthy, FaultInjector::state)
+    }
+
+    /// Fault / reconstruction / rebuild accounting, if a plan is installed.
+    #[must_use]
+    pub fn fault_stats(&self) -> Option<&FaultStats> {
+        self.fault.as_ref().map(FaultInjector::stats)
+    }
+
+    /// Advances the fault state machine to `now` without serving a command
+    /// — how a harness lets a rebuild finish after the last foreground
+    /// access. A no-op without a plan.
+    pub fn advance_faults(&mut self, now: Nanos) {
+        if let Some(injector) = self.fault.as_mut() {
+            injector.poll(now, &mut self.devices);
+        }
+    }
+
+    /// Drains the rebuild rows completed since the last drain, for
+    /// telemetry span export. Empty without a plan.
+    pub fn drain_rebuild_spans(&mut self) -> Vec<RebuildSpan> {
+        self.fault
+            .as_mut()
+            .map_or_else(Vec::new, FaultInjector::drain_rebuild_spans)
     }
 }
 
@@ -688,5 +1035,274 @@ mod tests {
         );
         assert_eq!(set.num_devices(), 3);
         assert!(set.topology().uses_cxl());
+    }
+
+    #[test]
+    fn raid5_with_no_faults_is_byte_identical_to_raid0() {
+        let config = SsdConfig::tiny_for_tests();
+        let mut raid0 = ArchiveSet::new(config, BackendTopology::raid0_striped(4, LBA_SIZE), 4096);
+        let mut raid5 = ArchiveSet::new(config, BackendTopology::raid5_striped(4, LBA_SIZE), 4096);
+        let mut now = Nanos::ZERO;
+        for i in 0..64u64 {
+            let cmd = if i % 3 == 0 {
+                write_cmd(i % 32, 4096).with_fua(i % 6 == 0)
+            } else {
+                read_cmd(i % 32, 4096)
+            };
+            let a = raid0.service(&cmd, now).unwrap();
+            let b = raid5.service(&cmd, now).unwrap();
+            assert_eq!(a, b, "healthy Raid5 diverged from Raid0 at command {i}");
+            now = a.finished_at;
+        }
+        assert_eq!(raid0.stats(), raid5.stats());
+        assert_eq!(raid0.device_stats(), raid5.device_stats());
+        assert_eq!(raid0.capacity_bytes(), raid5.capacity_bytes());
+        assert_eq!(raid5.array_state(), ArrayState::Healthy);
+        assert!(raid5.fault_stats().is_none());
+    }
+
+    #[test]
+    fn uniform_heterogeneous_set_matches_the_homogeneous_one() {
+        let config = SsdConfig::tiny_for_tests();
+        let topology = BackendTopology::raid0_striped(3, LBA_SIZE);
+        let mut homogeneous = ArchiveSet::new(config, topology, 4096);
+        let mut uniform = ArchiveSet::new_heterogeneous(vec![config; 3], topology, 4096);
+        let mut now = Nanos::ZERO;
+        for i in 0..48u64 {
+            let cmd = if i % 2 == 0 {
+                write_cmd(i % 24, 4096).with_fua(i % 4 == 0)
+            } else {
+                read_cmd(i % 24, 4096)
+            };
+            let a = homogeneous.service(&cmd, now).unwrap();
+            let b = uniform.service(&cmd, now).unwrap();
+            assert_eq!(a, b, "uniform heterogeneous set diverged at command {i}");
+            now = a.finished_at;
+        }
+        assert_eq!(homogeneous.stats(), uniform.stats());
+        assert_eq!(homogeneous.device_stats(), uniform.device_stats());
+    }
+
+    #[test]
+    fn heterogeneous_timing_differences_show_up_per_device() {
+        let fast = SsdConfig::tiny_for_tests();
+        let mut slow = SsdConfig::tiny_for_tests();
+        slow.timing = crate::timing::NandTiming::vnand_tlc();
+        slow.dram_capacity_bytes = 0;
+        let mut set = ArchiveSet::new_heterogeneous(
+            vec![fast, slow],
+            BackendTopology::raid0_striped(2, LBA_SIZE),
+            4096,
+        );
+        let on_fast = set
+            .service(&write_cmd(0, 4096).with_fua(true), Nanos::ZERO)
+            .unwrap();
+        let on_slow = set
+            .service(&write_cmd(1, 4096).with_fua(true), Nanos::ZERO)
+            .unwrap();
+        assert!(
+            on_slow.finished_at > on_fast.finished_at,
+            "the conventional-NAND device must be slower than the Z-NAND one"
+        );
+    }
+
+    #[test]
+    fn concat_sums_capacity_and_routes_by_range() {
+        let config = SsdConfig::tiny_for_tests();
+        let single = ArchiveSet::single(config);
+        let mut set = ArchiveSet::new(config, BackendTopology::concat(2), 4096);
+        assert_eq!(set.capacity_bytes(), 2 * single.capacity_bytes());
+        let per_device_lbas = single.capacity_bytes() / LBA_SIZE;
+        assert_eq!(set.stripe_lbas(), per_device_lbas);
+        // First slice routes to device 0, second to device 1.
+        assert_eq!(set.device_of_slba(0), 0);
+        assert_eq!(set.device_of_slba(per_device_lbas - 1), 0);
+        assert_eq!(set.device_of_slba(per_device_lbas), 1);
+        set.service(&write_cmd(1, 4096).with_fua(true), Nanos::ZERO)
+            .unwrap();
+        set.service(
+            &write_cmd(per_device_lbas + 1, 4096).with_fua(true),
+            Nanos::ZERO,
+        )
+        .unwrap();
+        assert_eq!(set.device(0).stats().write_commands, 1);
+        assert_eq!(set.device(1).stats().write_commands, 1);
+        // Device 1 served its command in its local address space.
+        assert!(set.device(1).is_durable(1));
+        // And globally, both pages read back as durable through translation.
+        let page_lbas = 1; // 4 KB pages, 4 KB LBAs
+        assert!(set.is_durable(1 / page_lbas));
+        assert!(set.is_durable(per_device_lbas + 1));
+    }
+
+    #[test]
+    fn concat_command_stream_in_first_slice_matches_single_device() {
+        let config = SsdConfig::tiny_for_tests();
+        let mut single = ArchiveSet::single(config);
+        let mut concat = ArchiveSet::new(config, BackendTopology::concat(2), 4096);
+        let mut now = Nanos::ZERO;
+        for i in 0..48u64 {
+            let cmd = if i % 3 == 0 {
+                write_cmd(i % 16, 4096).with_fua(i % 6 == 0)
+            } else {
+                read_cmd(i % 16, 4096)
+            };
+            let a = single.service(&cmd, now).unwrap();
+            let b = concat.service(&cmd, now).unwrap();
+            assert_eq!(a, b, "concat's first slice diverged from the single device");
+            now = a.finished_at;
+        }
+        assert_eq!(single.stats(), concat.stats());
+        assert_eq!(concat.device(1).stats().total_commands(), 0);
+    }
+
+    fn raid5_set() -> ArchiveSet {
+        let mut config = SsdConfig::tiny_for_tests();
+        config.supercap_backed = true;
+        ArchiveSet::new(config, BackendTopology::raid5_striped(4, LBA_SIZE), 4096)
+    }
+
+    #[test]
+    fn fail_stop_walks_degraded_then_rebuilds_to_healthy() {
+        let mut set = raid5_set();
+        // Populate every device before the fault.
+        for slba in 0..16u64 {
+            set.service(&write_cmd(slba, 4096).with_fua(true), Nanos::ZERO)
+                .unwrap();
+        }
+        let fail_at = Nanos::from_micros(100);
+        let spare_at = Nanos::from_micros(300);
+        let plan = FaultPlan::new()
+            .with_fail_stop(1, fail_at, spare_at)
+            .with_rebuild(crate::fault::RebuildConfig {
+                row_interval: Nanos::from_micros(10),
+                ..Default::default()
+            });
+        set.set_fault_plan(plan);
+        assert_eq!(set.array_state(), ArrayState::Healthy);
+
+        // A read of the dead device while degraded reconstructs from the
+        // three survivors.
+        let before = [0u16, 2, 3].map(|d| set.device(d).stats().read_commands);
+        let done = set
+            .service(&read_cmd(1, 4096), Nanos::from_micros(150))
+            .unwrap();
+        assert_eq!(set.array_state(), ArrayState::Degraded);
+        let after = [0u16, 2, 3].map(|d| set.device(d).stats().read_commands);
+        for (b, a) in before.iter().zip(&after) {
+            assert_eq!(a - b, 1, "each survivor serves one reconstruction read");
+        }
+        assert!(done.finished_at > Nanos::from_micros(150));
+        let stats = *set.fault_stats().unwrap();
+        assert_eq!(stats.degraded_reads, 1);
+        assert_eq!(stats.reconstruction_reads, 3);
+
+        // A degraded write is absorbed by the row's parity buddy and stays
+        // durable through the outage.
+        set.service(&write_cmd(5, 4096).with_fua(true), Nanos::from_micros(160))
+            .unwrap();
+        assert!(set.is_durable(5));
+        assert_eq!(set.fault_stats().unwrap().parity_absorbed_writes, 1);
+
+        // Drive simulated time past the spare arrival and let rebuild run
+        // dry: the array returns to healthy and every page is durable again.
+        set.advance_faults(Nanos::from_millis(50));
+        assert_eq!(set.array_state(), ArrayState::Healthy);
+        let stats = *set.fault_stats().unwrap();
+        assert_eq!(stats.repairs_completed, 1);
+        assert!(stats.rebuild_rows_done > 0);
+        assert_eq!(stats.rebuild_rows_done, stats.rebuild_rows_total);
+        assert!(stats.rebuild_writes >= stats.rebuild_rows_done);
+        for slba in 0..16u64 {
+            assert!(set.is_durable(slba), "page {slba} lost across the rebuild");
+        }
+        let spans = set.drain_rebuild_spans();
+        assert_eq!(spans.len() as u64, stats.rebuild_rows_done);
+        assert!(spans.iter().all(|s| s.device == 1 && s.end > s.start));
+        assert!(set.fault().unwrap().recovered_at().unwrap() >= spare_at);
+    }
+
+    #[test]
+    fn transient_fault_resyncs_only_rows_written_while_away() {
+        let mut set = raid5_set();
+        for slba in 0..16u64 {
+            set.service(&write_cmd(slba, 4096).with_fua(true), Nanos::ZERO)
+                .unwrap();
+        }
+        let plan =
+            FaultPlan::new().with_transient(2, Nanos::from_micros(100), Nanos::from_micros(400));
+        set.set_fault_plan(plan);
+        // One degraded write to the absent device dirties exactly one row.
+        set.service(&write_cmd(2, 4096).with_fua(true), Nanos::from_micros(200))
+            .unwrap();
+        set.advance_faults(Nanos::from_millis(10));
+        assert_eq!(set.array_state(), ArrayState::Healthy);
+        let stats = *set.fault_stats().unwrap();
+        assert_eq!(
+            stats.rebuild_rows_total, 1,
+            "transient resync covers dirty rows only"
+        );
+        assert_eq!(stats.repairs_completed, 1);
+    }
+
+    #[test]
+    fn flush_broadcast_skips_the_dead_device() {
+        let mut set = raid5_set();
+        set.set_fault_plan(FaultPlan::new().with_fail_stop(
+            0,
+            Nanos::from_micros(10),
+            Nanos::from_millis(100),
+        ));
+        set.service(&write_cmd(1, 4096), Nanos::ZERO).unwrap();
+        set.service(&NvmeCommand::flush(1), Nanos::from_micros(50))
+            .unwrap();
+        assert_eq!(set.device(0).stats().flush_commands, 0);
+        assert_eq!(set.device(1).stats().flush_commands, 1);
+        assert_eq!(set.fault_stats().unwrap().skipped_flushes, 1);
+    }
+
+    #[test]
+    fn fault_timing_is_deterministic_across_runs() {
+        let run = || {
+            let mut set = raid5_set();
+            for slba in 0..24u64 {
+                set.service(&write_cmd(slba, 4096).with_fua(true), Nanos::ZERO)
+                    .unwrap();
+            }
+            set.set_fault_plan(
+                FaultPlan::new()
+                    .with_fail_stop(3, Nanos::from_micros(50), Nanos::from_micros(200))
+                    .with_rebuild(crate::fault::RebuildConfig {
+                        row_interval: Nanos::from_micros(5),
+                        ..Default::default()
+                    }),
+            );
+            let mut now = Nanos::from_micros(60);
+            let mut finishes = Vec::new();
+            for i in 0..32u64 {
+                let cmd = if i % 2 == 0 {
+                    read_cmd(i % 24, 4096)
+                } else {
+                    write_cmd(i % 24, 4096).with_fua(true)
+                };
+                let done = set.service(&cmd, now).unwrap();
+                finishes.push(done.finished_at);
+                now += Nanos::from_micros(20);
+            }
+            set.advance_faults(Nanos::from_millis(20));
+            (finishes, *set.fault_stats().unwrap(), set.stats())
+        };
+        assert_eq!(run(), run(), "same plan must replay byte-identically");
+    }
+
+    #[test]
+    #[should_panic(expected = "parity")]
+    fn fault_plans_require_the_parity_topology() {
+        let mut set = ArchiveSet::new(
+            SsdConfig::tiny_for_tests(),
+            BackendTopology::raid0_striped(4, LBA_SIZE),
+            4096,
+        );
+        set.set_fault_plan(FaultPlan::new().with_fail_stop(0, Nanos::ZERO, Nanos::ZERO));
     }
 }

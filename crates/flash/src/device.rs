@@ -532,6 +532,13 @@ impl SsdDevice {
     pub fn is_durable(&self, lpn: u64) -> bool {
         self.ftl.lookup(lpn).is_some()
     }
+
+    /// Every logical page durably stored on flash, ascending — the rebuild
+    /// planner's view of what a failed device must regenerate.
+    #[must_use]
+    pub fn durable_lpns(&self) -> Vec<u64> {
+        self.ftl.mapped_lpns()
+    }
 }
 
 #[cfg(test)]

@@ -258,6 +258,17 @@ impl Ftl {
         }
     }
 
+    /// Every logical page with a live mapping, ascending. The rebuild
+    /// planner uses this to regenerate exactly the rows a failed device had
+    /// durably stored (sorted so the walk is deterministic whatever the hash
+    /// map's iteration order).
+    #[must_use]
+    pub fn mapped_lpns(&self) -> Vec<u64> {
+        let mut lpns: Vec<u64> = self.map.keys().copied().collect();
+        lpns.sort_unstable();
+        lpns
+    }
+
     /// Fraction of exported pages currently mapped.
     #[must_use]
     pub fn occupancy(&self) -> f64 {

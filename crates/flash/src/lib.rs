@@ -17,8 +17,11 @@
 //! * the SSD-internal DRAM buffer that advanced HAMS removes ([`dram`]),
 //! * the assembled NVMe-command-serving device ([`device`]),
 //! * the multi-device topology layer: N archives behind one
-//!   capacity-unified address space, striped RAID-0 style or attached over
-//!   CXL ([`archive`]).
+//!   capacity-unified address space — striped RAID-0 style, rotating-parity
+//!   RAID-5 style, capacity-summing concatenation, or attached over CXL
+//!   ([`archive`]),
+//! * fault injection and degraded-mode serving: fail-stop / transient
+//!   device faults, parity reconstruction and paced rebuild ([`fault`]).
 //!
 //! # Example
 //!
@@ -39,6 +42,7 @@
 pub mod archive;
 pub mod device;
 pub mod dram;
+pub mod fault;
 pub mod fil;
 pub mod ftl;
 pub mod geometry;
@@ -49,6 +53,10 @@ pub use device::{
     IoCompletion, PowerLossReport, SsdConfig, SsdDevice, SsdError, SsdStats, LBA_SIZE,
 };
 pub use dram::{DramOutcome, DramStats, InternalDram};
+pub use fault::{
+    ArrayState, FaultEvent, FaultInjector, FaultKind, FaultPlan, FaultStats, Raid5Layout,
+    RebuildConfig, RebuildSpan,
+};
 pub use fil::{Fil, FilCompletion};
 pub use ftl::{Ftl, FtlError, FtlStats, WriteOutcome};
 pub use geometry::{FlashGeometry, PhysicalPageAddr};

@@ -2,7 +2,8 @@
 //! wrapped behind the [`Platform`] trait.
 
 use hams_core::{
-    AttachMode, BackendTopology, CellPlan, HamsConfig, HamsController, PersistMode, ShardConfig,
+    AttachMode, BackendTopology, CellPlan, FaultPlan, HamsConfig, HamsController, PersistMode,
+    ShardConfig,
 };
 use hams_energy::{EnergyAccount, PowerParams};
 use hams_nvdimm::{NvdimmConfig, PinnedRegionLayout};
@@ -397,6 +398,20 @@ impl Platform for HamsPlatform {
         true
     }
 
+    /// HAMS owns the fault-injectable archive, so every variant honours a
+    /// fault plan — provided the parity backend is configured first
+    /// ([`Self::configure_backend`] with [`BackendTopology::Raid5`]), since
+    /// re-shaping rebuilds the archive cold and a non-parity array cannot
+    /// reconstruct a lost device.
+    fn configure_faults(&mut self, plan: &FaultPlan) -> bool {
+        self.controller.set_fault_plan(plan.clone());
+        true
+    }
+
+    fn advance_faults(&mut self, now: Nanos) {
+        self.controller.advance_faults(now);
+    }
+
     /// HAMS owns the instrumented controller, so every variant honours the
     /// trace sink: controller access/commit, tag-array, NVMe submit, MSI
     /// delivery and archive service spans all come from inside the spine.
@@ -427,6 +442,22 @@ impl Platform for HamsPlatform {
         out.push(("archive_commands", archive.stats().total_commands() as f64));
         out.push(("evictions", stats.evictions as f64));
         out.push(("wait_stalls", stats.wait_stalls as f64));
+        // Fault gauges appear only once a plan is installed, so fault-free
+        // telemetry output is byte-identical to the pre-fault-injection
+        // layer.
+        if let Some(fault) = archive.fault() {
+            out.push(("array_state", fault.state().as_gauge()));
+            out.push(("rebuild_progress", fault.rebuild_progress()));
+            let stats = fault.stats();
+            out.push(("degraded_reads", stats.degraded_reads as f64));
+            out.push(("reconstruction_reads", stats.reconstruction_reads as f64));
+            out.push((
+                "parity_absorbed_writes",
+                stats.parity_absorbed_writes as f64,
+            ));
+            out.push(("rebuild_rows_done", stats.rebuild_rows_done as f64));
+            out.push(("rebuild_rows_total", stats.rebuild_rows_total as f64));
+        }
     }
 
     fn memory_delay(&self) -> LatencyVector {

@@ -56,9 +56,10 @@ pub use openloop::{
 };
 pub use platform::{AccessOutcome, BatchOutcome, BatchRequest, Platform};
 pub use registry::{
-    build_cxl_platform, build_raid_sweep_platform, cxl_label, queue_sweep_label, raid_sweep_label,
-    register_hams_queue_sweep, register_hams_raid_sweep, register_hams_shard_sweep,
-    shard_sweep_label, standard_registry, PlatformCtor, PlatformRegistry, QUEUE_SWEEP_PAGE_BYTES,
+    build_cxl_platform, build_fault_platform, build_raid_sweep_platform, cxl_label, fault_label,
+    queue_sweep_label, raid_sweep_label, register_hams_fault_scenario, register_hams_queue_sweep,
+    register_hams_raid_sweep, register_hams_shard_sweep, shard_sweep_label, standard_registry,
+    PlatformCtor, PlatformRegistry, FAULT_SWEEP_DEVICES, QUEUE_SWEEP_PAGE_BYTES,
     RAID_SWEEP_PAGE_BYTES, RAID_SWEEP_QUEUES,
 };
 pub use runner::{

@@ -5,7 +5,7 @@
 //! `optane-P/-M`, the four HAMS variants and the `oracle` — implements this
 //! trait, so the runner and every figure harness are platform-agnostic.
 
-use hams_core::{BackendTopology, ShardConfig};
+use hams_core::{BackendTopology, FaultPlan, ShardConfig};
 use hams_energy::EnergyAccount;
 use hams_nvme::QueueConfig;
 use hams_sim::{LatencyVector, Nanos};
@@ -206,6 +206,30 @@ pub trait Platform {
     fn configure_backend(&mut self, _topology: BackendTopology) -> bool {
         false
     }
+
+    /// Installs a device-fault plan on the platform's archive backend:
+    /// named devices fail at planned simulated instants, the array serves
+    /// degraded (parity reconstruction) and rebuilds under load. Returns
+    /// `true` if the platform honours the plan.
+    ///
+    /// Only the HAMS variants own a fault-injectable archive and override
+    /// this; every other system keeps this fallback and returns `false`.
+    /// Requires the parity backend — call [`Platform::configure_backend`]
+    /// with [`BackendTopology::Raid5`] first (re-shaping rebuilds the
+    /// archive cold and drops any installed plan). A platform with a plan
+    /// but zero due faults stays metrics-byte-identical to its healthy twin
+    /// (`tests/fault_equivalence.rs` pins this), and fault timing advances
+    /// only on the simulated clock of the serial archive command stream, so
+    /// the same plan is deterministic across runs and thread counts.
+    fn configure_faults(&mut self, _plan: &FaultPlan) -> bool {
+        false
+    }
+
+    /// Advances the platform's fault state machine to simulated instant
+    /// `now` without serving traffic — how a harness lets a pending rebuild
+    /// finish after the last foreground access. No-op for platforms without
+    /// a fault-injectable archive.
+    fn advance_faults(&mut self, _now: Nanos) {}
 
     /// Opts the platform into simulated-time span tracing: installs a
     /// telemetry sink on the platform's internal serving spine. Returns

@@ -317,6 +317,42 @@ pub fn build_cxl_platform(scale: &ScaleProfile) -> HamsPlatform {
     )
 }
 
+/// Number of devices in the fault-scenario parity array: four, matching
+/// the RAID sweep's widest entry so degraded timing is comparable to the
+/// healthy d4 run.
+pub const FAULT_SWEEP_DEVICES: u16 = 4;
+
+/// The registry label of the parity-archive fault-scenario entry.
+#[must_use]
+pub fn fault_label() -> String {
+    "hams-TP-r5".to_owned()
+}
+
+/// The platform behind the `hams-TP-r5` entry: the d4 shape of
+/// [`build_raid_sweep_platform`] on the rotating-parity `Raid5` backend
+/// instead of `Raid0`, in persist mode so every store reaches the archive
+/// as a journal-tagged write — the traffic that matters when a device is
+/// out: degraded writes are parity-absorbed and the rebuild has real
+/// durable pages to copy onto the spare. With zero injected faults this
+/// array is metrics-byte-identical to its RAID-0 twin
+/// (`tests/fault_equivalence.rs` pins it); install a
+/// [`hams_core::FaultPlan`] via `Platform::configure_faults` (or the
+/// concrete controller) to fail a device mid-run and measure degraded
+/// serving and rebuild-under-load — `fig26_latency_under_rebuild` and
+/// `throughput --faults` both drive this entry. Exposed concretely so
+/// harnesses can read the fault state machine and per-device stats.
+#[must_use]
+pub fn build_fault_platform(scale: &ScaleProfile) -> HamsPlatform {
+    HamsPlatform::scaled_with_backend(
+        AttachMode::Tight,
+        PersistMode::Persist,
+        scale.cache_bytes(),
+        RAID_SWEEP_PAGE_BYTES,
+        QueueConfig::striped(RAID_SWEEP_QUEUES),
+        BackendTopology::raid5_striped(FAULT_SWEEP_DEVICES, LBA_SIZE),
+    )
+}
+
 /// Registers one `hams-TE-d{n}` entry per device count plus the
 /// `hams-TE-cxl` variant. `d1` pins a one-device RAID-0, which is the exact
 /// single-archive engine (`tests/backend_equivalence.rs`), so the sweep's
@@ -333,6 +369,15 @@ pub fn register_hams_raid_sweep(registry: &mut PlatformRegistry, device_counts: 
     }
     registry.register(cxl_label(), |scale: &ScaleProfile| {
         Box::new(build_cxl_platform(scale))
+    });
+}
+
+/// Registers the `hams-TP-r5` parity-archive entry — kept separate from
+/// [`register_hams_raid_sweep`] so the device-scaling figure's entry set is
+/// unchanged by the fault work.
+pub fn register_hams_fault_scenario(registry: &mut PlatformRegistry) {
+    registry.register(fault_label(), |scale: &ScaleProfile| {
+        Box::new(build_fault_platform(scale))
     });
 }
 
@@ -436,6 +481,25 @@ mod tests {
             .controller()
             .backend_topology()
             .uses_cxl());
+    }
+
+    #[test]
+    fn fault_scenario_entry_registers_and_builds_a_parity_array() {
+        let mut registry = PlatformRegistry::standard();
+        register_hams_fault_scenario(&mut registry);
+        let scale = ScaleProfile::test_tiny();
+        let platform = registry
+            .build(&fault_label(), &scale)
+            .expect("fault entry registered");
+        assert_eq!(platform.name(), "hams-TP");
+        let concrete = build_fault_platform(&scale);
+        assert_eq!(concrete.controller().num_devices(), FAULT_SWEEP_DEVICES);
+        assert!(concrete.controller().backend_topology().has_parity());
+        assert_eq!(
+            concrete.controller().archive().stripe_lbas(),
+            1,
+            "fault entry keeps the RAID sweep's LBA-granularity stripes"
+        );
     }
 
     #[test]

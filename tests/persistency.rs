@@ -245,6 +245,125 @@ fn power_failure_mid_striped_raid_fill_recovers_every_acknowledged_write() {
 }
 
 #[test]
+fn power_failure_mid_parity_update_loses_no_acknowledged_write() {
+    // A device fails mid-run on the parity array and the power then fails
+    // while the array is still degraded — i.e. while journal-tagged writes
+    // are being parity-absorbed by the failed stripes' buddies. Recovery
+    // must replay the journal into the surviving devices and every
+    // acknowledged write must still be recoverable, even the ones whose
+    // home device is out.
+    let config = HamsConfig::tiny_for_tests(AttachMode::Tight, PersistMode::Persist)
+        .with_backend(BackendTopology::raid5_striped(4, 4096));
+    let mut hams = HamsController::new(config);
+    let page_size = hams.config().mos_page_size;
+    let sets = hams.cache_sets() as u64;
+    let mut now = Nanos::ZERO;
+    let mut written = Vec::new();
+    // Phase 1: healthy writes across every device.
+    for i in 0..(sets + 16) {
+        let addr = (i % sets + (i / sets) * sets) * page_size;
+        now = hams.access(addr, true, 64, now).finished_at;
+        written.push(hams.page_of(addr));
+    }
+    // Fail device 0 right now; the spare stays far away so the whole rest
+    // of the stream runs degraded.
+    hams.set_fault_plan(hams::core::FaultPlan::new().with_fail_stop(
+        0,
+        now,
+        now + Nanos::from_secs(100),
+    ));
+    // Phase 2: degraded writes — the ones to device 0's stripes are
+    // parity-absorbed mid-update when the power fails.
+    for i in 0..(sets + 16) {
+        let addr = (i % sets + (i / sets) * sets) * page_size;
+        now = hams.access(addr, true, 64, now).finished_at;
+        written.push(hams.page_of(addr));
+    }
+    assert_eq!(hams.array_state(), hams::core::ArrayState::Degraded);
+    let stats = *hams.fault_stats().unwrap();
+    assert!(
+        stats.parity_absorbed_writes > 0,
+        "the degraded phase must have parity-absorbed at least one write"
+    );
+    let _event = hams.power_fail(now);
+    let report = hams.recover(now);
+    for page in written {
+        assert!(
+            hams.is_page_recoverable(page, report.completed_at),
+            "page {page} lost across a mid-parity-update power failure"
+        );
+    }
+}
+
+#[test]
+fn power_failure_during_rebuild_loses_no_acknowledged_write() {
+    // The spare has arrived and the rebuild is copying reconstructed rows
+    // onto it — foreground writes keep journal-tagging — when the power
+    // fails mid-rebuild. Nothing acknowledged may be lost, and once power
+    // returns the rebuild runs dry and the array is healthy again with
+    // every page durable.
+    let config = HamsConfig::tiny_for_tests(AttachMode::Tight, PersistMode::Persist)
+        .with_backend(BackendTopology::raid5_striped(4, 4096));
+    let mut hams = HamsController::new(config);
+    let page_size = hams.config().mos_page_size;
+    let sets = hams.cache_sets() as u64;
+    let mut now = Nanos::ZERO;
+    let mut written = Vec::new();
+    for i in 0..(sets + 16) {
+        let addr = (i % sets + (i / sets) * sets) * page_size;
+        now = hams.access(addr, true, 64, now).finished_at;
+        written.push(hams.page_of(addr));
+    }
+    // Fail immediately, spare arrives almost at once, but pace the rebuild
+    // slowly enough that phase 2 runs while rows are still being copied.
+    hams.set_fault_plan(
+        hams::core::FaultPlan::new()
+            .with_fail_stop(1, now, now + Nanos::from_micros(1))
+            .with_rebuild(hams::core::RebuildConfig {
+                row_interval: Nanos::from_millis(100),
+                ..hams::core::RebuildConfig::default()
+            }),
+    );
+    for i in 0..(sets + 16) {
+        let addr = (i % sets + (i / sets) * sets) * page_size;
+        now = hams.access(addr, true, 64, now).finished_at;
+        written.push(hams.page_of(addr));
+    }
+    assert_eq!(
+        hams.array_state(),
+        hams::core::ArrayState::Rebuilding,
+        "phase 2 must have run while the rebuild was still in flight"
+    );
+    let stats = *hams.fault_stats().unwrap();
+    assert!(
+        stats.rebuild_rows_done < stats.rebuild_rows_total,
+        "the power must fail before the rebuild runs dry"
+    );
+    let _event = hams.power_fail(now);
+    let report = hams.recover(now);
+    for page in &written {
+        assert!(
+            hams.is_page_recoverable(*page, report.completed_at),
+            "page {page} lost across a mid-rebuild power failure"
+        );
+    }
+    // Power is back: let the rebuild finish and re-check durability on the
+    // healthy array — the journal replayed into both survivors and the
+    // reconstructed device.
+    hams.advance_faults(now + Nanos::from_secs(100));
+    assert_eq!(hams.array_state(), hams::core::ArrayState::Healthy);
+    let stats = *hams.fault_stats().unwrap();
+    assert_eq!(stats.repairs_completed, 1);
+    assert_eq!(stats.rebuild_rows_done, stats.rebuild_rows_total);
+    for page in &written {
+        assert!(
+            hams.is_page_recoverable(*page, report.completed_at),
+            "page {page} lost after the post-recovery rebuild completed"
+        );
+    }
+}
+
+#[test]
 fn recovery_is_idempotent_when_nothing_is_in_flight() {
     let mut hams = controller(AttachMode::Tight, PersistMode::Extend);
     let mut now = Nanos::ZERO;
